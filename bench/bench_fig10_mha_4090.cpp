@@ -1,0 +1,8 @@
+// Reproduces Fig. 10: MHA performance of all methods normalized to PyTorch
+// Native on the (simulated) NVIDIA RTX 4090.
+#include "bench_mha_common.hpp"
+
+int main() {
+  stof::bench::run_mha_figure(stof::gpusim::rtx4090(), "Figure 10");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces Fig. 11: MHA performance of all methods normalized to PyTorch
+// Native on the (simulated) NVIDIA A100 PCIe.
+#include "bench_mha_common.hpp"
+
+int main() {
+  stof::bench::run_mha_figure(stof::gpusim::a100(), "Figure 11");
+  return 0;
+}

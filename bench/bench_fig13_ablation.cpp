@@ -1,0 +1,51 @@
+// Reproduces Fig. 13: speedup over PyTorch Native on A100 of STOF with only
+// the unified MHA module, only the operator-fusion module, and both.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stof/models/e2e.hpp"
+
+using namespace stof;
+
+int main() {
+  bench::banner(
+      "Figure 13",
+      "STOF module ablation: speedup over PyTorch Native on A100",
+      "fusion module contributes more at small inputs, MHA module more at "
+      "large inputs; both together always highest");
+
+  const std::pair<std::int64_t, std::int64_t> settings[] = {
+      {1, 128}, {8, 512}, {16, 2048}};
+  const auto dev = gpusim::a100();
+  tuner::TuningOptions opt;
+
+  std::printf("%-11s %-10s %14s %14s %14s\n", "Model", "(bs,seq)",
+              "only MHA", "only fusion", "both");
+  for (const auto& model : models::all_models()) {
+    for (const auto& [bs, seq] : settings) {
+      const double native =
+          models::simulate_e2e(baselines::Method::kPytorchNative, model, bs,
+                               seq, masks::PatternKind::kBigBird, dev)
+              .time_us;
+      const double mha_only =
+          models::simulate_stof_variant(models::StofVariant::kMhaOnly, model,
+                                        bs, seq, masks::PatternKind::kBigBird,
+                                        dev, opt)
+              .time_us;
+      const double fusion_only =
+          models::simulate_stof_variant(models::StofVariant::kFusionOnly,
+                                        model, bs, seq,
+                                        masks::PatternKind::kBigBird, dev, opt)
+              .time_us;
+      const double both =
+          models::simulate_stof_variant(models::StofVariant::kFull, model, bs,
+                                        seq, masks::PatternKind::kBigBird, dev,
+                                        opt)
+              .time_us;
+      std::printf("%-11s %-10s %13.2fx %13.2fx %13.2fx\n", model.name.c_str(),
+                  bench::cfg_label(bs, seq).c_str(), native / mha_only,
+                  native / fusion_only, native / both);
+    }
+  }
+  return 0;
+}

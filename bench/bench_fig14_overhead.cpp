@@ -1,0 +1,45 @@
+// Reproduces Fig. 14: time breakdown of the STOF overhead (analytical
+// model, scheme conversion, reward algorithm) normalized to the tuning
+// process, on A100.  Overheads are measured host wall time; the tuning
+// process is the simulated tuning cost of Table 4.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stof/models/e2e.hpp"
+
+using namespace stof;
+
+int main() {
+  bench::banner(
+      "Figure 14",
+      "STOF overhead breakdown normalized to the tuning process (A100)",
+      "scheme conversion / reward dominate the (tiny) overhead at small "
+      "inputs, the analytical model grows with input scale; total overhead "
+      "under ~2.8% of tuning time");
+
+  const std::pair<std::int64_t, std::int64_t> settings[] = {
+      {1, 128}, {8, 512}, {16, 2048}};
+  const auto dev = gpusim::a100();
+  tuner::TuningOptions opt;
+
+  std::printf("%-11s %-10s %12s %12s %12s %12s\n", "Model", "(bs,seq)",
+              "analysis", "conversion", "reward", "total ovh");
+  for (const auto& model : models::all_models()) {
+    for (const auto& [bs, seq] : settings) {
+      const auto r =
+          models::simulate_e2e(baselines::Method::kStof, model, bs, seq,
+                               masks::PatternKind::kBigBird, dev, opt);
+      if (!r.tuning.has_value()) continue;
+      const auto& b = r.tuning->breakdown;
+      const double tuning_s = r.tuning->tuning_cost_s;
+      const double analysis = b.analysis_us * 1e-6 / tuning_s * 100.0;
+      const double conversion = b.conversion_us * 1e-6 / tuning_s * 100.0;
+      const double reward = b.reward_us * 1e-6 / tuning_s * 100.0;
+      std::printf("%-11s %-10s %11.4f%% %11.4f%% %11.4f%% %11.4f%%\n",
+                  model.name.c_str(), bench::cfg_label(bs, seq).c_str(),
+                  analysis, conversion, reward,
+                  analysis + conversion + reward);
+    }
+  }
+  return 0;
+}

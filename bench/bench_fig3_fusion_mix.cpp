@@ -1,0 +1,123 @@
+// Reproduces Fig. 3: speedup of fused over detached operators for the three
+// operator mixes (Bias+LayerNorm = MI+MI, GEMM+LayerNorm = CI+MI,
+// GEMM+GEMM = CI+CI) across (batch, seq, hidden) configurations on both
+// simulated GPUs.  Each side is evaluated at its best parameter setting.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stof/ops/fused.hpp"
+
+using namespace stof;
+
+namespace {
+
+double best_time(const std::vector<gpusim::KernelCost>& costs,
+                 const gpusim::DeviceSpec& dev) {
+  return ops::sequence_time_us(costs, dev);
+}
+
+struct Config {
+  std::int64_t bs, seq, hidden;
+};
+
+const Config kConfigs[] = {
+    {1, 128, 512},  {1, 128, 1024},  {8, 512, 512},
+    {8, 512, 1024}, {16, 2048, 512}, {16, 2048, 1024},
+};
+
+double best_fused_bias_ln(std::int64_t rows, std::int64_t n,
+                          const gpusim::DeviceSpec& dev) {
+  double best = 1e300;
+  for (const auto& p : ops::norm_param_space()) {
+    best = std::min(best, gpusim::estimate_time_us(
+                              ops::fused_bias_layernorm_cost(rows, n, p, dev),
+                              dev));
+  }
+  return best;
+}
+
+double best_detached_bias_ln(std::int64_t rows, std::int64_t n,
+                             const gpusim::DeviceSpec& dev) {
+  double best = 1e300;
+  for (const auto& ep : ops::elementwise_param_space()) {
+    for (const auto& np : ops::norm_param_space()) {
+      best = std::min(best,
+                      best_time(ops::detached_bias_layernorm_cost(rows, n, ep,
+                                                                  np, dev),
+                                dev));
+    }
+  }
+  return best;
+}
+
+double best_fused_gemm_ln(const ops::GemmDims& d,
+                          const gpusim::DeviceSpec& dev) {
+  double best = 1e300;
+  for (const auto& p : ops::gemm_param_space()) {
+    const auto c = ops::fused_gemm_layernorm_cost(d, p, dev);
+    if (c.occupancy <= 0) continue;
+    best = std::min(best, gpusim::estimate_time_us(c, dev));
+  }
+  return best;
+}
+
+double best_detached_gemm_ln(const ops::GemmDims& d,
+                             const gpusim::DeviceSpec& dev) {
+  double best = 1e300;
+  for (const auto& p : ops::gemm_param_space()) {
+    best = std::min(
+        best, best_time(ops::detached_gemm_layernorm_cost(d, p, {}, dev), dev));
+  }
+  return best;
+}
+
+double best_fused_chain(const ops::GemmChainDims& d,
+                        const gpusim::DeviceSpec& dev) {
+  double best = 1e300;
+  for (const auto& p : ops::gemm_param_space()) {
+    const auto c = ops::fused_gemm_gemm_cost(d, p, dev);
+    if (c.occupancy <= 0) continue;
+    best = std::min(best, gpusim::estimate_time_us(c, dev));
+  }
+  return best;
+}
+
+double best_detached_chain(const ops::GemmChainDims& d,
+                           const gpusim::DeviceSpec& dev) {
+  double best = 1e300;
+  for (const auto& p : ops::gemm_param_space()) {
+    best =
+        std::min(best, best_time(ops::detached_gemm_gemm_cost(d, p, dev), dev));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 3", "fused vs detached operators under different configurations",
+      "Bias+LN fusion always wins; GEMM+LN wins big at hidden 512 and slows "
+      "down at hidden 1024; GEMM+GEMM only ever helps at small scales");
+
+  for (const auto& dev : bench::devices()) {
+    bench::section(dev.name + " — speedup of fused over detached (>1 wins)");
+    std::printf("%-16s %12s %12s %12s\n", "(bs,seq,hidden)", "Bias+LN",
+                "GEMM+LN", "GEMM+GEMM");
+    for (const auto& c : kConfigs) {
+      const std::int64_t rows = c.bs * c.seq;
+      const double mi = best_detached_bias_ln(rows, c.hidden, dev) /
+                        best_fused_bias_ln(rows, c.hidden, dev);
+      const ops::GemmDims gd{1, rows, c.hidden, c.hidden};
+      const double cimi =
+          best_detached_gemm_ln(gd, dev) / best_fused_gemm_ln(gd, dev);
+      const ops::GemmChainDims cd{1, rows, c.hidden, c.hidden, c.hidden};
+      const double cici =
+          best_detached_chain(cd, dev) / best_fused_chain(cd, dev);
+      std::printf("(%2lld,%5lld,%5lld) %11.2fx %11.2fx %11.2fx\n",
+                  static_cast<long long>(c.bs), static_cast<long long>(c.seq),
+                  static_cast<long long>(c.hidden), mi, cimi, cici);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared driver for the MHA comparisons of Fig. 10 (RTX 4090) and Fig. 11
+// (A100): every method's simulated MHA time, normalized to PyTorch Native,
+// over 4 mask patterns x batch sizes x sequence lengths (BERT-Base heads).
+#pragma once
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stof/baselines/mha_methods.hpp"
+
+namespace stof::bench {
+
+inline void run_mha_figure(const gpusim::DeviceSpec& dev,
+                           const char* artifact) {
+  banner(artifact,
+         ("MHA performance normalized to PyTorch Native on " + dev.name)
+             .c_str(),
+         "STOF highest everywhere; row-wise kernel at (1,128); largest wins "
+         "on long sequences; ByteTransformer missing beyond seq 1024; "
+         "MCFuser missing (OOM) at the largest scales");
+
+  const masks::PatternKind kinds[] = {
+      masks::PatternKind::kSlidingWindow, masks::PatternKind::kDilated,
+      masks::PatternKind::kLongformer, masks::PatternKind::kBigBird};
+  const std::int64_t batches[] = {1, 8, 16};
+  const std::int64_t seqs[] = {128, 512, 1024, 2048, 4096};
+
+  for (const auto kind : kinds) {
+    section(to_string(kind) + " — speedup over PyTorch Native (x)");
+    std::printf("%-10s", "(bs,seq)");
+    for (const auto m : baselines::mha_methods()) {
+      std::printf(" %15s", to_string(m).c_str());
+    }
+    std::printf("\n");
+
+    for (const auto seq : seqs) {
+      // Heavy artifacts (mask + BSR variants) shared across batch sizes.
+      sparse::BsrCache cache(
+          masks::MaskSpec{.kind = kind, .seq_len = seq}.build());
+      for (const auto bs : batches) {
+        const mha::MhaDims dims{bs, 12, seq, 64};  // BERT-Base MHA
+        gpusim::Stream native_stream(dev);
+        const double native =
+            baselines::simulate_mha(baselines::Method::kPytorchNative, dims,
+                                    kind, cache, native_stream)
+                .time_us;
+        std::printf("%-10s", cfg_label(bs, seq).c_str());
+        for (const auto m : baselines::mha_methods()) {
+          gpusim::Stream s(dev);
+          const auto r = baselines::simulate_mha(m, dims, kind, cache, s);
+          if (!r.supported) {
+            std::printf(" %15s", "--");
+          } else {
+            std::printf(" %14.2fx", native / r.time_us);
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+}
+
+}  // namespace stof::bench

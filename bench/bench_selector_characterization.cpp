@@ -1,0 +1,65 @@
+// Characterization of the analytical kernel selector (beyond the paper's
+// figures): Eq. 1 threshold values and the resulting kernel choice across
+// patterns and sequence lengths, plus the Eq. 2-driven block-size choice.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stof/mha/unified.hpp"
+
+using namespace stof;
+
+int main() {
+  bench::banner("Selector characterization (extra)",
+                "Eq. 1 thresholds and chosen kernels per pattern and seq_len",
+                "row-wise for short concentrated masks; block-wise with "
+                "scale-adapted tiles elsewhere");
+
+  const masks::PatternKind kinds[] = {
+      masks::PatternKind::kSlidingWindow, masks::PatternKind::kDilated,
+      masks::PatternKind::kLongformer, masks::PatternKind::kBigBird,
+      masks::PatternKind::kStrided};
+  const std::int64_t seqs[] = {128, 256, 512, 1024, 2048, 4096};
+
+  for (const auto& dev : bench::devices()) {
+    bench::section(dev.name + " — Eq.1 threshold / chosen kernel / params");
+    std::printf("%-15s", "pattern\\seq");
+    for (const auto seq : seqs) std::printf(" %13lld", (long long)seq);
+    std::printf("\n");
+    for (const auto kind : kinds) {
+      std::printf("%-15s", to_string(kind).c_str());
+      for (const auto seq : seqs) {
+        const mha::MhaDims dims{1, 12, seq, 64};
+        mha::UnifiedMha attention(
+            dims, masks::MaskSpec{.kind = kind, .seq_len = seq}.build(), dev);
+        const auto& choice = attention.plan().choice;
+        char cell[32];
+        if (choice.kind == mha::KernelKind::kRowwise) {
+          std::snprintf(cell, sizeof cell, "row(%+.2f)", choice.threshold);
+        } else {
+          std::snprintf(cell, sizeof cell, "%dx%d w%d",
+                        choice.blockwise.block_m, choice.blockwise.block_n,
+                        choice.blockwise.num_warps);
+        }
+        std::printf(" %13s", cell);
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::section("analysis cost (mask analysis + planning wall time, ms)");
+  std::printf("%-15s", "pattern\\seq");
+  for (const auto seq : seqs) std::printf(" %9lld", (long long)seq);
+  std::printf("\n");
+  for (const auto kind : kinds) {
+    std::printf("%-15s", to_string(kind).c_str());
+    for (const auto seq : seqs) {
+      const mha::MhaDims dims{1, 12, seq, 64};
+      mha::UnifiedMha attention(
+          dims, masks::MaskSpec{.kind = kind, .seq_len = seq}.build(),
+          gpusim::a100());
+      std::printf(" %9.1f", attention.plan().analysis_us / 1000.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stof/gpusim/device.hpp"
+
+namespace stof::bench {
+
+/// Header block naming the paper artifact this binary regenerates.
+inline void banner(const char* artifact, const char* what,
+                   const char* expected_shape) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", artifact, what);
+  std::printf("Expected shape (paper): %s\n", expected_shape);
+  std::printf("Times are simulated on the gpusim device model (see DESIGN.md);\n");
+  std::printf("compare shapes and ratios, not absolute values.\n");
+  std::printf("==============================================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Both simulated devices of the paper's Table 3.
+inline std::vector<gpusim::DeviceSpec> devices() {
+  return {gpusim::rtx4090(), gpusim::a100()};
+}
+
+/// Pretty "(bs, seq)" label.
+inline std::string cfg_label(std::int64_t bs, std::int64_t seq) {
+  return "(" + std::to_string(bs) + "," + std::to_string(seq) + ")";
+}
+
+}  // namespace stof::bench

@@ -1,0 +1,233 @@
+#include "stof/baselines/e2e_plans.hpp"
+
+#include "stof/ops/fused.hpp"
+
+namespace stof::baselines {
+namespace {
+
+using fusion::FusionScheme;
+using fusion::Segment;
+using graph::Graph;
+using graph::OpKind;
+
+bool starts_mha(const Graph& g, std::int64_t i) {
+  const auto pattern = Graph::mha_pattern();
+  if (i + static_cast<std::int64_t>(pattern.size()) >
+      static_cast<std::int64_t>(g.size())) {
+    return false;
+  }
+  for (std::size_t j = 0; j < pattern.size(); ++j) {
+    if (g.node(i + static_cast<std::int64_t>(j)).kind != pattern[j]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_mi(const Graph& g, std::int64_t i) {
+  const auto& n = g.node(i);
+  return !graph::is_compute_intensive(n.kind) && n.kind != OpKind::kInput &&
+         !graph::is_mha_op(n.kind);
+}
+
+models::ExecutionPlan plan_from(const std::vector<Segment>& segs,
+                                const Graph& g) {
+  models::ExecutionPlan plan;
+  plan.scheme =
+      FusionScheme::from_segments(segs, static_cast<std::int64_t>(g.size()));
+  return plan;
+}
+
+std::vector<Segment> detached_segments(const Graph& g) {
+  std::vector<Segment> segs;
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(g.size()); ++i) {
+    segs.push_back({i, i + 1});
+  }
+  return segs;
+}
+
+// MHA fused + maximal MI runs fused + CI detached (Compile/Byte).
+std::vector<Segment> mi_fused_segments(const Graph& g) {
+  std::vector<Segment> segs;
+  const std::int64_t n = static_cast<std::int64_t>(g.size());
+  std::int64_t i = 0;
+  while (i < n) {
+    if (starts_mha(g, i)) {
+      segs.push_back({i, i + 4});
+      i += 4;
+      continue;
+    }
+    if (is_mi(g, i)) {
+      std::int64_t j = i;
+      while (j < n && is_mi(g, j)) ++j;
+      segs.push_back({i, j});
+      i = j;
+      continue;
+    }
+    segs.push_back({i, i + 1});
+    ++i;
+  }
+  return segs;
+}
+
+// MHA fused + dimension-compatible CI chains fused (MCFuser).
+std::vector<Segment> ci_chain_segments(const Graph& g) {
+  std::vector<Segment> segs;
+  const std::int64_t n = static_cast<std::int64_t>(g.size());
+  std::int64_t i = 0;
+  while (i < n) {
+    if (starts_mha(g, i)) {
+      segs.push_back({i, i + 4});
+      i += 4;
+      continue;
+    }
+    const auto& node = g.node(i);
+    if (graph::is_compute_intensive(node.kind)) {
+      // Look ahead past interleaved MI ops for a chainable second GEMM.
+      std::int64_t j = i + 1;
+      while (j < n && is_mi(g, j)) ++j;
+      if (j < n && graph::is_compute_intensive(g.node(j).kind) &&
+          !graph::is_mha_op(g.node(j).kind) && !starts_mha(g, j) &&
+          g.node(j).inner == node.cols && g.node(j).rows == node.rows) {
+        segs.push_back({i, j + 1});
+        i = j + 1;
+        continue;
+      }
+    }
+    segs.push_back({i, i + 1});
+    ++i;
+  }
+  return segs;
+}
+
+// GEMM + trailing-MI epilogues (Bolt): the MHA sub-graph degenerates into
+// [ScoreGemm, MaskApply, Softmax] + [PvGemm, ...].
+std::vector<Segment> epilogue_segments(const Graph& g) {
+  std::vector<Segment> segs;
+  const std::int64_t n = static_cast<std::int64_t>(g.size());
+  std::int64_t i = 0;
+  while (i < n) {
+    const auto& node = g.node(i);
+    if (graph::is_compute_intensive(node.kind)) {
+      std::int64_t j = i + 1;
+      while (j < n && !graph::is_compute_intensive(g.node(j).kind) &&
+             g.node(j).kind != OpKind::kInput) {
+        ++j;
+      }
+      segs.push_back({i, j});
+      i = j;
+      continue;
+    }
+    segs.push_back({i, i + 1});
+    ++i;
+  }
+  return segs;
+}
+
+}  // namespace
+
+models::ExecutionPlan mha_fused_detached_plan(const Graph& g) {
+  std::vector<Segment> segs;
+  const auto mha = Graph::mha_pattern();
+  const std::int64_t n = static_cast<std::int64_t>(g.size());
+  std::int64_t i = 0;
+  while (i < n) {
+    if (starts_mha(g, i)) {
+      segs.push_back({i, i + static_cast<std::int64_t>(mha.size())});
+      i += static_cast<std::int64_t>(mha.size());
+      continue;
+    }
+    segs.push_back({i, i + 1});
+    ++i;
+  }
+  return plan_from(segs, g);
+}
+
+models::ExecutionPlan e2e_plan(Method method, const Graph& g) {
+  switch (method) {
+    case Method::kPytorchNative: {
+      auto plan = plan_from(detached_segments(g), g);
+      plan.eager = true;
+      return plan;
+    }
+    case Method::kPytorchCompile:
+    case Method::kByteTransformer:
+      return plan_from(mi_fused_segments(g), g);
+    case Method::kMcfuser:
+      return plan_from(ci_chain_segments(g), g);
+    case Method::kBolt:
+      return plan_from(epilogue_segments(g), g);
+    case Method::kStof:
+      return stof_initial_plan(g);
+    case Method::kFlashAttention2:
+    case Method::kFlexAttention:
+      // MHA-only methods (paper §5.1.2): treat downstream like Compile.
+      return plan_from(mi_fused_segments(g), g);
+  }
+  STOF_CHECK(false, "unreachable");
+}
+
+models::ExecutionPlan stof_initial_plan(const Graph& g,
+                                        const gpusim::DeviceSpec* device) {
+  // §4.4 initialization: MHA fused, MI runs fused; CI+CI chains are seeded
+  // only when profitable (the §3.2 conclusion).  With a device available
+  // the analytical model decides directly; otherwise a row-count threshold
+  // stands in.
+  const graph::Node* ffn_up = nullptr;
+  for (const auto& n : g.nodes()) {
+    if (n.kind == OpKind::kFfnGemm) {
+      ffn_up = &n;
+      break;
+    }
+  }
+  bool fuse_chains = ffn_up != nullptr && ffn_up->rows <= 1024;
+  if (ffn_up != nullptr && device != nullptr) {
+    const ops::GemmChainDims dims{1, ffn_up->rows, ffn_up->inner,
+                                  ffn_up->cols, ffn_up->inner};
+    double best_fused = 1e300;
+    double best_detached = 1e300;
+    for (const auto& p : ops::gemm_param_space()) {
+      const auto fused = ops::fused_gemm_gemm_cost(dims, p, *device);
+      if (fused.occupancy > 0) {
+        best_fused = std::min(best_fused,
+                              gpusim::estimate_time_us(fused, *device));
+      }
+      best_detached =
+          std::min(best_detached,
+                   ops::sequence_time_us(
+                       ops::detached_gemm_gemm_cost(dims, p, *device),
+                       *device));
+    }
+    fuse_chains = best_fused < best_detached;
+  }
+  auto segs = fuse_chains ? ci_chain_segments(g) : mi_fused_segments(g);
+  if (fuse_chains) {
+    // ci_chain_segments leaves MI runs detached; merge pure-MI neighbours.
+    std::vector<Segment> merged;
+    for (const auto& seg : segs) {
+      const bool mi_only = [&] {
+        for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+          if (!is_mi(g, i)) return false;
+        }
+        return true;
+      }();
+      if (!merged.empty() && mi_only && merged.back().end == seg.begin) {
+        bool prev_mi_only = true;
+        for (std::int64_t i = merged.back().begin; i < merged.back().end; ++i) {
+          if (!is_mi(g, i)) prev_mi_only = false;
+        }
+        if (prev_mi_only) {
+          merged.back().end = seg.end;
+          continue;
+        }
+      }
+      merged.push_back(seg);
+    }
+    segs = std::move(merged);
+  }
+  auto plan = plan_from(segs, g);
+  STOF_ENSURES(plan.scheme.valid_for(g), "initial scheme must be valid");
+  return plan;
+}
+
+}  // namespace stof::baselines

@@ -1,0 +1,43 @@
+// End-to-end fusion plans of the comparison methods (paper §5.3).
+//
+// Each baseline's fusion behaviour is encoded as a deterministic scheme
+// over the model graph:
+//
+//   PyTorch Native   — fully detached: one kernel per operator.
+//   PyTorch Compile  — MHA sub-graphs dispatched to FA2; maximal runs of
+//                      MI operators fused by the inductor; CI detached.
+//   ByteTransformer  — same structure with its hand-fused MHA kernel.
+//   MCFuser          — MHA via its loop-fused chain; downstream CI+CI
+//                      chains fused when dimension compatible; MI detached
+//                      (MCFuser targets compute-intensive chains only).
+//   Bolt             — every GEMM fused with its trailing MI epilogue
+//                      (CUTLASS epilogue visitors); no CI+CI, no MHA
+//                      sub-graph fusion (ScoreGemm absorbs mask+softmax as
+//                      an epilogue, PvGemm stands alone).
+//   STOF             — starts from the search engine's initial scheme and
+//                      is then tuned (see stof::tuner); the plan here is
+//                      the untuned initialization.
+#pragma once
+
+#include "stof/baselines/mha_methods.hpp"
+#include "stof/graph/graph.hpp"
+#include "stof/models/executor.hpp"
+
+namespace stof::baselines {
+
+/// The deterministic (untuned) execution plan of `method` over `g`.
+models::ExecutionPlan e2e_plan(Method method, const graph::Graph& g);
+
+/// Detached plan with only the MHA sub-graphs fused (the conservative
+/// "MHA-only" layout; also the search engine's second start point).
+models::ExecutionPlan mha_fused_detached_plan(const graph::Graph& g);
+
+/// STOF's rule-based initial scheme (paper §4.4 initialization): MHA
+/// sub-graphs fused, MI runs fused, CI+CI chains seeded only when the
+/// analytical model predicts the chain wins on the target device (the
+/// §3.2 conclusion that CI+CI fusion pays off only at small scales).
+/// Without a device, a row-count threshold stands in for the prediction.
+models::ExecutionPlan stof_initial_plan(
+    const graph::Graph& g, const gpusim::DeviceSpec* device = nullptr);
+
+}  // namespace stof::baselines

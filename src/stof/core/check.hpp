@@ -1,0 +1,61 @@
+// Error-handling primitives for the STOF library.
+//
+// STOF follows the C++ Core Guidelines contract style: preconditions and
+// invariants are checked with STOF_CHECK / STOF_EXPECTS and violations throw
+// stof::Error carrying the failing expression and location.  Checks are kept
+// in release builds; every check here guards a programmer-visible API
+// contract, not an inner loop.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stof {
+
+/// Exception thrown on any contract violation inside the STOF library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace stof
+
+/// Check an API contract; throws stof::Error when `cond` is false.
+#define STOF_CHECK(cond, ...)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::stof::detail::fail("check", #cond, __FILE__, __LINE__,        \
+                           ::std::string{__VA_ARGS__});               \
+    }                                                                 \
+  } while (0)
+
+/// Precondition on function entry (Core Guidelines I.6 "Expects").
+#define STOF_EXPECTS(cond, ...)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::stof::detail::fail("precondition", #cond, __FILE__, __LINE__, \
+                           ::std::string{__VA_ARGS__});               \
+    }                                                                 \
+  } while (0)
+
+/// Postcondition before function exit (Core Guidelines I.8 "Ensures").
+#define STOF_ENSURES(cond, ...)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::stof::detail::fail("postcondition", #cond, __FILE__, __LINE__, \
+                           ::std::string{__VA_ARGS__});                \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,142 @@
+// IEEE 754 binary16 ("half") emulation.
+//
+// The paper runs every method in FP16 ("All methods are implemented in
+// half-precision floating-point format"), so the simulated kernels store
+// tensors as binary16 and accumulate in binary32, exactly like wmma
+// HMMA.F32 tiles do on the real hardware.  This header provides a
+// bit-accurate storage type with round-to-nearest-even float conversion.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace stof {
+
+/// Bit-accurate IEEE 754 binary16 value with float-mediated arithmetic.
+///
+/// Conversions implement round-to-nearest-even including subnormals and
+/// infinity/NaN propagation, matching the behaviour of `__half` <-> `float`
+/// conversions on NVIDIA GPUs.
+class half {
+ public:
+  constexpr half() = default;
+  half(float f) : bits_(from_float(f)) {}  // NOLINT: implicit by design
+  half(double d) : half(static_cast<float>(d)) {}
+  half(int i) : half(static_cast<float>(i)) {}
+
+  /// Reinterpret a raw bit pattern as a half (no conversion).
+  static constexpr half from_bits(std::uint16_t b) {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  operator float() const { return to_float(bits_); }  // NOLINT: implicit
+
+  half& operator+=(half o) { return *this = half(float(*this) + float(o)); }
+  half& operator-=(half o) { return *this = half(float(*this) - float(o)); }
+  half& operator*=(half o) { return *this = half(float(*this) * float(o)); }
+  half& operator/=(half o) { return *this = half(float(*this) / float(o)); }
+
+  friend bool operator==(half a, half b) { return float(a) == float(b); }
+  friend bool operator!=(half a, half b) { return float(a) != float(b); }
+  friend bool operator<(half a, half b) { return float(a) < float(b); }
+  friend bool operator<=(half a, half b) { return float(a) <= float(b); }
+  friend bool operator>(half a, half b) { return float(a) > float(b); }
+  friend bool operator>=(half a, half b) { return float(a) >= float(b); }
+
+  /// Convert binary32 -> binary16 with round-to-nearest-even.
+  static std::uint16_t from_float(float f) {
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    const std::uint32_t abs = x & 0x7fffffffu;
+
+    if (abs >= 0x7f800000u) {  // inf or NaN
+      const std::uint32_t mant = abs > 0x7f800000u ? 0x0200u : 0u;
+      return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
+    }
+    if (abs >= 0x477ff000u) {  // rounds to at least 2^16: overflow to inf
+      return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    if (abs < 0x33000001u) {  // rounds to zero (below half of min subnormal)
+      return static_cast<std::uint16_t>(sign);
+    }
+    if (abs < 0x38800000u) {  // subnormal half range
+      // A subnormal half has LSB weight 2^-24, so the result is
+      // round(x / 2^-24) = mant24 >> (126 - E) with round-to-nearest-even.
+      const std::int32_t shift = 126 - static_cast<std::int32_t>(abs >> 23);
+      const std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+      std::uint32_t result = mant >> shift;
+      const std::uint32_t rem = mant & ((1u << shift) - 1);
+      const std::uint32_t halfway = 1u << (shift - 1);
+      if (rem > halfway || (rem == halfway && (result & 1u))) ++result;
+      return static_cast<std::uint16_t>(sign | result);
+    }
+    // Normal range.
+    std::uint32_t mant = abs & 0x007fffffu;
+    const std::uint32_t exp = (abs >> 23) - 112;  // rebias 127 -> 15
+    std::uint32_t result = (exp << 10) | (mant >> 13);
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (result & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  /// Convert binary16 -> binary32 (exact).
+  static float to_float(std::uint16_t h) {
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1fu;
+    const std::uint32_t mant = h & 0x3ffu;
+    std::uint32_t out;
+    if (exp == 0) {
+      if (mant == 0) {
+        out = sign;  // +/- 0
+      } else {
+        // Subnormal: normalize into binary32.
+        std::uint32_t m = mant;
+        std::int32_t e = -1;
+        while (!(m & 0x400u)) {
+          m <<= 1;
+          ++e;
+        }
+        m &= 0x3ffu;
+        out = sign | (static_cast<std::uint32_t>(113 - e - 1) << 23) | (m << 13);
+      }
+    } else if (exp == 0x1f) {
+      out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+    } else {
+      out = sign | ((exp + 112) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(out);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+inline half operator+(half a, half b) { return half(float(a) + float(b)); }
+inline half operator-(half a, half b) { return half(float(a) - float(b)); }
+inline half operator*(half a, half b) { return half(float(a) * float(b)); }
+inline half operator/(half a, half b) { return half(float(a) / float(b)); }
+inline half operator-(half a) { return half(-float(a)); }
+
+}  // namespace stof
+
+template <>
+class std::numeric_limits<stof::half> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr int digits = 11;
+  static stof::half min() { return stof::half::from_bits(0x0400); }
+  static stof::half max() { return stof::half::from_bits(0x7bff); }
+  static stof::half lowest() { return stof::half::from_bits(0xfbff); }
+  static stof::half epsilon() { return stof::half::from_bits(0x1400); }
+  static stof::half infinity() { return stof::half::from_bits(0x7c00); }
+  static stof::half quiet_NaN() { return stof::half::from_bits(0x7e00); }
+  static stof::half denorm_min() { return stof::half::from_bits(0x0001); }
+};

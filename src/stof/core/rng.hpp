@@ -1,0 +1,75 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in STOF (random attention masks, tensor
+// initialization, the reward-based parameter sampler) draws from an
+// explicitly seeded Rng so that tests, benches, and the tuner are
+// reproducible run-to-run.  The engine is xoshiro256**, which is fast,
+// tiny, and has no global state.
+#pragma once
+
+#include <cstdint>
+
+#include "stof/core/check.hpp"
+
+namespace stof {
+
+/// Seeded xoshiro256** engine with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) {
+    STOF_EXPECTS(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t x = next_u64();
+    while (x >= limit) x = next_u64();
+    return x % n;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace stof

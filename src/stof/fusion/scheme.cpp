@@ -1,0 +1,151 @@
+#include "stof/fusion/scheme.hpp"
+
+#include <algorithm>
+
+namespace stof::fusion {
+
+FusionScheme FusionScheme::from_segments(const std::vector<Segment>& segments,
+                                         std::int64_t n_ops) {
+  STOF_EXPECTS(n_ops > 0);
+  STOF_EXPECTS(!segments.empty());
+  FusionScheme s;
+  s.code_.resize(static_cast<std::size_t>(n_ops));
+  std::int64_t expected_begin = 0;
+  std::uint8_t digit = 0;
+  for (const auto& seg : segments) {
+    STOF_EXPECTS(seg.begin == expected_begin && seg.end > seg.begin,
+                 "segments must tile [0, n) contiguously");
+    for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+      s.code_[static_cast<std::size_t>(i)] = digit;
+    }
+    digit ^= 1;  // adjacent segments alternate, marking the boundary
+    expected_begin = seg.end;
+  }
+  STOF_EXPECTS(expected_begin == n_ops, "segments must cover every operator");
+  return s;
+}
+
+FusionScheme FusionScheme::detached(std::int64_t n_ops) {
+  STOF_EXPECTS(n_ops > 0);
+  FusionScheme s;
+  s.code_.resize(static_cast<std::size_t>(n_ops));
+  for (std::int64_t i = 0; i < n_ops; ++i) {
+    s.code_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i & 1);
+  }
+  return s;
+}
+
+FusionScheme FusionScheme::from_code(std::vector<std::uint8_t> code) {
+  STOF_EXPECTS(!code.empty());
+  for (const auto d : code) STOF_EXPECTS(d == 0 || d == 1, "digits are 0/1");
+  STOF_EXPECTS(code.front() == 0, "canonical codes start with digit 0");
+  FusionScheme s;
+  s.code_ = std::move(code);
+  return s;
+}
+
+FusionScheme FusionScheme::from_hex(const std::string& hex,
+                                    std::int64_t n_ops) {
+  STOF_EXPECTS(n_ops > 0);
+  const std::int64_t nibbles = (n_ops + 3) / 4;
+  STOF_EXPECTS(static_cast<std::int64_t>(hex.size()) == nibbles,
+               "hex string length must match operator count");
+  std::vector<std::uint8_t> code(static_cast<std::size_t>(n_ops));
+  for (std::int64_t i = 0; i < n_ops; ++i) {
+    const std::int64_t bit = nibbles * 4 - 1 - i;  // MSB-first
+    const char c = hex[static_cast<std::size_t>(nibbles - 1 - bit / 4)];
+    const int v = c >= '0' && c <= '9'   ? c - '0'
+                  : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                  : c >= 'A' && c <= 'F' ? c - 'A' + 10
+                                         : -1;
+    STOF_EXPECTS(v >= 0, "invalid hex digit");
+    code[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (bit % 4)) & 1);
+  }
+  return from_code(std::move(code));
+}
+
+std::string FusionScheme::to_hex() const {
+  const std::int64_t n = n_ops();
+  const std::int64_t nibbles = (n + 3) / 4;
+  std::string hex(static_cast<std::size_t>(nibbles), '0');
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!code_[static_cast<std::size_t>(i)]) continue;
+    const std::int64_t bit = nibbles * 4 - 1 - i;
+    const std::size_t pos = static_cast<std::size_t>(nibbles - 1 - bit / 4);
+    int v = hex[pos] <= '9' ? hex[pos] - '0' : hex[pos] - 'a' + 10;
+    v |= 1 << (bit % 4);
+    hex[pos] = static_cast<char>(v < 10 ? '0' + v : 'a' + v - 10);
+  }
+  return hex;
+}
+
+std::vector<Segment> FusionScheme::segments() const {
+  std::vector<Segment> segs;
+  const std::int64_t n = n_ops();
+  std::int64_t begin = 0;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    if (i == n || code_[static_cast<std::size_t>(i)] !=
+                      code_[static_cast<std::size_t>(i - 1)]) {
+      segs.push_back({begin, i});
+      begin = i;
+    }
+  }
+  return segs;
+}
+
+std::int64_t FusionScheme::segment_of(std::int64_t op) const {
+  STOF_EXPECTS(op >= 0 && op < n_ops());
+  std::int64_t seg = 0;
+  for (std::int64_t i = 1; i <= op; ++i) {
+    if (code_[static_cast<std::size_t>(i)] !=
+        code_[static_cast<std::size_t>(i - 1)]) {
+      ++seg;
+    }
+  }
+  return seg;
+}
+
+bool FusionScheme::valid_for(const graph::Graph& g) const {
+  if (n_ops() != static_cast<std::int64_t>(g.size())) return false;
+  const auto segs = segments();
+  const auto mha = graph::Graph::mha_pattern();
+
+  for (const auto& seg : segs) {
+    std::int64_t ci = 0;
+    const graph::Node* ci1 = nullptr;
+    const graph::Node* ci2 = nullptr;
+    bool has_mha = false;
+    bool has_input = false;
+    for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+      const auto& node = g.node(i);
+      if (graph::is_compute_intensive(node.kind)) {
+        ++ci;
+        (ci1 == nullptr ? ci1 : ci2) = &node;
+      }
+      has_mha = has_mha || graph::is_mha_op(node.kind);
+      has_input = has_input || node.kind == graph::OpKind::kInput;
+    }
+    if (has_input && seg.size() != 1) return false;  // input stays alone
+    if (has_mha) {
+      // MHA operators are either fully detached (single-op segments, the
+      // PyTorch-Native layout) or one complete sub-graph mapped to the
+      // unified kernel — never partially grouped or extended.
+      if (seg.size() == 1) continue;
+      if (seg.size() != static_cast<std::int64_t>(mha.size())) return false;
+      for (std::size_t j = 0; j < mha.size(); ++j) {
+        if (g.node(seg.begin + static_cast<std::int64_t>(j)).kind != mha[j]) {
+          return false;
+        }
+      }
+    } else if (ci > 2) {
+      return false;  // at most two CI operators per segment (paper §4.4)
+    } else if (ci == 2) {
+      // A CI+CI chain template requires dimension-compatible GEMMs.
+      if (ci2->inner != ci1->cols || ci2->rows != ci1->rows) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stof::fusion

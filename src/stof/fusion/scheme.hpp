@@ -1,0 +1,75 @@
+// Fusion scheme encoding (paper §4.3, Fig. 8).
+//
+// A fusion scheme is a partition of the linear operator sequence into
+// contiguous segments.  Following the paper, the scheme is quantized as a
+// binary hash code: every operator carries a 0/1 digit, all operators of
+// one segment share the digit, and adjacent segments alternate — so a digit
+// flip marks a segment boundary, like the high/low voltage levels of a
+// digital circuit.  The code round-trips to a hexadecimal string (the
+// compressed form the paper mentions for complex networks) and is the cache
+// key of the search engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stof/core/check.hpp"
+#include "stof/graph/graph.hpp"
+
+namespace stof::fusion {
+
+/// Half-open operator index range [begin, end) forming one fused segment.
+struct Segment {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t size() const { return end - begin; }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// A fusion scheme over a graph of n operators.
+class FusionScheme {
+ public:
+  FusionScheme() = default;
+
+  /// Build from an explicit segmentation; segments must tile [0, n).
+  static FusionScheme from_segments(const std::vector<Segment>& segments,
+                                    std::int64_t n_ops);
+
+  /// Build the all-detached scheme (every operator its own segment).
+  static FusionScheme detached(std::int64_t n_ops);
+
+  /// Decode from a binary digit array (the paper's representation).
+  static FusionScheme from_code(std::vector<std::uint8_t> code);
+
+  /// Decode from the hexadecimal compression of the digit array.
+  static FusionScheme from_hex(const std::string& hex, std::int64_t n_ops);
+
+  [[nodiscard]] std::int64_t n_ops() const {
+    return static_cast<std::int64_t>(code_.size());
+  }
+  /// The binary digits, one per operator.
+  [[nodiscard]] const std::vector<std::uint8_t>& code() const { return code_; }
+  /// Hexadecimal compression (MSB-first, zero padded to 4-bit boundary).
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Decode the digit runs back into segments.
+  [[nodiscard]] std::vector<Segment> segments() const;
+  /// Segment index containing operator `op`.
+  [[nodiscard]] std::int64_t segment_of(std::int64_t op) const;
+
+  /// Structural validity against a graph (paper's constraints):
+  ///  * the input node is never fused,
+  ///  * at most two CI operators per segment,
+  ///  * MHA operators form exactly one segment per MHA sub-graph
+  ///    (they map to the unified MHA kernel, never split or extended).
+  [[nodiscard]] bool valid_for(const graph::Graph& g) const;
+
+  friend bool operator==(const FusionScheme&, const FusionScheme&) = default;
+
+ private:
+  std::vector<std::uint8_t> code_;
+};
+
+}  // namespace stof::fusion

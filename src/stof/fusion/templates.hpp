@@ -1,0 +1,74 @@
+// Compilation templates (paper §4.3): every fused segment maps, via its
+// operator composition, to one parameterised template whose kernel cost is
+// evaluated against the device model.  The template kinds mirror the
+// paper's Triton implementations:
+//
+//   kUnifiedMha   — the MHA sub-graph, handled by the unified MHA module
+//                   (costed by the executor, which owns the mask).
+//   kGemmChain    — CI + CI (two GEMMs, with interleaved simple MI ops
+//                   absorbed into the epilogue/prologue).
+//   kGemmEpilogue — one CI plus trailing MI ops (bias / activation /
+//                   residual / LayerNorm epilogue).
+//   kMiChain      — MI-only run (bias + LayerNorm etc.), one memory pass.
+//   kSingleOp     — unfused operator dispatched on its own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stof/fusion/scheme.hpp"
+#include "stof/gpusim/cost.hpp"
+#include "stof/gpusim/device.hpp"
+#include "stof/graph/graph.hpp"
+#include "stof/ops/elementwise.hpp"
+#include "stof/ops/gemm.hpp"
+#include "stof/ops/normalize.hpp"
+
+namespace stof::fusion {
+
+enum class TemplateKind {
+  kUnifiedMha,
+  kGemmChain,
+  kGemmEpilogue,
+  kMiChain,
+  kSingleOp,
+};
+
+[[nodiscard]] std::string to_string(TemplateKind kind);
+
+/// Classify one segment of `g` by its operator composition.
+TemplateKind classify_segment(const graph::Graph& g, const Segment& seg);
+
+/// Tunable parameters exposed by a compilation template.  Which fields are
+/// live depends on the template kind; dead fields are ignored by the cost
+/// function, so one struct keys the tuner's cache uniformly.
+struct TemplateParams {
+  ops::GemmParams gemm;
+  ops::EwParams ew;
+  ops::NormParams norm;
+
+  friend bool operator==(const TemplateParams&,
+                         const TemplateParams&) = default;
+
+  /// Stable cache key for the tuner.
+  [[nodiscard]] std::string key() const;
+};
+
+/// The parameter settings the tuner samples for a given template kind.
+std::vector<TemplateParams> template_param_space(TemplateKind kind);
+
+/// Cost of one unfused operator executed as its own kernel.
+gpusim::KernelCost single_op_cost(const graph::Node& node,
+                                  const TemplateParams& params,
+                                  const gpusim::DeviceSpec& dev);
+
+/// Cost of executing `seg` as one fused kernel of kind `kind`.
+/// Precondition: kind != kUnifiedMha (the executor costs MHA segments via
+/// UnifiedMha, which owns the mask).
+gpusim::KernelCost segment_cost(const graph::Graph& g, const Segment& seg,
+                                TemplateKind kind,
+                                const TemplateParams& params,
+                                const gpusim::DeviceSpec& dev);
+
+}  // namespace stof::fusion

@@ -1,0 +1,37 @@
+#include "stof/gpusim/device.hpp"
+
+namespace stof::gpusim {
+
+DeviceSpec rtx4090() {
+  DeviceSpec d;
+  d.name = "RTX4090";
+  d.sm_count = 128;
+  d.smem_per_sm = 128 * 1024;  // paper Table 3: 128KB L1/SMEM per SM
+  d.max_warps_per_sm = 48;
+  d.dram_bytes = 24ll * 1024 * 1024 * 1024;
+  d.dram_gbps = 1008.0;
+  d.l2_bytes = 72ll * 1024 * 1024;
+  d.tc_fp16_tflops = 330.3;   // FP16 with FP32 accumulate
+  d.cuda_fp32_tflops = 82.6;
+  d.clock_ghz = 2.52;
+  d.launch_overhead_us = 2.5;  // consumer parts have lower launch latency
+  return d;
+}
+
+DeviceSpec a100() {
+  DeviceSpec d;
+  d.name = "A100";
+  d.sm_count = 108;
+  d.smem_per_sm = 192 * 1024;  // paper Table 3: 192KB L1/SMEM per SM
+  d.max_warps_per_sm = 64;
+  d.dram_bytes = 40ll * 1024 * 1024 * 1024;
+  d.dram_gbps = 1555.0;
+  d.l2_bytes = 40ll * 1024 * 1024;
+  d.tc_fp16_tflops = 312.0;
+  d.cuda_fp32_tflops = 19.5;
+  d.clock_ghz = 1.41;
+  d.launch_overhead_us = 3.5;
+  return d;
+}
+
+}  // namespace stof::gpusim

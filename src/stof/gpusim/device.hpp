@@ -1,0 +1,56 @@
+// GPU device model.
+//
+// STOF's kernels are evaluated against a DeviceSpec instead of live silicon
+// (this reproduction runs on a CPU-only host).  The spec carries exactly the
+// hardware quantities the paper's analytical model consumes — SM count,
+// shared memory per SM, warp limits (Eq. 2) — plus the throughput numbers
+// needed to turn a kernel's work accounting into simulated time: DRAM
+// bandwidth, tensor-core and CUDA-core FLOP rates, clock, and launch
+// latency.  Presets mirror the paper's Table 3 (RTX 4090 and A100 PCIe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stof::gpusim {
+
+/// Static description of a simulated GPU.
+struct DeviceSpec {
+  std::string name;
+
+  // Execution resources (used by the paper's Eq. 1 / Eq. 2 analysis).
+  int sm_count = 0;                 ///< streaming multiprocessors
+  std::int64_t smem_per_sm = 0;     ///< usable shared memory per SM (bytes)
+  int max_warps_per_sm = 0;         ///< resident-warp limit per SM
+  int warp_size = 32;
+
+  // Memory system.
+  std::int64_t dram_bytes = 0;      ///< device memory capacity
+  double dram_gbps = 0;             ///< DRAM bandwidth (GB/s)
+  std::int64_t l2_bytes = 0;        ///< L2 capacity (tracked for reporting)
+  double smem_bytes_per_cycle_per_sm = 128;  ///< 32 banks x 4B
+
+  // Compute throughput.
+  double tc_fp16_tflops = 0;        ///< tensor-core FP16 (FP32 accumulate)
+  double cuda_fp32_tflops = 0;      ///< scalar CUDA-core FP32
+  double clock_ghz = 0;
+
+  // Host-side kernel launch latency (microseconds per launch).
+  double launch_overhead_us = 3.0;
+  /// Framework (eager-mode) operator dispatch latency per op — paid only
+  /// by detached eager execution, not by compiled fused kernels.
+  double dispatch_overhead_us = 6.0;
+
+  /// Peak shared-memory bandwidth of the whole chip in bytes/second.
+  [[nodiscard]] double smem_bandwidth_bps() const {
+    return smem_bytes_per_cycle_per_sm * sm_count * clock_ghz * 1e9;
+  }
+};
+
+/// NVIDIA RTX 4090 (Ada) — paper Table 3, column GPU1.
+DeviceSpec rtx4090();
+
+/// NVIDIA A100 PCIe 40GB (Ampere) — paper Table 3, column GPU2.
+DeviceSpec a100();
+
+}  // namespace stof::gpusim

@@ -1,0 +1,74 @@
+// SM occupancy calculation (paper Eq. 2, middle line).
+//
+// Occupancy is the fraction of a SM's resident-warp slots a kernel fills.
+// STOF's analytical model scores candidate (BLOCK_M, BLOCK_N, num_warps)
+// settings by this quantity: an over-sized sub-block exhausts shared memory
+// (few blocks per SM) and over-scheduled warps exhaust the warp budget.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "stof/core/check.hpp"
+#include "stof/gpusim/device.hpp"
+
+namespace stof::gpusim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;   ///< concurrently resident thread blocks per SM
+  double fraction = 0.0;   ///< resident warps / max warps, in [0, 1]
+};
+
+/// Occupancy of a kernel that needs `req_smem_bytes` shared memory and
+/// schedules `num_warps` warps per thread block.
+///
+/// Implements OCC = num_warps * min(SMEM_SIZE/req_SMEM, MAX_WARP/num_warps)
+///                  / MAX_WARP            (paper Eq. 2)
+/// A block whose SMEM demand exceeds the SM capacity cannot launch at all
+/// (occupancy 0) — the selector uses this to reject infeasible settings.
+inline Occupancy occupancy(const DeviceSpec& dev, std::int64_t req_smem_bytes,
+                           int num_warps) {
+  STOF_EXPECTS(num_warps > 0);
+  STOF_EXPECTS(req_smem_bytes >= 0);
+
+  Occupancy occ;
+  if (req_smem_bytes > dev.smem_per_sm || num_warps > dev.max_warps_per_sm) {
+    return occ;  // infeasible launch
+  }
+  const std::int64_t by_smem =
+      req_smem_bytes == 0 ? dev.max_warps_per_sm
+                          : dev.smem_per_sm / req_smem_bytes;
+  const std::int64_t by_warps = dev.max_warps_per_sm / num_warps;
+  occ.blocks_per_sm = static_cast<int>(std::min(by_smem, by_warps));
+  occ.fraction = static_cast<double>(num_warps) * occ.blocks_per_sm /
+                 dev.max_warps_per_sm;
+  occ.fraction = std::min(occ.fraction, 1.0);
+  return occ;
+}
+
+/// Throughput efficiency as a function of occupancy.
+///
+/// Real SMs need roughly half their warp slots filled to hide ALU and
+/// memory latency; beyond that, extra occupancy does not add throughput.
+/// The 0.55 knee is a standard rule of thumb for latency hiding.
+inline double occupancy_efficiency(double occ_fraction) {
+  constexpr double knee = 0.55;
+  if (occ_fraction <= 0) return 0.0;
+  return std::min(1.0, occ_fraction / knee);
+}
+
+/// Tail-effect utilization of a grid of `blocks` thread blocks.
+///
+/// A grid smaller than one full wave leaves SMs idle; a grid slightly
+/// larger than a whole number of waves pays a mostly-idle final wave.
+inline double grid_utilization(const DeviceSpec& dev, std::int64_t blocks,
+                               int blocks_per_sm) {
+  STOF_EXPECTS(blocks >= 0);
+  if (blocks == 0) return 1.0;
+  const std::int64_t wave =
+      static_cast<std::int64_t>(dev.sm_count) * std::max(1, blocks_per_sm);
+  const std::int64_t waves = (blocks + wave - 1) / wave;
+  return static_cast<double>(blocks) / static_cast<double>(waves * wave);
+}
+
+}  // namespace stof::gpusim

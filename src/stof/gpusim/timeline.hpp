@@ -1,0 +1,68 @@
+// Stream timeline: an ordered record of simulated kernel launches.
+//
+// Operators and fused templates push their KernelCost onto the Stream of
+// the executor that ran them; the Stream converts each to simulated time
+// against the active DeviceSpec and keeps per-kernel records so benches can
+// report both end-to-end time and per-phase breakdowns (Fig. 14).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stof/gpusim/cost.hpp"
+#include "stof/gpusim/device.hpp"
+
+namespace stof::gpusim {
+
+struct KernelRecord {
+  std::string name;
+  KernelCost cost;
+  double time_us = 0;
+};
+
+/// Ordered sequence of simulated kernel launches on one device.
+class Stream {
+ public:
+  explicit Stream(DeviceSpec device) : device_(std::move(device)) {}
+
+  const DeviceSpec& device() const { return device_; }
+
+  /// Record a kernel launch; returns its simulated time in microseconds.
+  double launch(std::string name, const KernelCost& cost) {
+    KernelRecord rec{std::move(name), cost, estimate_time_us(cost, device_)};
+    total_us_ += rec.time_us;
+    records_.push_back(std::move(rec));
+    return records_.back().time_us;
+  }
+
+  [[nodiscard]] double total_us() const { return total_us_; }
+  [[nodiscard]] std::size_t launch_count() const {
+    std::size_t n = 0;
+    for (const auto& r : records_) n += static_cast<std::size_t>(r.cost.launches);
+    return n;
+  }
+  [[nodiscard]] const std::vector<KernelRecord>& records() const {
+    return records_;
+  }
+
+  /// Total simulated time grouped by kernel name.
+  [[nodiscard]] std::map<std::string, double> time_by_kernel_us() const {
+    std::map<std::string, double> by;
+    for (const auto& r : records_) by[r.name] += r.time_us;
+    return by;
+  }
+
+  void clear() {
+    records_.clear();
+    total_us_ = 0;
+  }
+
+ private:
+  DeviceSpec device_;
+  std::vector<KernelRecord> records_;
+  double total_us_ = 0;
+};
+
+}  // namespace stof::gpusim

@@ -1,0 +1,61 @@
+#include "stof/gpusim/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace stof::gpusim {
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(const Stream& stream, std::ostream& os,
+                        const std::string& process_name) {
+  os << "{\"traceEvents\":[";
+  // Process metadata record.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":";
+  write_escaped(os, process_name + " on " + stream.device().name);
+  os << "}}";
+
+  double t = 0;
+  for (const auto& rec : stream.records()) {
+    os << ",{\"name\":";
+    write_escaped(os, rec.name);
+    os << ",\"ph\":\"X\",\"pid\":1,\"tid\":1";
+    os << ",\"ts\":" << std::setprecision(12) << t;
+    os << ",\"dur\":" << rec.time_us;
+    os << ",\"args\":{";
+    os << "\"tc_gflops\":" << rec.cost.tc_flops / 1e9;
+    os << ",\"cuda_gflops\":" << rec.cost.cuda_flops / 1e9;
+    os << ",\"gmem_mb\":"
+       << (rec.cost.gmem_read_bytes + rec.cost.gmem_write_bytes) / 1e6;
+    os << ",\"occupancy\":" << rec.cost.occupancy;
+    os << ",\"grid_blocks\":" << rec.cost.grid_blocks;
+    os << ",\"launches\":" << rec.cost.launches;
+    os << "}}";
+    t += rec.time_us;
+  }
+  os << "]}";
+}
+
+std::string chrome_trace_json(const Stream& stream,
+                              const std::string& process_name) {
+  std::ostringstream os;
+  write_chrome_trace(stream, os, process_name);
+  return os.str();
+}
+
+}  // namespace stof::gpusim

@@ -1,0 +1,25 @@
+// Chrome-trace export of a simulated Stream.
+//
+// Writes the kernel timeline in the Trace Event Format consumed by
+// chrome://tracing and https://ui.perfetto.dev, so a simulated inference
+// can be inspected visually: one row of back-to-back kernel slices, with
+// the cost-model accounting attached as slice arguments.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "stof/gpusim/timeline.hpp"
+
+namespace stof::gpusim {
+
+/// Serialize `stream` as a Trace Event Format JSON document.
+/// `process_name` labels the trace row (e.g. the method name).
+void write_chrome_trace(const Stream& stream, std::ostream& os,
+                        const std::string& process_name = "gpusim");
+
+/// Convenience: the trace as a string.
+std::string chrome_trace_json(const Stream& stream,
+                              const std::string& process_name = "gpusim");
+
+}  // namespace stof::gpusim

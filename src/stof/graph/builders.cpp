@@ -1,0 +1,171 @@
+#include "stof/graph/builders.hpp"
+
+namespace stof::graph {
+namespace {
+
+// Small helpers appending one operator with the layer's dimensions.
+
+std::int64_t add_gemm(Graph& g, OpKind kind, const LayerConfig& cfg,
+                      std::int64_t rows, std::int64_t cols,
+                      std::int64_t inner, const char* label) {
+  (void)cfg;
+  Node n;
+  n.kind = kind;
+  n.label = label;
+  n.rows = rows;
+  n.cols = cols;
+  n.inner = inner;
+  return g.add(n);
+}
+
+std::int64_t add_ew(Graph& g, OpKind kind, std::int64_t rows,
+                    std::int64_t cols, const char* label,
+                    std::int64_t skip_from = -1) {
+  Node n;
+  n.kind = kind;
+  n.label = label;
+  n.rows = rows;
+  n.cols = cols;
+  n.skip_from = skip_from;
+  return g.add(n);
+}
+
+/// Appends the four-operator MHA sub-graph; returns the PvGemm id.
+std::int64_t add_mha_subgraph(Graph& g, const LayerConfig& cfg) {
+  add_gemm(g, OpKind::kScoreGemm, cfg, cfg.attn_rows(), cfg.seq_len,
+           cfg.head_size(), "attn.scores");
+  add_ew(g, OpKind::kMaskApply, cfg.attn_rows(), cfg.seq_len, "attn.mask");
+  add_ew(g, OpKind::kSoftmax, cfg.attn_rows(), cfg.seq_len, "attn.softmax");
+  return add_gemm(g, OpKind::kPvGemm, cfg, cfg.attn_rows(), cfg.head_size(),
+                  cfg.seq_len, "attn.context");
+}
+
+/// Attention block: QKV projection + MHA + output projection (+bias).
+std::int64_t add_attention_block(Graph& g, const LayerConfig& cfg) {
+  add_gemm(g, OpKind::kQkvProj, cfg, cfg.rows(), 3 * cfg.hidden, cfg.hidden,
+           "attn.qkv_proj");
+  if (cfg.use_bias) {
+    add_ew(g, OpKind::kBias, cfg.rows(), 3 * cfg.hidden, "attn.qkv_bias");
+  }
+  add_mha_subgraph(g, cfg);
+  std::int64_t out = add_gemm(g, OpKind::kOutProj, cfg, cfg.rows(),
+                              cfg.hidden, cfg.hidden, "attn.out_proj");
+  if (cfg.use_bias) {
+    out = add_ew(g, OpKind::kBias, cfg.rows(), cfg.hidden, "attn.out_bias");
+  }
+  return out;
+}
+
+/// FFN block: up GEMM (+bias) + activation + down GEMM (+bias).
+std::int64_t add_ffn_block(Graph& g, const LayerConfig& cfg) {
+  add_gemm(g, OpKind::kFfnGemm, cfg, cfg.rows(), cfg.ffn_dim, cfg.hidden,
+           "ffn.up");
+  if (cfg.use_bias) {
+    add_ew(g, OpKind::kBias, cfg.rows(), cfg.ffn_dim, "ffn.up_bias");
+  }
+  add_ew(g, cfg.activation, cfg.rows(), cfg.ffn_dim, "ffn.act");
+  std::int64_t out = add_gemm(g, OpKind::kFfnGemm, cfg, cfg.rows(),
+                              cfg.hidden, cfg.ffn_dim, "ffn.down");
+  if (cfg.use_bias) {
+    out = add_ew(g, OpKind::kBias, cfg.rows(), cfg.hidden, "ffn.down_bias");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t append_encoder_layer(Graph& g, const LayerConfig& cfg,
+                                  std::int64_t input_id) {
+  cfg.validate();
+  // Post-LN (BERT): attn -> add&norm -> ffn -> add&norm.
+  std::int64_t attn_out = add_attention_block(g, cfg);
+  (void)attn_out;
+  add_ew(g, OpKind::kResidualAdd, cfg.rows(), cfg.hidden, "attn.residual",
+         input_id);
+  const std::int64_t norm1 =
+      add_ew(g, OpKind::kLayerNorm, cfg.rows(), cfg.hidden, "attn.norm");
+  add_ffn_block(g, cfg);
+  add_ew(g, OpKind::kResidualAdd, cfg.rows(), cfg.hidden, "ffn.residual",
+         norm1);
+  return add_ew(g, OpKind::kLayerNorm, cfg.rows(), cfg.hidden, "ffn.norm");
+}
+
+std::int64_t append_decoder_layer(Graph& g, const LayerConfig& cfg,
+                                  std::int64_t input_id) {
+  cfg.validate();
+  // Pre-LN (GPT-2): norm -> attn -> add; norm -> ffn -> add.
+  add_ew(g, OpKind::kLayerNorm, cfg.rows(), cfg.hidden, "attn.norm");
+  add_attention_block(g, cfg);
+  const std::int64_t add1 = add_ew(g, OpKind::kResidualAdd, cfg.rows(),
+                                   cfg.hidden, "attn.residual", input_id);
+  add_ew(g, OpKind::kLayerNorm, cfg.rows(), cfg.hidden, "ffn.norm");
+  add_ffn_block(g, cfg);
+  return add_ew(g, OpKind::kResidualAdd, cfg.rows(), cfg.hidden,
+                "ffn.residual", add1);
+}
+
+std::int64_t append_cross_decoder_layer(Graph& g, const LayerConfig& cfg,
+                                        std::int64_t input_id) {
+  cfg.validate();
+  // T5 decoder: self-attention, cross-attention, FFN — each pre-normed.
+  add_ew(g, OpKind::kLayerNorm, cfg.rows(), cfg.hidden, "self.norm");
+  add_attention_block(g, cfg);
+  const std::int64_t add1 = add_ew(g, OpKind::kResidualAdd, cfg.rows(),
+                                   cfg.hidden, "self.residual", input_id);
+  add_ew(g, OpKind::kLayerNorm, cfg.rows(), cfg.hidden, "cross.norm");
+  add_attention_block(g, cfg);
+  const std::int64_t add2 = add_ew(g, OpKind::kResidualAdd, cfg.rows(),
+                                   cfg.hidden, "cross.residual", add1);
+  add_ew(g, OpKind::kLayerNorm, cfg.rows(), cfg.hidden, "ffn.norm");
+  add_ffn_block(g, cfg);
+  return add_ew(g, OpKind::kResidualAdd, cfg.rows(), cfg.hidden,
+                "ffn.residual", add2);
+}
+
+namespace {
+
+Graph start_graph(const LayerConfig& cfg) {
+  Graph g;
+  Node in;
+  in.kind = OpKind::kInput;
+  in.label = "input";
+  in.rows = cfg.rows();
+  in.cols = cfg.hidden;
+  g.add(in);
+  return g;
+}
+
+}  // namespace
+
+Graph build_encoder_graph(const LayerConfig& cfg, int layers) {
+  STOF_EXPECTS(layers > 0);
+  Graph g = start_graph(cfg);
+  std::int64_t cur = 0;
+  for (int i = 0; i < layers; ++i) cur = append_encoder_layer(g, cfg, cur);
+  g.validate();
+  return g;
+}
+
+Graph build_decoder_graph(const LayerConfig& cfg, int layers) {
+  STOF_EXPECTS(layers > 0);
+  Graph g = start_graph(cfg);
+  std::int64_t cur = 0;
+  for (int i = 0; i < layers; ++i) cur = append_decoder_layer(g, cfg, cur);
+  g.validate();
+  return g;
+}
+
+Graph build_encdec_graph(const LayerConfig& cfg, int enc_layers,
+                         int dec_layers) {
+  STOF_EXPECTS(enc_layers > 0 && dec_layers > 0);
+  Graph g = start_graph(cfg);
+  std::int64_t cur = 0;
+  for (int i = 0; i < enc_layers; ++i) cur = append_encoder_layer(g, cfg, cur);
+  for (int i = 0; i < dec_layers; ++i) {
+    cur = append_cross_decoder_layer(g, cfg, cur);
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace stof::graph

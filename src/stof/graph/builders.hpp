@@ -1,0 +1,58 @@
+// Transformer layer/graph builders (the torch.fx capture stand-in).
+//
+// Encoder layers follow BERT's post-LayerNorm block, decoder layers GPT-2's
+// pre-LayerNorm block, and T5 contributes bias-free blocks with ReLU FFNs
+// plus decoder cross-attention.  All builders emit the linear operator
+// order the fusion scheme encoding of §4.3 operates on.
+#pragma once
+
+#include <cstdint>
+
+#include "stof/graph/graph.hpp"
+
+namespace stof::graph {
+
+/// Dimensions shared by every operator of one transformer layer.
+struct LayerConfig {
+  std::int64_t batch = 1;
+  std::int64_t seq_len = 128;
+  std::int64_t hidden = 768;
+  std::int64_t heads = 12;
+  std::int64_t ffn_dim = 3072;
+  OpKind activation = OpKind::kGelu;  ///< kGelu (BERT/GPT) or kRelu (T5)
+  bool use_bias = true;               ///< T5 layers are bias-free
+
+  [[nodiscard]] std::int64_t head_size() const { return hidden / heads; }
+  [[nodiscard]] std::int64_t rows() const { return batch * seq_len; }
+  [[nodiscard]] std::int64_t attn_rows() const {
+    return batch * heads * seq_len;
+  }
+
+  void validate() const {
+    STOF_EXPECTS(batch > 0 && seq_len > 0 && hidden > 0 && heads > 0 &&
+                 ffn_dim > 0);
+    STOF_EXPECTS(hidden % heads == 0, "hidden must divide into heads");
+    STOF_EXPECTS(activation == OpKind::kGelu || activation == OpKind::kRelu);
+  }
+};
+
+/// Append one BERT-style (post-LN) encoder layer; returns the output id.
+std::int64_t append_encoder_layer(Graph& g, const LayerConfig& cfg,
+                                  std::int64_t input_id);
+
+/// Append one GPT-style (pre-LN) decoder layer; returns the output id.
+std::int64_t append_decoder_layer(Graph& g, const LayerConfig& cfg,
+                                  std::int64_t input_id);
+
+/// Append one T5 decoder layer (self-attention + cross-attention + FFN).
+std::int64_t append_cross_decoder_layer(Graph& g, const LayerConfig& cfg,
+                                        std::int64_t input_id);
+
+/// Build a complete stack of `layers` encoder/decoder layers over one input.
+Graph build_encoder_graph(const LayerConfig& cfg, int layers);
+Graph build_decoder_graph(const LayerConfig& cfg, int layers);
+/// T5-style: `enc_layers` encoders followed by `dec_layers` cross-decoders.
+Graph build_encdec_graph(const LayerConfig& cfg, int enc_layers,
+                         int dec_layers);
+
+}  // namespace stof::graph

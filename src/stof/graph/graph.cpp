@@ -1,0 +1,50 @@
+#include "stof/graph/graph.hpp"
+
+namespace stof::graph {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kQkvProj: return "qkv_proj";
+    case OpKind::kScoreGemm: return "score_gemm";
+    case OpKind::kMaskApply: return "mask_apply";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kPvGemm: return "pv_gemm";
+    case OpKind::kOutProj: return "out_proj";
+    case OpKind::kFfnGemm: return "ffn_gemm";
+    case OpKind::kBias: return "bias";
+    case OpKind::kGelu: return "gelu";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kResidualAdd: return "residual_add";
+    case OpKind::kLayerNorm: return "layernorm";
+    case OpKind::kFusedMha: return "fused_mha";
+    case OpKind::kFusedSegment: return "fused_segment";
+  }
+  return "unknown";
+}
+
+void Graph::validate() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    STOF_CHECK(n.id == static_cast<std::int64_t>(i), "ids must be sequential");
+    STOF_CHECK(n.rows >= 0 && n.cols >= 0 && n.inner >= 0);
+    if (n.kind == OpKind::kResidualAdd) {
+      STOF_CHECK(n.skip_from >= 0 && n.skip_from < n.id,
+                 "residual add needs a backward skip edge");
+    }
+    if (is_compute_intensive(n.kind)) {
+      STOF_CHECK(n.inner > 0, "CI operators need a contraction dimension");
+    }
+  }
+  // Every MHA operator must be part of a complete, ordered MHA run.
+  const auto pattern = mha_pattern();
+  const auto hits = find_pattern(pattern);
+  const std::int64_t covered =
+      static_cast<std::int64_t>(hits.size() * pattern.size());
+  std::int64_t mha_ops = 0;
+  for (const auto& n : nodes_) mha_ops += is_mha_op(n.kind) ? 1 : 0;
+  STOF_CHECK(mha_ops == covered,
+             "dangling MHA operator outside a complete sub-graph");
+}
+
+}  // namespace stof::graph

@@ -1,0 +1,72 @@
+// Linearized operator graph with validation and sub-sequence matching.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stof/core/check.hpp"
+#include "stof/graph/node.hpp"
+
+namespace stof::graph {
+
+/// Ordered operator graph (topological by construction).
+class Graph {
+ public:
+  /// Append a node; returns its id.
+  std::int64_t add(Node node) {
+    node.id = static_cast<std::int64_t>(nodes_.size());
+    if (node.skip_from >= 0) {
+      STOF_EXPECTS(node.skip_from < node.id,
+                   "skip edges must point backwards");
+    }
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(std::int64_t id) const {
+    STOF_EXPECTS(id >= 0 && id < static_cast<std::int64_t>(nodes_.size()));
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Count of compute-intensive operators.
+  [[nodiscard]] std::int64_t ci_count() const {
+    std::int64_t n = 0;
+    for (const auto& nd : nodes_) n += is_compute_intensive(nd.kind) ? 1 : 0;
+    return n;
+  }
+
+  /// All start indices where `pattern` appears as a contiguous run.
+  [[nodiscard]] std::vector<std::int64_t> find_pattern(
+      std::span<const OpKind> pattern) const {
+    std::vector<std::int64_t> hits;
+    if (pattern.empty() || pattern.size() > nodes_.size()) return hits;
+    for (std::size_t i = 0; i + pattern.size() <= nodes_.size(); ++i) {
+      bool ok = true;
+      for (std::size_t j = 0; j < pattern.size(); ++j) {
+        if (nodes_[i + j].kind != pattern[j]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) hits.push_back(static_cast<std::int64_t>(i));
+    }
+    return hits;
+  }
+
+  /// The MHA sub-graph pattern ([ScoreGemm, MaskApply, Softmax, PvGemm]).
+  [[nodiscard]] static std::vector<OpKind> mha_pattern() {
+    return {OpKind::kScoreGemm, OpKind::kMaskApply, OpKind::kSoftmax,
+            OpKind::kPvGemm};
+  }
+
+  /// Structural validation: ids sequential, skips backwards, MHA sub-graphs
+  /// complete (no dangling MaskApply/Softmax outside an MHA run).
+  void validate() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace stof::graph

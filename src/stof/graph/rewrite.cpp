@@ -1,0 +1,73 @@
+#include "stof/graph/rewrite.hpp"
+
+namespace stof::graph {
+
+RewriteResult rewrite(const Graph& g, const fusion::FusionScheme& scheme) {
+  STOF_EXPECTS(scheme.n_ops() == static_cast<std::int64_t>(g.size()),
+               "scheme must cover the graph");
+  RewriteResult out;
+  out.node_of_op.assign(g.size(), -1);
+
+  const auto mha = Graph::mha_pattern();
+  for (const auto& seg : scheme.segments()) {
+    if (seg.size() == 1) {
+      // Unfused: copy the node, re-targeting its skip edge.
+      Node n = g.node(seg.begin);
+      n.id = -1;
+      if (n.skip_from >= 0) {
+        n.skip_from = out.node_of_op[static_cast<std::size_t>(n.skip_from)];
+        STOF_CHECK(n.skip_from >= 0, "skip edge into an unvisited node");
+      }
+      out.node_of_op[static_cast<std::size_t>(seg.begin)] =
+          out.graph.add(std::move(n));
+      continue;
+    }
+
+    // Fused segment: one replacement node spanning the segment.
+    bool is_mha = seg.size() == static_cast<std::int64_t>(mha.size());
+    if (is_mha) {
+      for (std::size_t j = 0; j < mha.size(); ++j) {
+        if (g.node(seg.begin + static_cast<std::int64_t>(j)).kind != mha[j]) {
+          is_mha = false;
+          break;
+        }
+      }
+    }
+
+    Node fused;
+    fused.kind = is_mha ? OpKind::kFusedMha : OpKind::kFusedSegment;
+    fused.label = is_mha ? "fused_mha" : "fused";
+    std::int64_t skip_from_op = -1;
+    for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+      const auto& n = g.node(i);
+      if (!fused.label.empty() && !is_mha) fused.label += '+';
+      if (!is_mha) fused.label += n.label.empty() ? to_string(n.kind) : n.label;
+      // The fused node takes the widest member's logical dims.
+      if (n.rows * n.cols > fused.rows * fused.cols) {
+        fused.rows = n.rows;
+        fused.cols = n.cols;
+      }
+      fused.inner = std::max(fused.inner, n.inner);
+      if (n.skip_from >= 0 && n.skip_from < seg.begin) {
+        // External residual operand becomes an input of the fused node.
+        STOF_CHECK(skip_from_op < 0,
+                   "at most one external skip operand per segment");
+        skip_from_op = n.skip_from;
+      }
+    }
+    if (skip_from_op >= 0) {
+      fused.skip_from =
+          out.node_of_op[static_cast<std::size_t>(skip_from_op)];
+      STOF_CHECK(fused.skip_from >= 0, "skip edge into an unvisited node");
+      // A fused node with an external operand must behave like an Add for
+      // validation purposes; keep kFusedSegment but the edge is recorded.
+    }
+    const std::int64_t id = out.graph.add(std::move(fused));
+    for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+      out.node_of_op[static_cast<std::size_t>(i)] = id;
+    }
+  }
+  return out;
+}
+
+}  // namespace stof::graph

@@ -1,0 +1,30 @@
+// Graph rewriting (paper §4.3): "the captured adjacent nodes are replaced
+// with fused nodes to complete the graph rewriting".
+//
+// Given a source graph and a fusion scheme, produce the rewritten graph in
+// which every multi-operator segment collapses into a single fused node —
+// kFusedMha for complete MHA sub-graphs, kFusedSegment otherwise — with
+// skip edges re-targeted through the old-to-new node mapping.  The
+// rewritten graph is what a compiler backend would lower template-by-
+// template; in this reproduction it is used for inspection and to check
+// launch counts structurally.
+#pragma once
+
+#include <vector>
+
+#include "stof/fusion/scheme.hpp"
+#include "stof/graph/graph.hpp"
+
+namespace stof::graph {
+
+struct RewriteResult {
+  Graph graph;                          ///< the rewritten graph
+  std::vector<std::int64_t> node_of_op; ///< source op id -> rewritten node id
+};
+
+/// Rewrite `g` under `scheme`. The scheme must tile the graph
+/// (scheme.n_ops() == g.size()); it does not need to satisfy STOF's search
+/// constraints — any segmentation can be rewritten.
+RewriteResult rewrite(const Graph& g, const fusion::FusionScheme& scheme);
+
+}  // namespace stof::graph

@@ -1,0 +1,188 @@
+#include "stof/masks/mask.hpp"
+
+#include <cmath>
+
+namespace stof::masks {
+namespace {
+
+std::int64_t default_width(std::int64_t seq_len, std::int64_t requested) {
+  if (requested > 0) return requested;
+  // Paper Table 2: band/global widths default to sqrt(seq_len).
+  return static_cast<std::int64_t>(
+      std::llround(std::sqrt(static_cast<double>(seq_len))));
+}
+
+}  // namespace
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kDense: return "dense";
+    case PatternKind::kCausal: return "causal";
+    case PatternKind::kSlidingWindow: return "sliding_window";
+    case PatternKind::kDilated: return "dilated";
+    case PatternKind::kGlobal: return "global";
+    case PatternKind::kRandom: return "random";
+    case PatternKind::kLongformer: return "longformer";
+    case PatternKind::kBigBird: return "bigbird";
+    case PatternKind::kStrided: return "strided";
+    case PatternKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kContinuous: return "Continuous";
+    case Distribution::kDiscrete: return "Discrete";
+    case Distribution::kEmpty: return "Empty";
+  }
+  return "unknown";
+}
+
+Mask dense(std::int64_t seq_len) { return Mask(seq_len, true); }
+
+Mask causal(std::int64_t seq_len) {
+  Mask m(seq_len);
+  for (std::int64_t i = 0; i < seq_len; ++i)
+    for (std::int64_t j = 0; j <= i; ++j) m.set(i, j);
+  return m;
+}
+
+Mask sliding_window(std::int64_t seq_len, std::int64_t band_width) {
+  STOF_EXPECTS(band_width > 0);
+  Mask m(seq_len);
+  for (std::int64_t i = 0; i < seq_len; ++i) {
+    const std::int64_t lo = std::max<std::int64_t>(0, i - band_width + 1);
+    const std::int64_t hi = std::min(seq_len - 1, i + band_width - 1);
+    for (std::int64_t j = lo; j <= hi; ++j) m.set(i, j);
+  }
+  return m;
+}
+
+Mask dilated(std::int64_t seq_len, std::int64_t band_width,
+             std::int64_t dilation_rate) {
+  STOF_EXPECTS(band_width > 0);
+  STOF_EXPECTS(dilation_rate >= 0);
+  Mask m(seq_len);
+  const std::int64_t stride = dilation_rate + 1;
+  const std::int64_t reach = band_width * stride;
+  for (std::int64_t i = 0; i < seq_len; ++i) {
+    for (std::int64_t off = -(reach - 1); off < reach; ++off) {
+      if (off % stride != 0) continue;  // punched holes
+      const std::int64_t j = i + off;
+      if (j >= 0 && j < seq_len) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+Mask global(std::int64_t seq_len, std::int64_t width) {
+  STOF_EXPECTS(width > 0);
+  Mask m(seq_len);
+  for (std::int64_t i = 0; i < seq_len; ++i)
+    for (std::int64_t j = 0; j < seq_len; ++j)
+      if (i < width || j < width) m.set(i, j);
+  return m;
+}
+
+Mask random_blocks(std::int64_t seq_len, std::int64_t block,
+                   double filling_rate, std::uint64_t seed) {
+  STOF_EXPECTS(block > 0);
+  STOF_EXPECTS(filling_rate >= 0 && filling_rate <= 1.0);
+  Mask m(seq_len);
+  Rng rng(seed);
+  const std::int64_t nb = (seq_len + block - 1) / block;
+  for (std::int64_t bi = 0; bi < nb; ++bi) {
+    for (std::int64_t bj = 0; bj < nb; ++bj) {
+      if (!rng.bernoulli(filling_rate)) continue;
+      const std::int64_t i_hi = std::min(seq_len, (bi + 1) * block);
+      const std::int64_t j_hi = std::min(seq_len, (bj + 1) * block);
+      for (std::int64_t i = bi * block; i < i_hi; ++i)
+        for (std::int64_t j = bj * block; j < j_hi; ++j) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+Mask longformer(std::int64_t seq_len, std::int64_t global_width,
+                std::int64_t band_width) {
+  return global(seq_len, global_width) | sliding_window(seq_len, band_width);
+}
+
+Mask bigbird(std::int64_t seq_len, std::int64_t global_width,
+             std::int64_t band_width, double filling_rate,
+             std::int64_t random_block, std::uint64_t seed) {
+  return longformer(seq_len, global_width, band_width) |
+         random_blocks(seq_len, random_block, filling_rate, seed);
+}
+
+Mask strided(std::int64_t seq_len, std::int64_t stride) {
+  STOF_EXPECTS(stride > 0);
+  Mask m(seq_len);
+  for (std::int64_t i = 0; i < seq_len; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      if (i - j < stride || (i - j) % stride == 0) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+Mask MaskSpec::build() const {
+  STOF_EXPECTS(seq_len > 0, "MaskSpec.seq_len not set");
+  const std::int64_t band = default_width(seq_len, band_width);
+  const std::int64_t glob = default_width(seq_len, global_width);
+  const std::int64_t rblk = default_width(seq_len, random_block);
+  switch (kind) {
+    case PatternKind::kDense: return dense(seq_len);
+    case PatternKind::kCausal: return causal(seq_len);
+    case PatternKind::kSlidingWindow: return sliding_window(seq_len, band);
+    case PatternKind::kDilated: return dilated(seq_len, band, dilation_rate);
+    case PatternKind::kGlobal: return global(seq_len, glob);
+    case PatternKind::kRandom:
+      return random_blocks(seq_len, rblk, filling_rate, seed);
+    case PatternKind::kLongformer: return longformer(seq_len, glob, band);
+    case PatternKind::kBigBird:
+      return bigbird(seq_len, glob, band, filling_rate, rblk, seed);
+    case PatternKind::kStrided:
+      return strided(seq_len, default_width(seq_len, stride));
+    case PatternKind::kCustom:
+      STOF_CHECK(false, "custom masks are built directly, not via MaskSpec");
+  }
+  STOF_CHECK(false, "unreachable");
+}
+
+namespace {
+
+// Contiguity of the valid elements along one axis.
+Distribution line_distribution(const Mask& m, bool rows) {
+  const std::int64_t n = m.seq_len();
+  bool any = false;
+  for (std::int64_t a = 0; a < n; ++a) {
+    std::int64_t first = -1;
+    std::int64_t last = -1;
+    std::int64_t count = 0;
+    for (std::int64_t b = 0; b < n; ++b) {
+      const bool v = rows ? m.at(a, b) : m.at(b, a);
+      if (!v) continue;
+      if (first < 0) first = b;
+      last = b;
+      ++count;
+    }
+    if (count == 0) continue;
+    any = true;
+    if (last - first + 1 != count) return Distribution::kDiscrete;
+  }
+  return any ? Distribution::kContinuous : Distribution::kEmpty;
+}
+
+}  // namespace
+
+MaskStats analyze(const Mask& mask) {
+  MaskStats s;
+  s.sparsity = mask.sparsity();
+  s.row_distribution = line_distribution(mask, /*rows=*/true);
+  s.col_distribution = line_distribution(mask, /*rows=*/false);
+  return s;
+}
+
+}  // namespace stof::masks

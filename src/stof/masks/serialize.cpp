@@ -1,0 +1,104 @@
+#include "stof/masks/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace stof::masks {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'T', 'O', 'F'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  std::array<unsigned char, 8> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  }
+  os.write(reinterpret_cast<const char*>(bytes.data()), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::array<unsigned char, 8> bytes;
+  is.read(reinterpret_cast<char*>(bytes.data()), 8);
+  STOF_CHECK(is.good(), "truncated mask stream");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_mask(const Mask& mask, std::ostream& os) {
+  os.write(kMagic, 4);
+  write_u64(os, kVersion);
+  const std::int64_t n = mask.seq_len();
+  write_u64(os, static_cast<std::uint64_t>(n));
+
+  // Bit-pack row major, 8 elements per byte, little bit first.
+  std::vector<unsigned char> packed(
+      static_cast<std::size_t>((n * n + 7) / 8), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (!mask.at(i, j)) continue;
+      const std::int64_t bit = i * n + j;
+      packed[static_cast<std::size_t>(bit / 8)] |=
+          static_cast<unsigned char>(1u << (bit % 8));
+    }
+  }
+  write_u64(os, static_cast<std::uint64_t>(packed.size()));
+  os.write(reinterpret_cast<const char*>(packed.data()),
+           static_cast<std::streamsize>(packed.size()));
+  STOF_CHECK(os.good(), "failed to write mask stream");
+}
+
+Mask load_mask(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  STOF_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+             "not a STOF mask stream");
+  const std::uint64_t version = read_u64(is);
+  STOF_CHECK(version == kVersion, "unsupported mask format version");
+  const std::uint64_t n64 = read_u64(is);
+  STOF_CHECK(n64 > 0 && n64 <= (1u << 20), "implausible mask size");
+  const std::int64_t n = static_cast<std::int64_t>(n64);
+  const std::uint64_t payload = read_u64(is);
+  const std::uint64_t expected = static_cast<std::uint64_t>((n * n + 7) / 8);
+  STOF_CHECK(payload == expected, "mask payload size mismatch");
+
+  std::vector<unsigned char> packed(static_cast<std::size_t>(payload));
+  is.read(reinterpret_cast<char*>(packed.data()),
+          static_cast<std::streamsize>(packed.size()));
+  STOF_CHECK(is.good(), "truncated mask payload");
+
+  Mask mask(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t bit = i * n + j;
+      if (packed[static_cast<std::size_t>(bit / 8)] &
+          (1u << (bit % 8))) {
+        mask.set(i, j);
+      }
+    }
+  }
+  return mask;
+}
+
+void save_mask_file(const Mask& mask, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  STOF_CHECK(os.is_open(), "cannot open " + path + " for writing");
+  save_mask(mask, os);
+}
+
+Mask load_mask_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  STOF_CHECK(is.is_open(), "cannot open " + path);
+  return load_mask(is);
+}
+
+}  // namespace stof::masks

@@ -1,0 +1,30 @@
+// Binary serialization of attention masks.
+//
+// Long-sequence masks are expensive to rebuild (BigBird at 4096 tokens is a
+// 16M-element draw); pipelines that tune offline and deploy later persist
+// the exact mask instead.  The format is a small versioned header plus the
+// bit-packed matrix (8 elements/byte), independent of host endianness for
+// the packed payload.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "stof/masks/mask.hpp"
+
+namespace stof::masks {
+
+/// Write `mask` to `os` in the STOF binary mask format (throws on I/O
+/// failure).
+void save_mask(const Mask& mask, std::ostream& os);
+
+/// Read a mask previously written by save_mask (throws stof::Error on a
+/// malformed or truncated stream).
+Mask load_mask(std::istream& is);
+
+/// File-path conveniences.
+void save_mask_file(const Mask& mask, const std::string& path);
+Mask load_mask_file(const std::string& path);
+
+}  // namespace stof::masks

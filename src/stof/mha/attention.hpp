@@ -1,0 +1,80 @@
+// Common types for multi-head attention kernels.
+//
+// All MHA kernels in STOF operate on Q/K/V tensors of shape
+// (batch*heads, seq_len, head_size) in FP16, sharing one attention mask
+// across batch and heads (the paper's setting), and produce an output of
+// the same shape.  Scores are scaled by 1/sqrt(head_size).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "stof/core/check.hpp"
+#include "stof/core/tensor.hpp"
+
+namespace stof::mha {
+
+/// Problem dimensions of one MHA computation.
+///
+/// `kv_heads` enables grouped-query attention: 0 (default) means standard
+/// MHA (every query head has its own K/V head); kv_heads = 1 is multi-query
+/// attention; any divisor of `heads` shares each K/V head across a group of
+/// heads / kv_heads query heads.
+struct MhaDims {
+  std::int64_t batch = 1;
+  std::int64_t heads = 12;      ///< BERT-Base default (paper §5.1)
+  std::int64_t seq_len = 0;
+  std::int64_t head_size = 64;  ///< BERT-Base default
+  std::int64_t kv_heads = 0;    ///< 0 = heads (MHA); 1 = MQA; else GQA
+
+  /// Number of independent (batch, head) attention instances.
+  [[nodiscard]] std::int64_t instances() const { return batch * heads; }
+  /// Effective K/V head count.
+  [[nodiscard]] std::int64_t kv_head_count() const {
+    return kv_heads == 0 ? heads : kv_heads;
+  }
+  /// Number of (batch, kv head) K/V instances.
+  [[nodiscard]] std::int64_t kv_instances() const {
+    return batch * kv_head_count();
+  }
+  /// K/V instance serving query instance `bh`.
+  [[nodiscard]] std::int64_t kv_instance_of(std::int64_t bh) const {
+    const std::int64_t group = heads / kv_head_count();
+    return (bh / heads) * kv_head_count() + (bh % heads) / group;
+  }
+  /// Total query rows across all instances.
+  [[nodiscard]] std::int64_t total_rows() const {
+    return instances() * seq_len;
+  }
+  /// Softmax scale 1/sqrt(d).
+  [[nodiscard]] float scale() const {
+    return 1.0f / std::sqrt(static_cast<float>(head_size));
+  }
+  /// Expected Q (and output) tensor shape.
+  [[nodiscard]] Shape qkv_shape() const {
+    return Shape{instances(), seq_len, head_size};
+  }
+  /// Expected K/V tensor shape.
+  [[nodiscard]] Shape kv_shape() const {
+    return Shape{kv_instances(), seq_len, head_size};
+  }
+
+  void validate() const {
+    STOF_EXPECTS(batch > 0 && heads > 0 && seq_len > 0 && head_size > 0);
+    STOF_EXPECTS(kv_heads >= 0 && kv_heads <= heads);
+    STOF_EXPECTS(heads % kv_head_count() == 0,
+                 "heads must divide into kv_heads groups");
+  }
+};
+
+/// Validate that q, k, v conform to `dims` and allocate the output.
+inline TensorH make_output(const MhaDims& dims, const TensorH& q,
+                           const TensorH& k, const TensorH& v) {
+  dims.validate();
+  STOF_EXPECTS(q.shape() == dims.qkv_shape(), "Q shape mismatch");
+  STOF_EXPECTS(k.shape() == dims.kv_shape(), "K shape mismatch");
+  STOF_EXPECTS(v.shape() == dims.kv_shape(), "V shape mismatch");
+  return TensorH(dims.qkv_shape());
+}
+
+}  // namespace stof::mha

@@ -1,0 +1,211 @@
+#include "stof/mha/blockwise_kernel.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stof/gpusim/occupancy.hpp"
+#include "stof/parallel/parallel_for.hpp"
+
+namespace stof::mha {
+
+void BlockwiseParams::validate() const {
+  const auto ok_block = [](int b) {
+    return b >= 16 && (b & (b - 1)) == 0;  // power of two, multiple of 16
+  };
+  STOF_EXPECTS(ok_block(block_m) && ok_block(block_n),
+               "BLOCK_M/BLOCK_N must be powers of two >= 16");
+  STOF_EXPECTS(num_warps >= 1 && num_warps <= 32);
+  STOF_EXPECTS(padding >= 0);
+}
+
+std::int64_t blockwise_req_smem_bytes(const BlockwiseParams& p,
+                                      std::int64_t head_size) {
+  // Paper Eq. 2 first line, FP16 elements -> bytes. The (2*BM + BN) term
+  // covers the Q tile, the output accumulator tile, and the shared K/V
+  // buffer; BM*(BN + padding) is the score tile.
+  const std::int64_t w = head_size;
+  const std::int64_t elems =
+      (2 * static_cast<std::int64_t>(p.block_m) + p.block_n) *
+          (w + p.padding) +
+      static_cast<std::int64_t>(p.block_m) * (p.block_n + p.padding);
+  return elems * 2;
+}
+
+TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
+                            const TensorH& k, const TensorH& v,
+                            const sparse::BsrMask& mask,
+                            const BlockwiseParams& params,
+                            const ScoreMod& score_mod) {
+  params.validate();
+  STOF_EXPECTS(mask.seq_len() == dims.seq_len, "mask must match seq_len");
+  STOF_EXPECTS(mask.block_m() == params.block_m &&
+                   mask.block_n() == params.block_n,
+               "BSR block sizes must match kernel parameters");
+  TensorH out = make_output(dims, q, k, v);
+
+  const std::int64_t n = dims.seq_len;
+  const std::int64_t d = dims.head_size;
+  const std::int64_t bm = params.block_m;
+  const std::int64_t bn = params.block_n;
+  const float scale = dims.scale();
+  const std::int64_t q_blocks = mask.rows();
+
+  parallel_for(0, dims.instances() * q_blocks, [&](std::int64_t task) {
+    const std::int64_t bh = task / q_blocks;
+    const std::int64_t kv = dims.kv_instance_of(bh);
+    const std::int64_t bi = task % q_blocks;
+    const std::int64_t row_lo = bi * bm;
+    const std::int64_t row_hi = std::min(n, row_lo + bm);
+    const std::int64_t rows = row_hi - row_lo;
+
+    // Per-row streaming softmax state (registers in the CUDA kernel).
+    std::vector<float> m(static_cast<std::size_t>(rows),
+                         -std::numeric_limits<float>::infinity());
+    std::vector<float> l(static_cast<std::size_t>(rows), 0.0f);
+    std::vector<float> acc(static_cast<std::size_t>(rows * d), 0.0f);
+    std::vector<float> s(static_cast<std::size_t>(rows * bn));
+
+    const auto& load_ptr = mask.load_row_ptr();
+    const auto& load_idx = mask.load_col_idx();
+
+    for (std::int64_t it = load_ptr[static_cast<std::size_t>(bi)];
+         it < load_ptr[static_cast<std::size_t>(bi) + 1]; ++it) {
+      const std::int64_t bj = load_idx[static_cast<std::size_t>(it)];
+      const std::int64_t col_lo = bj * bn;
+      const std::int64_t col_hi = std::min(n, col_lo + bn);
+      const std::int64_t cols = col_hi - col_lo;
+      const sparse::BlockKind kind = mask.block_kind(bi, bj);
+      const std::vector<std::uint8_t>* bitmap =
+          kind == sparse::BlockKind::kPart ? &mask.part_bitmap(bi, bj)
+                                           : nullptr;
+
+      // S = (Q_i K_j^T) * scale — the first wmma tile GEMM.
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          float dot = 0;
+          for (std::int64_t e = 0; e < d; ++e) {
+            dot += float(q.at(bh, row_lo + r, e)) *
+                   float(k.at(kv, col_lo + c, e));
+          }
+          float sv = dot * scale;
+          if (score_mod) {
+            sv = score_mod(bh, row_lo + r, col_lo + c, sv);
+          }
+          // Part blocks load their broadcast bitmap; full blocks skip it.
+          if (bitmap != nullptr &&
+              !(*bitmap)[static_cast<std::size_t>(r * bn + c)]) {
+            sv = -std::numeric_limits<float>::infinity();
+          }
+          s[static_cast<std::size_t>(r * bn + c)] = sv;
+        }
+      }
+
+      // Online softmax update + PV accumulation (second tile GEMM).
+      for (std::int64_t r = 0; r < rows; ++r) {
+        float row_max = -std::numeric_limits<float>::infinity();
+        for (std::int64_t c = 0; c < cols; ++c) {
+          row_max = std::max(row_max, s[static_cast<std::size_t>(r * bn + c)]);
+        }
+        if (row_max == -std::numeric_limits<float>::infinity()) continue;
+        const float m_old = m[static_cast<std::size_t>(r)];
+        const float m_new = std::max(m_old, row_max);
+        const float correction =
+            (l[static_cast<std::size_t>(r)] == 0.0f) ? 0.0f
+                                                     : std::exp(m_old - m_new);
+        float block_sum = 0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const float sv = s[static_cast<std::size_t>(r * bn + c)];
+          const float w =
+              sv == -std::numeric_limits<float>::infinity()
+                  ? 0.0f
+                  : std::exp(sv - m_new);
+          s[static_cast<std::size_t>(r * bn + c)] = w;
+          block_sum += w;
+        }
+        l[static_cast<std::size_t>(r)] =
+            l[static_cast<std::size_t>(r)] * correction + block_sum;
+        for (std::int64_t e = 0; e < d; ++e) {
+          float pv = 0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            pv += s[static_cast<std::size_t>(r * bn + c)] *
+                  float(v.at(kv, col_lo + c, e));
+          }
+          acc[static_cast<std::size_t>(r * d + e)] =
+              acc[static_cast<std::size_t>(r * d + e)] * correction + pv;
+        }
+        m[static_cast<std::size_t>(r)] = m_new;
+      }
+    }
+
+    // Epilogue: normalize and store. Fully masked rows emit zeros.
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float denom = l[static_cast<std::size_t>(r)];
+      const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
+      for (std::int64_t e = 0; e < d; ++e) {
+        out.at(bh, row_lo + r, e) =
+            half(acc[static_cast<std::size_t>(r * d + e)] * inv);
+      }
+    }
+  });
+  return out;
+}
+
+gpusim::KernelCost blockwise_cost(const MhaDims& dims,
+                                  const sparse::BsrMask& mask,
+                                  const BlockwiseParams& p,
+                                  const gpusim::DeviceSpec& dev) {
+  p.validate();
+  dims.validate();
+  const double instances = static_cast<double>(dims.instances());
+  const double d = static_cast<double>(dims.head_size);
+  const double bm = p.block_m;
+  const double bn = p.block_n;
+  const double valid = static_cast<double>(mask.valid_count());
+  const double part = p.treat_full_as_part
+                          ? valid
+                          : static_cast<double>(mask.part_count());
+  constexpr double kElem = 2.0;
+
+  gpusim::KernelCost c;
+  // Two tile GEMMs per valid block on tensor cores: QK^T and PV.
+  c.tc_flops = instances * valid * (2.0 * bm * bn * d) * 2.0;
+  // Softmax bookkeeping on CUDA cores; part blocks add the mask apply.
+  c.cuda_flops = instances * (valid * bm * bn * 6.0 + part * bm * bn);
+
+  // Loads: Q once; K and V tiles once per valid block in the Q-block's
+  // row; part bitmaps are deduplicated in memory, so repeated bitmaps hit
+  // L2 and DRAM sees each unique bitmap once per instance.
+  const double kv_share = static_cast<double>(dims.kv_head_count()) /
+                          static_cast<double>(dims.heads);
+  const double kv_tiles = instances * valid * bn * d * kElem * 2.0;
+  const double kv_dram = kv_tiles * kv_share;  // groups share K/V via L2
+  const double unique_bitmap_bytes =
+      (p.treat_full_as_part ? valid
+                            : static_cast<double>(mask.unique_part_masks())) *
+      bm * bn;
+  const double metadata_bytes =
+      static_cast<double>(mask.storage_bytes());
+  c.gmem_read_bytes = instances * static_cast<double>(dims.seq_len) * d * kElem +
+                      kv_dram + instances * unique_bitmap_bytes +
+                      metadata_bytes;
+  c.gmem_write_bytes =
+      instances * static_cast<double>(dims.seq_len) * d * kElem;
+
+  // SMEM traffic: every loaded tile is written to and read from shared
+  // memory; scores make one extra round trip for the softmax pass.
+  c.smem_bytes = 2.0 * kv_tiles +
+                 2.0 * instances * valid * bm * bn * kElem;
+  c.bank_conflict_factor = p.padding > 0 ? 1.0 : 2.5;
+
+  const auto occ =
+      gpusim::occupancy(dev, blockwise_req_smem_bytes(p, dims.head_size),
+                        p.num_warps);
+  c.occupancy = occ.fraction;
+  c.blocks_per_sm = std::max(1, occ.blocks_per_sm);
+  c.grid_blocks = dims.instances() * mask.rows();
+  c.overlap = p.async_copy ? 0.85 : 0.5;
+  return c;
+}
+
+}  // namespace stof::mha

@@ -1,0 +1,75 @@
+// Block-wise sparse MHA kernel (paper §4.2, Fig. 6 / Fig. 7).
+//
+// Q is cut into (BLOCK_M x head_size) sub-blocks, each owning one thread
+// block; K^T and V are cut into (BLOCK_N x head_size) sub-blocks iterated
+// along seq_len.  The BSR mask's load_row_ptr/load_col_idx drive the inner
+// loop: only valid sub-blocks are loaded into shared memory and computed —
+// empty blocks cost nothing, which is where the long-sequence speedups
+// come from.  After the score GEMM, "part" blocks fetch their (deduped,
+// broadcast) bitmap via part_col_idx and mask invalid lanes to -inf;
+// "full" blocks skip the mask entirely and compute densely.
+//
+// The wmma scheduling of Fig. 7 appears in the cost model as:
+//   * tensor-core FLOPs for both tile GEMMs (QK^T and PV),
+//   * a single shared K/V buffer used alternately (req_SMEM of Eq. 2),
+//   * cp.async pipelining of V loads behind the score math (overlap),
+//   * SMEM padding that removes the bank-conflict multiplier.
+#pragma once
+
+#include <functional>
+
+#include "stof/gpusim/cost.hpp"
+#include "stof/gpusim/device.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/attention.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+
+namespace stof::mha {
+
+/// Tunable launch parameters of the block-wise kernel (paper Eq. 2).
+/// BLOCK_M and BLOCK_N must be multiples of 16 and powers of two.
+struct BlockwiseParams {
+  int block_m = 64;
+  int block_n = 64;
+  int num_warps = 4;
+  int padding = 16;        ///< SMEM padding elements; 0 re-enables conflicts
+  bool async_copy = true;  ///< pipeline V loads behind the score GEMM
+  /// Ablation: ignore the full/part classification and load + apply a
+  /// bitmap for every valid block (as a coarse block-mask kernel would).
+  bool treat_full_as_part = false;
+
+  void validate() const;
+
+  friend bool operator==(const BlockwiseParams&,
+                         const BlockwiseParams&) = default;
+};
+
+/// Shared-memory bytes required by one thread block (paper Eq. 2, first
+/// line, in FP16 elements): (2*BM + BN)*(w + padding) + BM*(BN + padding).
+std::int64_t blockwise_req_smem_bytes(const BlockwiseParams& params,
+                                      std::int64_t head_size);
+
+/// Optional score modification applied after scaling and before masking
+/// (relative position biases, ALiBi slopes, soft capping, ...).  Arguments:
+/// (batch*head instance, query row, key column, scaled score) -> new score.
+/// This is the expression-based flexibility FlexAttention offers; STOF
+/// composes it with the block-sparse skip machinery.
+using ScoreMod = std::function<float(std::int64_t, std::int64_t, std::int64_t,
+                                     float)>;
+
+/// Functional execution over the BSR mask: streaming softmax across valid
+/// blocks, full/part paths as in the paper.  The BSR block sizes must match
+/// `params`.
+TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
+                            const TensorH& k, const TensorH& v,
+                            const sparse::BsrMask& mask,
+                            const BlockwiseParams& params,
+                            const ScoreMod& score_mod = nullptr);
+
+/// Simulated cost of one block-wise kernel launch.
+gpusim::KernelCost blockwise_cost(const MhaDims& dims,
+                                  const sparse::BsrMask& mask,
+                                  const BlockwiseParams& params,
+                                  const gpusim::DeviceSpec& dev);
+
+}  // namespace stof::mha

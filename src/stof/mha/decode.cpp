@@ -1,0 +1,95 @@
+#include "stof/mha/decode.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stof/gpusim/occupancy.hpp"
+#include "stof/parallel/parallel_for.hpp"
+
+namespace stof::mha {
+
+std::vector<std::int32_t> decode_columns(const masks::Mask& mask,
+                                         std::int64_t row,
+                                         std::int64_t context_len) {
+  STOF_EXPECTS(row >= 0 && row < mask.seq_len());
+  STOF_EXPECTS(context_len > 0 && context_len <= mask.seq_len());
+  std::vector<std::int32_t> cols;
+  for (std::int64_t j = 0; j < context_len; ++j) {
+    if (mask.at(row, j)) cols.push_back(static_cast<std::int32_t>(j));
+  }
+  return cols;
+}
+
+TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
+                         const TensorH& k_cache, const TensorH& v_cache,
+                         const std::vector<std::int32_t>& cols) {
+  dims.validate();
+  const Shape q_shape{dims.instances(), 1, dims.head_size};
+  const Shape kv_shape{dims.instances(), dims.context_len, dims.head_size};
+  STOF_EXPECTS(q.shape() == q_shape, "q must be (b*h, 1, d)");
+  STOF_EXPECTS(k_cache.shape() == kv_shape, "k_cache must be (b*h, ctx, d)");
+  STOF_EXPECTS(v_cache.shape() == kv_shape, "v_cache must be (b*h, ctx, d)");
+  for (const auto c : cols) {
+    STOF_EXPECTS(c >= 0 && c < dims.context_len, "column out of context");
+  }
+
+  TensorH out(q_shape);
+  const std::int64_t d = dims.head_size;
+  const float scale = dims.scale();
+
+  parallel_for(0, dims.instances(), [&](std::int64_t bh) {
+    float m = -std::numeric_limits<float>::infinity();
+    float l = 0;
+    std::vector<float> acc(static_cast<std::size_t>(d), 0.0f);
+    for (const auto j : cols) {
+      float dot = 0;
+      for (std::int64_t e = 0; e < d; ++e) {
+        dot += float(q.at(bh, 0, e)) * float(k_cache.at(bh, j, e));
+      }
+      const float s = dot * scale;
+      const float m_new = std::max(m, s);
+      const float correction = (l == 0.0f) ? 0.0f : std::exp(m - m_new);
+      const float w = std::exp(s - m_new);
+      l = l * correction + w;
+      for (std::int64_t e = 0; e < d; ++e) {
+        acc[static_cast<std::size_t>(e)] =
+            acc[static_cast<std::size_t>(e)] * correction +
+            w * float(v_cache.at(bh, j, e));
+      }
+      m = m_new;
+    }
+    const float inv = l == 0.0f ? 0.0f : 1.0f / l;
+    for (std::int64_t e = 0; e < d; ++e) {
+      out.at(bh, 0, e) = half(acc[static_cast<std::size_t>(e)] * inv);
+    }
+  });
+  return out;
+}
+
+gpusim::KernelCost decode_cost(const DecodeDims& dims,
+                               std::int64_t valid_cols,
+                               const gpusim::DeviceSpec& dev) {
+  dims.validate();
+  STOF_EXPECTS(valid_cols >= 0 && valid_cols <= dims.context_len);
+  const double instances = static_cast<double>(dims.instances());
+  const double d = static_cast<double>(dims.head_size);
+  const double valid = static_cast<double>(valid_cols);
+  constexpr double kElem = 2.0;
+
+  gpusim::KernelCost c;
+  // One warp per (batch, head): packed half2 CUDA-core math, like the
+  // row-wise kernel.
+  c.cuda_flops = 0.5 * instances * valid * (4.0 * d + 6.0);
+  // Streams the attended K/V cache rows plus the tiny q and output.
+  c.gmem_read_bytes = instances * (d * kElem + 2.0 * valid * d * kElem) +
+                      valid * sizeof(std::int32_t);
+  c.gmem_write_bytes = instances * d * kElem;
+  const auto occ = gpusim::occupancy(dev, 0, /*num_warps=*/4);
+  c.occupancy = occ.fraction;
+  c.blocks_per_sm = std::max(1, occ.blocks_per_sm);
+  c.grid_blocks = (dims.instances() + 3) / 4;
+  c.overlap = 0.85;  // pure streaming
+  return c;
+}
+
+}  // namespace stof::mha

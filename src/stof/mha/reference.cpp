@@ -1,0 +1,65 @@
+#include "stof/mha/reference.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stof/parallel/parallel_for.hpp"
+
+namespace stof::mha {
+
+TensorH reference_attention(const MhaDims& dims, const TensorH& q,
+                            const TensorH& k, const TensorH& v,
+                            const masks::Mask& mask) {
+  STOF_EXPECTS(mask.seq_len() == dims.seq_len, "mask must match seq_len");
+  TensorH out = make_output(dims, q, k, v);
+  const std::int64_t n = dims.seq_len;
+  const std::int64_t d = dims.head_size;
+  const float scale = dims.scale();
+
+  parallel_for(0, dims.instances() * n, [&](std::int64_t row) {
+    const std::int64_t bh = row / n;
+    const std::int64_t kv = dims.kv_instance_of(bh);
+    const std::int64_t i = row % n;
+
+    std::vector<float> scores(static_cast<std::size_t>(n));
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (!mask.at(i, j)) continue;
+      float dot = 0;
+      for (std::int64_t e = 0; e < d; ++e) {
+        dot += float(q.at(bh, i, e)) * float(k.at(kv, j, e));
+      }
+      scores[static_cast<std::size_t>(j)] = dot * scale;
+      max_v = std::max(max_v, dot * scale);
+    }
+
+    if (max_v == -std::numeric_limits<float>::infinity()) {
+      for (std::int64_t e = 0; e < d; ++e) out.at(bh, i, e) = half(0.0f);
+      return;  // fully masked row
+    }
+
+    float sum = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (!mask.at(i, j)) {
+        scores[static_cast<std::size_t>(j)] = 0.0f;
+        continue;
+      }
+      const float e = std::exp(scores[static_cast<std::size_t>(j)] - max_v);
+      scores[static_cast<std::size_t>(j)] = e;
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+
+    for (std::int64_t e = 0; e < d; ++e) {
+      float acc = 0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc += scores[static_cast<std::size_t>(j)] * float(v.at(kv, j, e));
+      }
+      out.at(bh, i, e) = half(acc * inv);
+    }
+  });
+  return out;
+}
+
+}  // namespace stof::mha

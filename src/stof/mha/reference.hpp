@@ -1,0 +1,19 @@
+// Reference masked attention (functional oracle for every MHA kernel).
+//
+// Computes O = softmax(mask(Q K^T / sqrt(d))) V with dense FP32 score
+// materialization.  Masked positions receive exactly zero probability and a
+// fully masked query row produces a zero output row — the semantics every
+// sparse kernel must match bit-for-bit up to FP16 rounding.
+#pragma once
+
+#include "stof/masks/mask.hpp"
+#include "stof/mha/attention.hpp"
+
+namespace stof::mha {
+
+/// Dense reference attention. Q, K, V: (batch*heads, seq, head_size).
+TensorH reference_attention(const MhaDims& dims, const TensorH& q,
+                            const TensorH& k, const TensorH& v,
+                            const masks::Mask& mask);
+
+}  // namespace stof::mha

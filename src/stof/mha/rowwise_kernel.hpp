@@ -1,0 +1,44 @@
+// Row-wise sparse MHA kernel (paper §4.2, first kernel family).
+//
+// One warp owns one query row.  The warp walks the row's valid-column
+// segments (RowwiseMask), accumulating the streaming softmax with
+// warp-shuffle reductions — there is no shared memory and no inter-warp
+// synchronization, which is what makes the kernel cheap at small inputs:
+// parallelism is per-row (batch*heads*seq_len warps) instead of per-block,
+// so even a (1, 128) problem fills the device, and the launch does no
+// smem staging the tail would have to amortize.
+//
+// The trade-off is that all math runs on CUDA cores (a warp holding one
+// row cannot feed wmma fragments), so at large valid-element counts the
+// block-wise kernel's tensor cores win — exactly the crossover the
+// selector's Eq. 1 threshold encodes.
+#pragma once
+
+#include "stof/gpusim/cost.hpp"
+#include "stof/gpusim/device.hpp"
+#include "stof/gpusim/timeline.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/attention.hpp"
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::mha {
+
+/// Tunable launch parameters of the row-wise kernel.
+struct RowwiseParams {
+  int warps_per_block = 4;  ///< rows processed per thread block
+
+  friend bool operator==(const RowwiseParams&, const RowwiseParams&) = default;
+};
+
+/// Functional execution: exact streaming-softmax gather over valid columns.
+TensorH rowwise_attention(const MhaDims& dims, const TensorH& q,
+                          const TensorH& k, const TensorH& v,
+                          const sparse::RowwiseMask& mask);
+
+/// Simulated cost of one row-wise kernel launch.
+gpusim::KernelCost rowwise_cost(const MhaDims& dims,
+                                const sparse::RowwiseMask& mask,
+                                const RowwiseParams& params,
+                                const gpusim::DeviceSpec& dev);
+
+}  // namespace stof::mha

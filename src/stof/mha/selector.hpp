@@ -1,0 +1,67 @@
+// Analytical kernel selection for the unified MHA module (paper Eq. 1/2).
+//
+// Stage 1 (Eq. 1): classify the mask at a hard-coded (16, 16) granularity.
+// When the valid-block ratio falls below a sequence-length-dependent
+// threshold the inputs are small and concentrated, so the row-wise kernel's
+// locality and zero-synchronization win; otherwise the block-wise kernel's
+// tensor cores win.  The paper writes the penalty as tau / log(nb)^2 with
+// an "empirically set" tau of 1.2; our mask-width conventions calibrate to
+// a cubed-log2 penalty with tau = 12 (see selector.cpp), reproducing the
+// paper's switch: row-wise for concentrated masks at seq <= 256, block-wise
+// from 512 up.
+//
+// Stage 2 (Eq. 2): pick (BLOCK_M, BLOCK_N, num_warps) for the block-wise
+// kernel.  eq2_score() implements the paper's closed form; as written it is
+// monotone toward the smallest blocks whenever occupancy saturates, so the
+// default selection minimizes the full analytical cost model instead (the
+// same occupancy/SMEM trade-off, plus the tile-granularity effects the
+// closed form abstracts away).  Both paths are exposed and tested.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stof/gpusim/device.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/attention.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/mha/rowwise_kernel.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+
+namespace stof::mha {
+
+enum class KernelKind { kRowwise, kBlockwise };
+
+/// Eq. 1: valid-block ratio at (16,16) granularity minus the sparsity
+/// penalty.  Negative => row-wise kernel.
+double eq1_threshold(const sparse::BsrMask& mask16, double tau = 12.0);
+
+/// Eq. 2 closed-form score of one parameter setting (exposed for tests and
+/// the ablation bench; see header comment for why selection does not
+/// maximize it directly).
+double eq2_score(const gpusim::DeviceSpec& dev, const BlockwiseParams& params,
+                 const MhaDims& dims);
+
+/// Candidate (BLOCK_M, BLOCK_N, num_warps) settings: multiples of 16,
+/// powers of two, as required by the paper.
+std::vector<BlockwiseParams> blockwise_param_space();
+
+/// Result of the two-stage analytical selection.
+struct KernelChoice {
+  KernelKind kind = KernelKind::kBlockwise;
+  double threshold = 0;  ///< Eq. 1 value that drove the decision
+  RowwiseParams rowwise;
+  BlockwiseParams blockwise;
+  double predicted_us = 0;  ///< analytical-model time of the chosen setting
+};
+
+/// Run both stages. `mask16` must be the (16,16) BSR of the mask; the
+/// callback builds (or fetches from a cache) the BSR at a requested block
+/// shape so the caller controls reuse across selections.
+KernelChoice select_kernel(
+    const MhaDims& dims, const masks::Mask& mask,
+    const sparse::BsrMask& mask16, const gpusim::DeviceSpec& dev,
+    const std::function<const sparse::BsrMask&(int, int)>& bsr_at,
+    double tau = 12.0);
+
+}  // namespace stof::mha

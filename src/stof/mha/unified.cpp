@@ -1,0 +1,90 @@
+#include "stof/mha/unified.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace stof::mha {
+
+UnifiedMha::UnifiedMha(MhaDims dims, masks::Mask mask,
+                       gpusim::DeviceSpec device, MhaOptions options)
+    : dims_(dims), mask_(std::move(mask)), device_(std::move(device)) {
+  dims_.validate();
+  STOF_EXPECTS(mask_.seq_len() == dims_.seq_len, "mask must match seq_len");
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const sparse::BsrMask& mask16 = bsr_at(16, 16);
+  auto fetch = [this](int bm, int bn) -> const sparse::BsrMask& {
+    return bsr_at(bm, bn);
+  };
+
+  if (options.force_kernel.has_value()) {
+    plan_.choice.kind = *options.force_kernel;
+    plan_.choice.threshold = eq1_threshold(mask16, options.tau);
+    if (plan_.choice.kind == KernelKind::kBlockwise) {
+      plan_.choice.blockwise =
+          options.force_params.value_or(BlockwiseParams{});
+    }
+  } else {
+    plan_.choice =
+        select_kernel(dims_, mask_, mask16, device_, fetch, options.tau);
+    if (options.force_params.has_value() &&
+        plan_.choice.kind == KernelKind::kBlockwise) {
+      plan_.choice.blockwise = *options.force_params;
+    }
+  }
+
+  if (plan_.choice.kind == KernelKind::kRowwise) {
+    rowwise_ = std::make_unique<sparse::RowwiseMask>(
+        sparse::RowwiseMask::build(mask_));
+  } else {
+    blockwise_bsr_ = &bsr_at(plan_.choice.blockwise.block_m,
+                             plan_.choice.blockwise.block_n);
+  }
+
+  plan_.analysis_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+const sparse::BsrMask& UnifiedMha::bsr_at(int block_m, int block_n) {
+  const auto key = std::make_pair(block_m, block_n);
+  auto it = bsr_cache_.find(key);
+  if (it == bsr_cache_.end()) {
+    it = bsr_cache_
+             .emplace(key, std::make_unique<sparse::BsrMask>(
+                               sparse::BsrMask::build(mask_, block_m, block_n)))
+             .first;
+  }
+  return *it->second;
+}
+
+TensorH UnifiedMha::run(const TensorH& q, const TensorH& k, const TensorH& v,
+                        gpusim::Stream& stream) const {
+  if (plan_.choice.kind == KernelKind::kRowwise) {
+    stream.launch("stof.mha.rowwise",
+                  rowwise_cost(dims_, *rowwise_, plan_.choice.rowwise,
+                               stream.device()));
+    return rowwise_attention(dims_, q, k, v, *rowwise_);
+  }
+  stream.launch("stof.mha.blockwise",
+                blockwise_cost(dims_, *blockwise_bsr_, plan_.choice.blockwise,
+                               stream.device()));
+  return blockwise_attention(dims_, q, k, v, *blockwise_bsr_,
+                             plan_.choice.blockwise);
+}
+
+double UnifiedMha::simulate(gpusim::Stream& stream) const {
+  if (plan_.choice.kind == KernelKind::kRowwise) {
+    return stream.launch("stof.mha.rowwise",
+                         rowwise_cost(dims_, *rowwise_, plan_.choice.rowwise,
+                                      stream.device()));
+  }
+  return stream.launch(
+      "stof.mha.blockwise",
+      blockwise_cost(dims_, *blockwise_bsr_, plan_.choice.blockwise,
+                     stream.device()));
+}
+
+}  // namespace stof::mha

@@ -1,0 +1,71 @@
+// UnifiedMha — the public entry point of STOF's unified MHA module.
+//
+// Construction analyzes the mask once (builds the sparse formats, runs the
+// Eq. 1 / Eq. 2 selection against the target device) and the resulting plan
+// is reused across runs:
+//
+//   stof::mha::UnifiedMha mha(dims, mask, device);
+//   gpusim::Stream stream(device);
+//   TensorH out = mha.run(q, k, v, stream);       // compute + record cost
+//   double us  = mha.simulate(stream);            // cost-only (big sweeps)
+//
+// `plan()` exposes which kernel was chosen and with which parameters —
+// benches and the ablation study read it directly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "stof/gpusim/timeline.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/selector.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::mha {
+
+/// Options controlling planning (ablation hooks included).
+struct MhaOptions {
+  double tau = 12.0;                 ///< Eq. 1 penalty coefficient
+  std::optional<KernelKind> force_kernel;  ///< ablation: bypass Eq. 1
+  std::optional<BlockwiseParams> force_params;  ///< ablation: bypass Eq. 2
+  /// Analysis-model wall-clock budget is reported via plan().analysis_us.
+};
+
+/// The committed execution plan for one (dims, mask, device) triple.
+struct MhaPlan {
+  KernelChoice choice;
+  double analysis_us = 0;  ///< host time spent planning (Fig. 14 overhead)
+};
+
+/// Unified sparse multi-head attention with analytical kernel selection.
+class UnifiedMha {
+ public:
+  UnifiedMha(MhaDims dims, masks::Mask mask, gpusim::DeviceSpec device,
+             MhaOptions options = {});
+
+  [[nodiscard]] const MhaPlan& plan() const { return plan_; }
+  [[nodiscard]] const MhaDims& dims() const { return dims_; }
+
+  /// Execute functionally and record the kernel launch on `stream`.
+  TensorH run(const TensorH& q, const TensorH& k, const TensorH& v,
+              gpusim::Stream& stream) const;
+
+  /// Record the launch cost without computing (for large sweeps); returns
+  /// the simulated time in microseconds.
+  double simulate(gpusim::Stream& stream) const;
+
+ private:
+  const sparse::BsrMask& bsr_at(int block_m, int block_n);
+
+  MhaDims dims_;
+  masks::Mask mask_;
+  gpusim::DeviceSpec device_;
+  MhaPlan plan_;
+  std::map<std::pair<int, int>, std::unique_ptr<sparse::BsrMask>> bsr_cache_;
+  std::unique_ptr<sparse::RowwiseMask> rowwise_;  ///< set when row-wise plan
+  const sparse::BsrMask* blockwise_bsr_ = nullptr;  ///< set when block-wise
+};
+
+}  // namespace stof::mha

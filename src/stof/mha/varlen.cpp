@@ -1,0 +1,120 @@
+#include "stof/mha/varlen.hpp"
+
+#include <map>
+
+#include "stof/sparse/bsr_mask.hpp"
+
+namespace stof::mha {
+
+masks::Mask effective_mask(const masks::Mask& base, std::int64_t len) {
+  STOF_EXPECTS(len > 0 && len <= base.seq_len());
+  masks::Mask m(base.seq_len());
+  for (std::int64_t i = 0; i < len; ++i) {
+    for (std::int64_t j = 0; j < len; ++j) {
+      if (base.at(i, j)) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+TensorH varlen_attention(const MhaDims& dims, const TensorH& q,
+                         const TensorH& k, const TensorH& v,
+                         const masks::Mask& base_mask,
+                         const VarlenBatch& batch,
+                         const BlockwiseParams& params) {
+  dims.validate();
+  batch.validate();
+  STOF_EXPECTS(batch.batch() == dims.batch,
+               "batch lengths must match dims.batch");
+  STOF_EXPECTS(batch.seq_len == dims.seq_len);
+  STOF_EXPECTS(base_mask.seq_len() == dims.seq_len);
+  TensorH out = make_output(dims, q, k, v);
+
+  // Equal lengths share one BSR analysis.
+  std::map<std::int64_t, sparse::BsrMask> bsr_by_len;
+  for (const auto len : batch.lengths) {
+    if (!bsr_by_len.contains(len)) {
+      bsr_by_len.emplace(len, sparse::BsrMask::build(
+                                  effective_mask(base_mask, len),
+                                  params.block_m, params.block_n));
+    }
+  }
+
+  // One single-element attention per batch entry against its own BSR.
+  const MhaDims per_element{1, dims.heads, dims.seq_len, dims.head_size};
+  for (std::int64_t b = 0; b < dims.batch; ++b) {
+    TensorH qb(per_element.qkv_shape()), kb(per_element.qkv_shape()),
+        vb(per_element.qkv_shape());
+    for (std::int64_t h = 0; h < dims.heads; ++h) {
+      const std::int64_t src = b * dims.heads + h;
+      for (std::int64_t s = 0; s < dims.seq_len; ++s) {
+        for (std::int64_t e = 0; e < dims.head_size; ++e) {
+          qb.at(h, s, e) = q.at(src, s, e);
+          kb.at(h, s, e) = k.at(src, s, e);
+          vb.at(h, s, e) = v.at(src, s, e);
+        }
+      }
+    }
+    const auto& bsr = bsr_by_len.at(batch.lengths[static_cast<std::size_t>(b)]);
+    const TensorH ob =
+        blockwise_attention(per_element, qb, kb, vb, bsr, params);
+    for (std::int64_t h = 0; h < dims.heads; ++h) {
+      const std::int64_t dst = b * dims.heads + h;
+      for (std::int64_t s = 0; s < dims.seq_len; ++s) {
+        for (std::int64_t e = 0; e < dims.head_size; ++e) {
+          out.at(dst, s, e) = ob.at(h, s, e);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+gpusim::KernelCost varlen_cost(const MhaDims& dims,
+                               const masks::Mask& base_mask,
+                               const VarlenBatch& batch,
+                               const BlockwiseParams& params,
+                               const gpusim::DeviceSpec& dev) {
+  dims.validate();
+  batch.validate();
+  STOF_EXPECTS(batch.batch() == dims.batch);
+  STOF_EXPECTS(batch.seq_len == dims.seq_len);
+
+  // Accumulate per-element work using a single-element cost each, dedup by
+  // length; launch overhead is paid once (one fused varlen kernel).
+  std::map<std::int64_t, gpusim::KernelCost> cost_by_len;
+  const MhaDims per_element{1, dims.heads, dims.seq_len, dims.head_size};
+  gpusim::KernelCost total;
+  total.launches = 0;
+  std::int64_t grid = 0;
+  double occupancy = 1.0;
+  int blocks_per_sm = 1;
+  for (const auto len : batch.lengths) {
+    auto it = cost_by_len.find(len);
+    if (it == cost_by_len.end()) {
+      const auto bsr = sparse::BsrMask::build(effective_mask(base_mask, len),
+                                              params.block_m, params.block_n);
+      it = cost_by_len
+               .emplace(len, blockwise_cost(per_element, bsr, params, dev))
+               .first;
+    }
+    const auto& c = it->second;
+    total.tc_flops += c.tc_flops;
+    total.cuda_flops += c.cuda_flops;
+    total.gmem_read_bytes += c.gmem_read_bytes;
+    total.gmem_write_bytes += c.gmem_write_bytes;
+    total.smem_bytes += c.smem_bytes;
+    grid += c.grid_blocks;
+    occupancy = c.occupancy;
+    blocks_per_sm = c.blocks_per_sm;
+  }
+  total.launches = 1;
+  total.grid_blocks = grid;
+  total.occupancy = occupancy;
+  total.blocks_per_sm = blocks_per_sm;
+  total.bank_conflict_factor = params.padding > 0 ? 1.0 : 2.5;
+  total.overlap = params.async_copy ? 0.85 : 0.5;
+  return total;
+}
+
+}  // namespace stof::mha

@@ -1,0 +1,71 @@
+// Variable-length batch attention (extension).
+//
+// Real inference batches mix sequences of different lengths; padding them
+// to the batch maximum wastes quadratic attention work on rows and columns
+// that contribute nothing (the problem ByteTransformer [65] is built
+// around).  STOF's sparse machinery absorbs variable lengths naturally:
+// each batch element's effective mask is the base pattern intersected with
+// its valid square, and the block-sparse kernel skips the padded blocks
+// like any other empty block.
+#pragma once
+
+#include <vector>
+
+#include "stof/gpusim/cost.hpp"
+#include "stof/gpusim/device.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/attention.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+
+namespace stof::mha {
+
+/// Per-element valid lengths of a padded batch.
+struct VarlenBatch {
+  std::int64_t seq_len = 0;             ///< padded length
+  std::vector<std::int64_t> lengths;    ///< valid tokens per batch element
+
+  [[nodiscard]] std::int64_t batch() const {
+    return static_cast<std::int64_t>(lengths.size());
+  }
+  [[nodiscard]] std::int64_t total_valid_tokens() const {
+    std::int64_t n = 0;
+    for (const auto l : lengths) n += l;
+    return n;
+  }
+  /// Fraction of padded (wasted) tokens under dense padding.
+  [[nodiscard]] double padding_ratio() const {
+    return 1.0 - static_cast<double>(total_valid_tokens()) /
+                     static_cast<double>(batch() * seq_len);
+  }
+  void validate() const {
+    STOF_EXPECTS(seq_len > 0 && !lengths.empty());
+    for (const auto l : lengths) {
+      STOF_EXPECTS(l > 0 && l <= seq_len,
+                   "lengths must be in (0, seq_len]");
+    }
+  }
+};
+
+/// The base pattern restricted to one element's valid square:
+/// mask(i, j) and i < len and j < len.
+masks::Mask effective_mask(const masks::Mask& base, std::int64_t len);
+
+/// Variable-length attention: Q/K/V are padded (batch*heads, seq, d);
+/// padded query rows produce zero output; padded keys are never attended.
+/// Functionally equals per-element attention under each effective mask.
+TensorH varlen_attention(const MhaDims& dims, const TensorH& q,
+                         const TensorH& k, const TensorH& v,
+                         const masks::Mask& base_mask,
+                         const VarlenBatch& batch,
+                         const BlockwiseParams& params = {16, 16});
+
+/// Simulated cost: one fused kernel whose work set is the union of the
+/// per-element valid blocks (lengths deduplicated — equal lengths share a
+/// BSR analysis).
+gpusim::KernelCost varlen_cost(const MhaDims& dims,
+                               const masks::Mask& base_mask,
+                               const VarlenBatch& batch,
+                               const BlockwiseParams& params,
+                               const gpusim::DeviceSpec& dev);
+
+}  // namespace stof::mha

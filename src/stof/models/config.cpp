@@ -1,0 +1,69 @@
+#include "stof/models/config.hpp"
+
+namespace stof::models {
+
+ModelConfig bert_small() {
+  ModelConfig c;
+  c.name = "BERT-Small";
+  c.arch = Architecture::kEncoder;
+  c.layers = 4;
+  c.hidden = 512;
+  c.heads = 8;
+  c.ffn_dim = 2048;
+  return c;
+}
+
+ModelConfig bert_base() {
+  ModelConfig c;
+  c.name = "BERT-Base";
+  c.arch = Architecture::kEncoder;
+  c.layers = 12;
+  c.hidden = 768;
+  c.heads = 12;
+  c.ffn_dim = 3072;
+  return c;
+}
+
+ModelConfig bert_large() {
+  ModelConfig c;
+  c.name = "BERT-Large";
+  c.arch = Architecture::kEncoder;
+  c.layers = 24;
+  c.hidden = 1024;
+  c.heads = 16;
+  c.ffn_dim = 4096;
+  return c;
+}
+
+ModelConfig gpt() {
+  ModelConfig c;
+  c.name = "GPT";
+  c.arch = Architecture::kDecoder;
+  c.layers = 12;  // GPT-2 small
+  c.hidden = 768;
+  c.heads = 12;
+  c.ffn_dim = 3072;
+  return c;
+}
+
+ModelConfig t5() {
+  ModelConfig c;
+  c.name = "T5";
+  c.arch = Architecture::kEncDec;
+  c.layers = 12;  // T5-Base
+  c.dec_layers = 12;
+  c.hidden = 768;
+  c.heads = 12;
+  c.ffn_dim = 3072;
+  c.activation = graph::OpKind::kRelu;
+  c.use_bias = false;
+  return c;
+}
+
+const std::vector<ModelConfig>& all_models() {
+  static const std::vector<ModelConfig> models = {
+      bert_small(), bert_base(), bert_large(), gpt(), t5()};
+  return models;
+}
+
+}  // namespace stof::models

@@ -1,0 +1,66 @@
+// Model configurations for the end-to-end evaluation (paper §5.3):
+// BERT-Small/Base/Large (encoder-only), GPT (decoder-only), and T5
+// (encoder-decoder).  Hyperparameters follow the standard checkpoints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stof/graph/builders.hpp"
+
+namespace stof::models {
+
+enum class Architecture { kEncoder, kDecoder, kEncDec };
+
+struct ModelConfig {
+  std::string name;
+  Architecture arch = Architecture::kEncoder;
+  int layers = 12;       ///< encoder layers (or decoder layers for kDecoder)
+  int dec_layers = 0;    ///< decoder layers for kEncDec
+  std::int64_t hidden = 768;
+  std::int64_t heads = 12;
+  std::int64_t ffn_dim = 3072;
+  graph::OpKind activation = graph::OpKind::kGelu;
+  bool use_bias = true;
+
+  [[nodiscard]] std::int64_t head_size() const { return hidden / heads; }
+
+  [[nodiscard]] graph::LayerConfig layer_config(std::int64_t batch,
+                                                std::int64_t seq_len) const {
+    graph::LayerConfig cfg;
+    cfg.batch = batch;
+    cfg.seq_len = seq_len;
+    cfg.hidden = hidden;
+    cfg.heads = heads;
+    cfg.ffn_dim = ffn_dim;
+    cfg.activation = activation;
+    cfg.use_bias = use_bias;
+    return cfg;
+  }
+
+  /// Build the full forward graph at (batch, seq_len).
+  [[nodiscard]] graph::Graph build_graph(std::int64_t batch,
+                                         std::int64_t seq_len) const {
+    const auto cfg = layer_config(batch, seq_len);
+    switch (arch) {
+      case Architecture::kEncoder:
+        return graph::build_encoder_graph(cfg, layers);
+      case Architecture::kDecoder:
+        return graph::build_decoder_graph(cfg, layers);
+      case Architecture::kEncDec:
+        return graph::build_encdec_graph(cfg, layers, dec_layers);
+    }
+    STOF_CHECK(false, "unreachable");
+  }
+};
+
+ModelConfig bert_small();
+ModelConfig bert_base();
+ModelConfig bert_large();
+ModelConfig gpt();
+ModelConfig t5();
+
+/// The five benchmark models of Fig. 12 / Table 4, in paper order.
+const std::vector<ModelConfig>& all_models();
+
+}  // namespace stof::models

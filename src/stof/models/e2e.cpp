@@ -1,0 +1,115 @@
+#include "stof/models/e2e.hpp"
+
+namespace stof::models {
+namespace {
+
+using baselines::Method;
+
+Executor make_executor(Method mha_method, const ModelConfig& model,
+                       std::int64_t batch, std::int64_t seq_len,
+                       masks::PatternKind pattern,
+                       const gpusim::DeviceSpec& device) {
+  return Executor(model.build_graph(batch, seq_len),
+                  {batch, model.heads, seq_len, model.head_size()},
+                  {.kind = pattern, .seq_len = seq_len}, device, mha_method);
+}
+
+E2eResult from_exec(const Executor& exec, const ExecutionPlan& plan) {
+  const auto r = exec.simulate(plan);
+  E2eResult out;
+  out.supported = r.supported;
+  out.unsupported_reason = r.unsupported_reason;
+  out.time_us = r.time_us;
+  out.launches = r.launches;
+  return out;
+}
+
+}  // namespace
+
+E2eResult simulate_e2e(Method method, const ModelConfig& model,
+                       std::int64_t batch, std::int64_t seq_len,
+                       masks::PatternKind pattern,
+                       const gpusim::DeviceSpec& device,
+                       tuner::TuningOptions tuning_options) {
+  switch (method) {
+    case Method::kPytorchNative:
+    case Method::kPytorchCompile:
+    case Method::kByteTransformer: {
+      // No tuning support (paper Table 4 note).
+      const auto exec =
+          make_executor(method, model, batch, seq_len, pattern, device);
+      return from_exec(exec, baselines::e2e_plan(method, exec.graph()));
+    }
+    case Method::kMcfuser: {
+      const auto exec =
+          make_executor(method, model, batch, seq_len, pattern, device);
+      if (!exec.mha_supported()) {
+        E2eResult out;
+        out.supported = false;
+        out.unsupported_reason = "MCFuser MHA workspace exceeds device memory";
+        return out;
+      }
+      auto report = tuner::tune_mcfuser(exec, tuning_options);
+      auto out = from_exec(exec, report.best_plan);
+      out.tuning = std::move(report);
+      return out;
+    }
+    case Method::kBolt: {
+      const auto exec =
+          make_executor(method, model, batch, seq_len, pattern, device);
+      auto report = tuner::tune_bolt(exec, tuning_options);
+      auto out = from_exec(exec, report.best_plan);
+      out.tuning = std::move(report);
+      return out;
+    }
+    case Method::kStof: {
+      const auto exec =
+          make_executor(method, model, batch, seq_len, pattern, device);
+      auto report = tuner::SearchEngine(exec, tuning_options).tune();
+      // The executor's mask analysis + MHA planning is the "analysis
+      // model" overhead of Fig. 14.
+      report.breakdown.analysis_us += exec.setup_wall_us();
+      auto out = from_exec(exec, report.best_plan);
+      out.tuning = std::move(report);
+      return out;
+    }
+    case Method::kFlashAttention2:
+    case Method::kFlexAttention:
+      STOF_CHECK(false, "MHA-only method has no end-to-end configuration");
+  }
+  STOF_CHECK(false, "unreachable");
+}
+
+E2eResult simulate_stof_variant(StofVariant variant, const ModelConfig& model,
+                                std::int64_t batch, std::int64_t seq_len,
+                                masks::PatternKind pattern,
+                                const gpusim::DeviceSpec& device,
+                                tuner::TuningOptions tuning_options) {
+  const auto exec = make_executor(Method::kStof, model, batch, seq_len,
+                                  pattern, device);
+  switch (variant) {
+    case StofVariant::kFull: {
+      auto report = tuner::SearchEngine(exec, tuning_options).tune();
+      auto out = from_exec(exec, report.best_plan);
+      out.tuning = std::move(report);
+      return out;
+    }
+    case StofVariant::kMhaOnly:
+      return from_exec(exec, mha_fused_detached_plan(exec.graph()));
+    case StofVariant::kFusionOnly: {
+      // Start the search from the fully detached layout; MHA operators can
+      // never merge into the unified kernel through single valid moves, so
+      // attention runs PyTorch-Native style while downstream fusion tunes.
+      ExecutionPlan detached;
+      detached.scheme = fusion::FusionScheme::detached(
+          static_cast<std::int64_t>(exec.graph().size()));
+      auto report = tuner::SearchEngine(exec, tuning_options).tune(detached);
+      auto out = from_exec(exec, report.best_plan);
+      out.tuning = std::move(report);
+      return out;
+    }
+  }
+  STOF_CHECK(false, "unreachable");
+}
+
+}  // namespace stof::models

@@ -1,0 +1,53 @@
+// One-call end-to-end inference simulation (paper §5.3 / §5.5).
+//
+// Wraps graph construction, executor setup, per-method planning (including
+// running the method's tuner where the paper tunes), and returns the
+// simulated inference time.  The Fig. 13 ablation variants of STOF are
+// exposed directly:
+//   kFull       — unified MHA module + tuned operator fusion,
+//   kMhaOnly    — unified MHA module, downstream operators detached,
+//   kFusionOnly — MHA operators detached (PyTorch-Native style), tuned
+//                 operator fusion downstream.
+#pragma once
+
+#include <optional>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/models/config.hpp"
+#include "stof/models/executor.hpp"
+#include "stof/tuner/search_engine.hpp"
+
+namespace stof::models {
+
+enum class StofVariant { kFull, kMhaOnly, kFusionOnly };
+
+struct E2eResult {
+  bool supported = true;
+  std::string unsupported_reason;
+  double time_us = 0;
+  std::size_t launches = 0;
+  /// Present when the method ran a tuner (STOF / MCFuser / Bolt).
+  std::optional<tuner::TuningReport> tuning;
+};
+
+/// Simulate one end-to-end inference of `model` at (batch, seq_len) with a
+/// shared attention mask, under `method`'s MHA policy and fusion plan.
+E2eResult simulate_e2e(baselines::Method method, const ModelConfig& model,
+                       std::int64_t batch, std::int64_t seq_len,
+                       masks::PatternKind pattern,
+                       const gpusim::DeviceSpec& device,
+                       tuner::TuningOptions tuning_options = {});
+
+/// Simulate the STOF ablation variants (Fig. 13).
+E2eResult simulate_stof_variant(StofVariant variant, const ModelConfig& model,
+                                std::int64_t batch, std::int64_t seq_len,
+                                masks::PatternKind pattern,
+                                const gpusim::DeviceSpec& device,
+                                tuner::TuningOptions tuning_options = {});
+
+/// Detached plan with only the MHA sub-graphs fused (the kMhaOnly layout).
+inline ExecutionPlan mha_fused_detached_plan(const graph::Graph& g) {
+  return baselines::mha_fused_detached_plan(g);
+}
+
+}  // namespace stof::models

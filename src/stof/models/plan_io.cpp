@@ -1,0 +1,87 @@
+#include "stof/models/plan_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace stof::models {
+
+void save_plan(const ExecutionPlan& plan, std::ostream& os) {
+  const auto segments = plan.scheme.segments();
+  STOF_EXPECTS(plan.segment_params.empty() ||
+                   plan.segment_params.size() == segments.size(),
+               "segment_params must match segment count");
+  os << "STOFPLAN v1\n";
+  os << "ops " << plan.scheme.n_ops() << " eager " << (plan.eager ? 1 : 0)
+     << "\n";
+  os << "scheme " << plan.scheme.to_hex() << "\n";
+  for (std::size_t i = 0; i < plan.segment_params.size(); ++i) {
+    const auto& p = plan.segment_params[i];
+    os << "seg " << i << " gemm " << p.gemm.block_m << ' ' << p.gemm.block_n
+       << ' ' << p.gemm.block_k << ' ' << p.gemm.num_warps << ' '
+       << p.gemm.num_stages << " ew " << p.ew.block_size << ' '
+       << p.ew.items_per_thread << " norm " << p.norm.block_size << ' '
+       << p.norm.rows_per_block << "\n";
+  }
+  STOF_CHECK(os.good(), "failed to write plan stream");
+}
+
+ExecutionPlan load_plan(std::istream& is) {
+  std::string word;
+  std::string version;
+  is >> word >> version;
+  STOF_CHECK(is.good() && word == "STOFPLAN", "not a STOFPLAN stream");
+  STOF_CHECK(version == "v1", "unsupported plan version " + version);
+
+  std::int64_t n_ops = 0;
+  int eager = 0;
+  is >> word;
+  STOF_CHECK(word == "ops", "expected 'ops'");
+  is >> n_ops >> word >> eager;
+  STOF_CHECK(is.good() && word == "eager" && n_ops > 0 &&
+                 (eager == 0 || eager == 1),
+             "malformed ops/eager line");
+
+  std::string hex;
+  is >> word >> hex;
+  STOF_CHECK(is.good() && word == "scheme", "expected 'scheme'");
+
+  ExecutionPlan plan;
+  plan.scheme = fusion::FusionScheme::from_hex(hex, n_ops);
+  plan.eager = eager == 1;
+
+  const auto segments = plan.scheme.segments();
+  while (is >> word) {
+    STOF_CHECK(word == "seg", "expected 'seg', got '" + word + "'");
+    std::size_t index = 0;
+    fusion::TemplateParams p;
+    std::string g, e, n;
+    is >> index >> g >> p.gemm.block_m >> p.gemm.block_n >> p.gemm.block_k >>
+        p.gemm.num_warps >> p.gemm.num_stages >> e >> p.ew.block_size >>
+        p.ew.items_per_thread >> n >> p.norm.block_size >>
+        p.norm.rows_per_block;
+    STOF_CHECK(is.good() && g == "gemm" && e == "ew" && n == "norm",
+               "malformed seg line");
+    STOF_CHECK(index == plan.segment_params.size(),
+               "seg lines must be sequential");
+    STOF_CHECK(index < segments.size(), "more seg lines than segments");
+    plan.segment_params.push_back(p);
+  }
+  STOF_CHECK(plan.segment_params.empty() ||
+                 plan.segment_params.size() == segments.size(),
+             "plan must carry params for every segment or none");
+  return plan;
+}
+
+void save_plan_file(const ExecutionPlan& plan, const std::string& path) {
+  std::ofstream os(path);
+  STOF_CHECK(os.is_open(), "cannot open " + path + " for writing");
+  save_plan(plan, os);
+}
+
+ExecutionPlan load_plan_file(const std::string& path) {
+  std::ifstream is(path);
+  STOF_CHECK(is.is_open(), "cannot open " + path);
+  return load_plan(is);
+}
+
+}  // namespace stof::models

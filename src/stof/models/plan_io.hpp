@@ -1,0 +1,36 @@
+// Execution-plan serialization.
+//
+// The tuner's output — the fusion scheme (as its hex hash code) plus the
+// per-segment template parameters — is small and human-auditable, so plans
+// are persisted as a line-oriented text format:
+//
+//   STOFPLAN v1
+//   ops <n> eager <0|1>
+//   scheme <hex>
+//   seg <i> gemm <bm> <bn> <bk> <warps> <stages> ew <bs> <ipt> norm <bs> <rpb>
+//   ...
+//
+// Together with masks/serialize.hpp this closes the tune-offline /
+// deploy-later loop: tune once per (model, mask, device), ship the plan.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "stof/models/executor.hpp"
+
+namespace stof::models {
+
+/// Write `plan` to `os` in the STOFPLAN text format.
+void save_plan(const ExecutionPlan& plan, std::ostream& os);
+
+/// Parse a plan previously written by save_plan (throws stof::Error on a
+/// malformed stream).
+ExecutionPlan load_plan(std::istream& is);
+
+/// File-path conveniences.
+void save_plan_file(const ExecutionPlan& plan, const std::string& path);
+ExecutionPlan load_plan_file(const std::string& path);
+
+}  // namespace stof::models

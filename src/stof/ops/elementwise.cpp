@@ -1,0 +1,80 @@
+#include "stof/ops/elementwise.hpp"
+
+#include <algorithm>
+
+#include "stof/core/check.hpp"
+#include "stof/gpusim/occupancy.hpp"
+#include "stof/ops/gemm.hpp"  // gelu()
+#include "stof/parallel/parallel_for.hpp"
+
+namespace stof::ops {
+
+void bias_add(const TensorH& x, const TensorH& bias, TensorH& y) {
+  STOF_EXPECTS(x.shape().rank() == 2, "x must be (rows, n)");
+  const std::int64_t rows = x.shape()[0];
+  const std::int64_t n = x.shape()[1];
+  STOF_EXPECTS(bias.shape() == (Shape{n}), "bias must be (n)");
+  STOF_EXPECTS(y.shape() == x.shape());
+  parallel_for(0, rows, [&](std::int64_t i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      y.at(i, j) = half(float(x.at(i, j)) + float(bias.at(j)));
+    }
+  });
+}
+
+void relu(const TensorH& x, TensorH& y) {
+  STOF_EXPECTS(y.shape() == x.shape());
+  parallel_for(0, x.numel(), [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    y.data()[idx] = half(std::max(0.0f, float(x.data()[idx])));
+  });
+}
+
+void gelu_op(const TensorH& x, TensorH& y) {
+  STOF_EXPECTS(y.shape() == x.shape());
+  parallel_for(0, x.numel(), [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    y.data()[idx] = half(gelu(float(x.data()[idx])));
+  });
+}
+
+void residual_add(const TensorH& a, const TensorH& b, TensorH& y) {
+  STOF_EXPECTS(a.shape() == b.shape() && y.shape() == a.shape());
+  parallel_for(0, a.numel(), [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    y.data()[idx] = half(float(a.data()[idx]) + float(b.data()[idx]));
+  });
+}
+
+gpusim::KernelCost elementwise_cost(std::int64_t elements,
+                                    double flops_per_element,
+                                    double read_bytes, double write_bytes,
+                                    const EwParams& p,
+                                    const gpusim::DeviceSpec& dev) {
+  STOF_EXPECTS(elements > 0);
+  STOF_EXPECTS(p.block_size >= 32 && p.block_size <= 1024);
+  gpusim::KernelCost c;
+  c.cuda_flops = static_cast<double>(elements) * flops_per_element;
+  c.gmem_read_bytes = read_bytes;
+  c.gmem_write_bytes = write_bytes;
+  // Elementwise kernels use no shared memory; occupancy is warp limited.
+  const int warps = p.block_size / 32;
+  const auto occ = gpusim::occupancy(dev, 0, warps);
+  c.occupancy = occ.fraction;
+  c.blocks_per_sm = std::max(1, occ.blocks_per_sm);
+  const std::int64_t per_block =
+      static_cast<std::int64_t>(p.block_size) * p.items_per_thread;
+  c.grid_blocks = (elements + per_block - 1) / per_block;
+  c.overlap = 0.85;  // streaming loads pipeline well
+  return c;
+}
+
+std::vector<EwParams> elementwise_param_space() {
+  std::vector<EwParams> space;
+  for (int bs : {128, 256, 512, 1024}) {
+    for (int ipt : {1, 2, 4, 8}) space.push_back({bs, ipt});
+  }
+  return space;
+}
+
+}  // namespace stof::ops

@@ -1,0 +1,120 @@
+#include "stof/ops/gemm.hpp"
+
+#include <cmath>
+
+#include "stof/core/check.hpp"
+#include "stof/gpusim/occupancy.hpp"
+#include "stof/parallel/parallel_for.hpp"
+
+namespace stof::ops {
+
+float gelu(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  return 0.5f * x * (1.0f + std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x)));
+}
+
+namespace {
+
+float apply_epilogue(float acc, Epilogue ep, float bias) {
+  switch (ep) {
+    case Epilogue::kNone: return acc;
+    case Epilogue::kBias: return acc + bias;
+    case Epilogue::kBiasRelu: return std::max(0.0f, acc + bias);
+    case Epilogue::kBiasGelu: return gelu(acc + bias);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void gemm(const TensorH& a, const TensorH& b, TensorH& c, Epilogue epilogue,
+          const TensorH* bias) {
+  STOF_EXPECTS(a.shape().rank() == 3, "A must be (batch, m, k)");
+  const std::int64_t batch = a.shape()[0];
+  const std::int64_t m = a.shape()[1];
+  const std::int64_t k = a.shape()[2];
+
+  const bool batched_b = b.shape().rank() == 3;
+  STOF_EXPECTS(batched_b || b.shape().rank() == 2,
+               "B must be (k, n) or (batch, k, n)");
+  const std::int64_t n = batched_b ? b.shape()[2] : b.shape()[1];
+  STOF_EXPECTS((batched_b ? b.shape()[1] : b.shape()[0]) == k,
+               "inner dimensions must agree");
+  if (batched_b) STOF_EXPECTS(b.shape()[0] == batch);
+  STOF_EXPECTS(c.shape() == (Shape{batch, m, n}), "C shape mismatch");
+  if (epilogue != Epilogue::kNone) {
+    STOF_EXPECTS(bias != nullptr && bias->shape() == (Shape{n}),
+                 "epilogue requires a (n) bias vector");
+  }
+
+  parallel_for(0, batch * m, [&](std::int64_t bm) {
+    const std::int64_t bi = bm / m;
+    const std::int64_t mi = bm % m;
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      float acc = 0.0f;  // FP32 accumulate, as on tensor cores
+      for (std::int64_t ki = 0; ki < k; ++ki) {
+        const float av = float(a.at(bi, mi, ki));
+        const float bv = batched_b ? float(b.at(bi, ki, ni))
+                                   : float(b.at(ki, ni));
+        acc += av * bv;
+      }
+      const float bv =
+          epilogue == Epilogue::kNone ? 0.0f : float(bias->at(ni));
+      c.at(bi, mi, ni) = half(apply_epilogue(acc, epilogue, bv));
+    }
+  });
+}
+
+gpusim::KernelCost gemm_cost(const GemmDims& dims, const GemmParams& p,
+                             const gpusim::DeviceSpec& dev) {
+  STOF_EXPECTS(dims.m > 0 && dims.n > 0 && dims.k > 0 && dims.batch > 0);
+  const double m = static_cast<double>(dims.m);
+  const double n = static_cast<double>(dims.n);
+  const double k = static_cast<double>(dims.k);
+  const double batch = static_cast<double>(dims.batch);
+  constexpr double kElem = 2.0;  // FP16 bytes
+
+  gpusim::KernelCost c;
+  c.tc_flops = 2.0 * batch * m * n * k;
+
+  // Each block streams BLOCK_M*K of A and K*BLOCK_N of B through shared
+  // memory; DRAM sees each operand once per L2-sized working set.
+  const double grid_m = std::ceil(m / p.block_m);
+  const double grid_n = std::ceil(n / p.block_n);
+  c.gmem_read_bytes =
+      gpusim::effective_operand_bytes(batch * m * k * kElem, grid_n, dev) +
+      gpusim::effective_operand_bytes(k * n * kElem, batch * grid_m, dev);
+  c.gmem_write_bytes = batch * m * n * kElem;
+  // Shared-memory traffic stays per-block (no L2 relief).
+  c.smem_bytes = batch * (grid_n * m * k + grid_m * k * n) * kElem;
+
+  // Stage buffers for A and B panels determine the SMEM footprint.
+  const std::int64_t req_smem =
+      static_cast<std::int64_t>(p.num_stages) *
+      (static_cast<std::int64_t>(p.block_m) + p.block_n) * p.block_k * 2;
+  const auto occ = gpusim::occupancy(dev, req_smem, p.num_warps);
+  c.occupancy = occ.fraction;
+  c.blocks_per_sm = std::max(1, occ.blocks_per_sm);
+  c.grid_blocks = static_cast<std::int64_t>(batch * grid_m * grid_n);
+  // Deeper pipelines hide more of the memory phase behind the MMA phase.
+  c.overlap = std::min(0.95, 0.45 + 0.15 * p.num_stages);
+  return c;
+}
+
+std::vector<GemmParams> gemm_param_space() {
+  std::vector<GemmParams> space;
+  for (int bm : {16, 32, 64, 128}) {
+    for (int bn : {32, 64, 128}) {
+      for (int bk : {16, 32, 64}) {
+        for (int warps : {2, 4, 8}) {
+          for (int stages : {2, 3, 4}) {
+            space.push_back({bm, bn, bk, warps, stages});
+          }
+        }
+      }
+    }
+  }
+  return space;
+}
+
+}  // namespace stof::ops

@@ -1,0 +1,101 @@
+// A small fixed-size thread pool.
+//
+// The simulated GPU executes thread blocks of a kernel launch on this pool
+// (one task per block range), mirroring the way CUDA distributes blocks
+// over SMs.  The pool follows structured-parallelism discipline: work is
+// submitted as a batch and joined before the submitting call returns, so no
+// kernel ever leaks tasks past its launch scope.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "stof/core/check.hpp"
+
+namespace stof {
+
+/// Fixed-size worker pool executing void() tasks.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue one task.  Pair with wait_idle() to join the batch.
+  void submit(std::function<void()> task) {
+    {
+      std::scoped_lock lock(mutex_);
+      STOF_CHECK(!stopping_, "submit after shutdown");
+      tasks_.push(std::move(task));
+      ++outstanding_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every submitted task has completed.
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  /// Process-wide pool shared by kernels that do not get an explicit one.
+  static ThreadPool& global() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+      {
+        std::scoped_lock lock(mutex_);
+        if (--outstanding_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace stof

@@ -1,0 +1,43 @@
+// Build-on-demand cache of BSR representations of one mask.
+//
+// Benches and baselines evaluate many methods against the same mask, each
+// at its own block granularity; building a 4096^2 BSR is the dominant cost
+// of planning, so it is shared through this cache.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "stof/masks/mask.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+
+namespace stof::sparse {
+
+class BsrCache {
+ public:
+  explicit BsrCache(masks::Mask mask) : mask_(std::move(mask)) {}
+
+  [[nodiscard]] const masks::Mask& mask() const { return mask_; }
+
+  /// BSR of the mask at (block_m x block_n); built on first request.
+  const BsrMask& at(int block_m, int block_n) {
+    const auto key = std::make_pair(block_m, block_n);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(key, std::make_unique<BsrMask>(
+                                 BsrMask::build(mask_, block_m, block_n)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] std::size_t built_count() const { return cache_.size(); }
+
+ private:
+  masks::Mask mask_;
+  std::map<std::pair<int, int>, std::unique_ptr<BsrMask>> cache_;
+};
+
+}  // namespace stof::sparse

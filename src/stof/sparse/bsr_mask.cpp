@@ -1,0 +1,158 @@
+#include "stof/sparse/bsr_mask.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace stof::sparse {
+
+BsrMask BsrMask::build(const masks::Mask& mask, std::int64_t block_m,
+                       std::int64_t block_n) {
+  STOF_EXPECTS(block_m > 0 && block_n > 0);
+  BsrMask out;
+  out.seq_len_ = mask.seq_len();
+  out.block_m_ = block_m;
+  out.block_n_ = block_n;
+
+  const std::int64_t brows = out.rows();
+  const std::int64_t bcols = out.cols();
+  out.full_row_ptr_.assign(static_cast<std::size_t>(brows) + 1, 0);
+  out.part_row_ptr_.assign(static_cast<std::size_t>(brows) + 1, 0);
+  out.load_row_ptr_.assign(static_cast<std::size_t>(brows) + 1, 0);
+
+  // Dedup map: block bitmap bytes -> id in part_masks_.
+  std::unordered_map<std::string, std::int32_t> bitmap_ids;
+
+  std::vector<std::uint8_t> bitmap(
+      static_cast<std::size_t>(block_m * block_n));
+
+  for (std::int64_t bi = 0; bi < brows; ++bi) {
+    for (std::int64_t bj = 0; bj < bcols; ++bj) {
+      // Extract the block; out-of-range elements are invalid (edge blocks).
+      std::int64_t valid = 0;
+      std::int64_t in_range = 0;
+      for (std::int64_t r = 0; r < block_m; ++r) {
+        for (std::int64_t c = 0; c < block_n; ++c) {
+          const std::int64_t i = bi * block_m + r;
+          const std::int64_t j = bj * block_n + c;
+          std::uint8_t v = 0;
+          if (i < out.seq_len_ && j < out.seq_len_) {
+            ++in_range;
+            v = mask.at(i, j) ? 1 : 0;
+          }
+          bitmap[static_cast<std::size_t>(r * block_n + c)] = v;
+          valid += v;
+        }
+      }
+      if (valid == 0) continue;  // empty block: skipped entirely
+
+      out.load_col_idx_.push_back(static_cast<std::int32_t>(bj));
+      ++out.load_row_ptr_[static_cast<std::size_t>(bi) + 1];
+
+      if (valid == in_range) {  // full block: dense compute, no mask load
+        out.full_col_idx_.push_back(static_cast<std::int32_t>(bj));
+        ++out.full_row_ptr_[static_cast<std::size_t>(bi) + 1];
+        continue;
+      }
+
+      // Part block: deduplicate the bitmap and record its id.
+      const std::string key(reinterpret_cast<const char*>(bitmap.data()),
+                            bitmap.size());
+      auto [it, inserted] = bitmap_ids.try_emplace(
+          key, static_cast<std::int32_t>(out.part_masks_.size()));
+      if (inserted) out.part_masks_.push_back(bitmap);
+      out.part_col_idx_.push_back(static_cast<std::int32_t>(bj));
+      out.part_mask_id_.push_back(it->second);
+      ++out.part_row_ptr_[static_cast<std::size_t>(bi) + 1];
+    }
+  }
+
+  // Prefix-sum the per-row counts into CSR row pointers.
+  for (std::size_t i = 1; i < out.full_row_ptr_.size(); ++i) {
+    out.full_row_ptr_[i] += out.full_row_ptr_[i - 1];
+    out.part_row_ptr_[i] += out.part_row_ptr_[i - 1];
+    out.load_row_ptr_[i] += out.load_row_ptr_[i - 1];
+  }
+
+  STOF_ENSURES(out.load_row_ptr_.back() ==
+               static_cast<std::int64_t>(out.load_col_idx_.size()));
+  return out;
+}
+
+BlockKind BsrMask::block_kind(std::int64_t bi, std::int64_t bj) const {
+  STOF_EXPECTS(bi >= 0 && bi < rows() && bj >= 0 && bj < cols());
+  const auto in_row = [bj](const std::vector<std::int64_t>& ptr,
+                           const std::vector<std::int32_t>& idx,
+                           std::int64_t row) {
+    const auto first = idx.begin() + ptr[static_cast<std::size_t>(row)];
+    const auto last = idx.begin() + ptr[static_cast<std::size_t>(row) + 1];
+    return std::binary_search(first, last, static_cast<std::int32_t>(bj));
+  };
+  if (in_row(full_row_ptr_, full_col_idx_, bi)) return BlockKind::kFull;
+  if (in_row(part_row_ptr_, part_col_idx_, bi)) return BlockKind::kPart;
+  return BlockKind::kEmpty;
+}
+
+const std::vector<std::uint8_t>& BsrMask::part_bitmap(std::int64_t bi,
+                                                      std::int64_t bj) const {
+  STOF_EXPECTS(bi >= 0 && bi < rows());
+  const auto first =
+      part_col_idx_.begin() + part_row_ptr_[static_cast<std::size_t>(bi)];
+  const auto last =
+      part_col_idx_.begin() + part_row_ptr_[static_cast<std::size_t>(bi) + 1];
+  const auto it = std::lower_bound(first, last, static_cast<std::int32_t>(bj));
+  STOF_EXPECTS(it != last && *it == bj, "block is not a part block");
+  const auto pos = static_cast<std::size_t>(it - part_col_idx_.begin());
+  return part_masks_[static_cast<std::size_t>(part_mask_id_[pos])];
+}
+
+std::size_t BsrMask::storage_bytes() const {
+  std::size_t bytes = 0;
+  bytes += (full_row_ptr_.size() + part_row_ptr_.size() +
+            load_row_ptr_.size()) *
+           sizeof(std::int64_t);
+  bytes += (full_col_idx_.size() + part_col_idx_.size() +
+            part_mask_id_.size() + load_col_idx_.size()) *
+           sizeof(std::int32_t);
+  for (const auto& m : part_masks_) bytes += m.size();
+  return bytes;
+}
+
+masks::Mask BsrMask::to_dense() const {
+  masks::Mask m(seq_len_);
+  for (std::int64_t bi = 0; bi < rows(); ++bi) {
+    // Full blocks.
+    for (std::int64_t k = full_row_ptr_[static_cast<std::size_t>(bi)];
+         k < full_row_ptr_[static_cast<std::size_t>(bi) + 1]; ++k) {
+      const std::int64_t bj = full_col_idx_[static_cast<std::size_t>(k)];
+      for (std::int64_t r = 0; r < block_m_; ++r) {
+        for (std::int64_t c = 0; c < block_n_; ++c) {
+          const std::int64_t i = bi * block_m_ + r;
+          const std::int64_t j = bj * block_n_ + c;
+          if (i < seq_len_ && j < seq_len_) m.set(i, j);
+        }
+      }
+    }
+    // Part blocks.
+    for (std::int64_t k = part_row_ptr_[static_cast<std::size_t>(bi)];
+         k < part_row_ptr_[static_cast<std::size_t>(bi) + 1]; ++k) {
+      const std::int64_t bj = part_col_idx_[static_cast<std::size_t>(k)];
+      const auto& bm =
+          part_masks_[static_cast<std::size_t>(
+              part_mask_id_[static_cast<std::size_t>(k)])];
+      for (std::int64_t r = 0; r < block_m_; ++r) {
+        for (std::int64_t c = 0; c < block_n_; ++c) {
+          const std::int64_t i = bi * block_m_ + r;
+          const std::int64_t j = bj * block_n_ + c;
+          if (i < seq_len_ && j < seq_len_ &&
+              bm[static_cast<std::size_t>(r * block_n_ + c)]) {
+            m.set(i, j);
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace stof::sparse

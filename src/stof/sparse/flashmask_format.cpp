@@ -1,0 +1,82 @@
+#include "stof/sparse/flashmask_format.hpp"
+
+namespace stof::sparse {
+namespace {
+
+// Masked-out rows of column j restricted to [range_lo, range_hi) must form
+// one contiguous run; returns {start, end} of that run ({0,0} if none) or
+// nullopt-like {-1,-1} when the column is not representable.
+struct Run {
+  std::int32_t start = 0;
+  std::int32_t end = 0;
+  bool ok = true;
+};
+
+Run masked_run(const masks::Mask& m, std::int64_t j, std::int64_t lo,
+               std::int64_t hi) {
+  Run run;
+  std::int64_t first = -1, last = -1;
+  std::int64_t count = 0;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    if (!m.at(i, j)) {
+      if (first < 0) first = i;
+      last = i;
+      ++count;
+    }
+  }
+  if (count == 0) return run;
+  if (last - first + 1 != count) {
+    run.ok = false;
+    return run;
+  }
+  run.start = static_cast<std::int32_t>(first);
+  run.end = static_cast<std::int32_t>(last + 1);
+  return run;
+}
+
+}  // namespace
+
+bool FlashmaskFormat::representable(const masks::Mask& mask) {
+  const std::int64_t n = mask.seq_len();
+  for (std::int64_t j = 0; j < n; ++j) {
+    if (!masked_run(mask, j, j, n).ok) return false;      // lower triangle
+    if (!masked_run(mask, j, 0, j).ok) return false;      // upper triangle
+  }
+  return true;
+}
+
+FlashmaskFormat FlashmaskFormat::build(const masks::Mask& mask) {
+  STOF_EXPECTS(representable(mask),
+               "mask has discrete column runs; FlashMask cannot express it");
+  FlashmaskFormat out;
+  const std::int64_t n = mask.seq_len();
+  out.seq_len_ = n;
+  out.lt_start_.resize(static_cast<std::size_t>(n));
+  out.lt_end_.resize(static_cast<std::size_t>(n));
+  out.ut_start_.resize(static_cast<std::size_t>(n));
+  out.ut_end_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    const Run lt = masked_run(mask, j, j, n);
+    const Run ut = masked_run(mask, j, 0, j);
+    out.lt_start_[static_cast<std::size_t>(j)] = lt.start;
+    out.lt_end_[static_cast<std::size_t>(j)] = lt.end;
+    out.ut_start_[static_cast<std::size_t>(j)] = ut.start;
+    out.ut_end_[static_cast<std::size_t>(j)] = ut.end;
+  }
+  return out;
+}
+
+masks::Mask FlashmaskFormat::to_dense() const {
+  masks::Mask m(seq_len_);
+  for (std::int64_t j = 0; j < seq_len_; ++j) {
+    const auto sj = static_cast<std::size_t>(j);
+    for (std::int64_t i = 0; i < seq_len_; ++i) {
+      const bool in_lt = i >= lt_start_[sj] && i < lt_end_[sj];
+      const bool in_ut = i >= ut_start_[sj] && i < ut_end_[sj];
+      if (!in_lt && !in_ut) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+}  // namespace stof::sparse

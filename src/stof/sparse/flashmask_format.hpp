@@ -1,0 +1,59 @@
+// FlashMask's column-wise mask representation (baseline, paper §3.1).
+//
+// FlashMask [56] describes a mask by four per-column arrays — the start and
+// end rows of a skipped region below the diagonal (LTStart/LTEnd) and above
+// it (UTStart/UTEnd).  This is compact and kernel-friendly, but it can only
+// express masks whose *masked-out* rows form at most one contiguous run in
+// each triangle of every column.  Discrete distributions (dilated holes,
+// BigBird's random blocks) are NOT representable — exactly the limitation
+// the paper's motivation section exercises, so `representable()` is part of
+// the public API and is tested against every pattern family.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stof/core/check.hpp"
+#include "stof/masks/mask.hpp"
+
+namespace stof::sparse {
+
+/// Column-wise two-span mask representation, as in FlashMask.
+class FlashmaskFormat {
+ public:
+  /// True when every column's masked-out rows form at most one contiguous
+  /// run at or below the diagonal and one strictly above it.
+  static bool representable(const masks::Mask& mask);
+
+  /// Build the representation. Precondition: representable(mask).
+  static FlashmaskFormat build(const masks::Mask& mask);
+
+  [[nodiscard]] std::int64_t seq_len() const { return seq_len_; }
+
+  // Per-column skipped regions, [start, end) row ranges.
+  [[nodiscard]] const std::vector<std::int32_t>& lt_start() const {
+    return lt_start_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& lt_end() const {
+    return lt_end_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& ut_start() const {
+    return ut_start_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& ut_end() const {
+    return ut_end_;
+  }
+
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return 4 * static_cast<std::size_t>(seq_len_) * sizeof(std::int32_t);
+  }
+
+  [[nodiscard]] masks::Mask to_dense() const;
+
+ private:
+  std::int64_t seq_len_ = 0;
+  std::vector<std::int32_t> lt_start_, lt_end_;  // skipped rows, r >= col
+  std::vector<std::int32_t> ut_start_, ut_end_;  // skipped rows, r <  col
+};
+
+}  // namespace stof::sparse

@@ -1,0 +1,63 @@
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::sparse {
+
+RowwiseMask RowwiseMask::build(const masks::Mask& mask) {
+  RowwiseMask out;
+  out.seq_len_ = mask.seq_len();
+  const std::int64_t n = out.seq_len_;
+  out.row_ptr_.reserve(static_cast<std::size_t>(n) + 1);
+  out.seg_row_ptr_.reserve(static_cast<std::size_t>(n) + 1);
+  out.row_ptr_.push_back(0);
+  out.seg_row_ptr_.push_back(0);
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t seg_begin = -1;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (mask.at(i, j)) {
+        out.col_idx_.push_back(static_cast<std::int32_t>(j));
+        if (seg_begin < 0) seg_begin = j;
+      } else if (seg_begin >= 0) {
+        out.segments_.push_back({static_cast<std::int32_t>(seg_begin),
+                                 static_cast<std::int32_t>(j)});
+        seg_begin = -1;
+      }
+    }
+    if (seg_begin >= 0) {
+      out.segments_.push_back(
+          {static_cast<std::int32_t>(seg_begin), static_cast<std::int32_t>(n)});
+    }
+    out.row_ptr_.push_back(static_cast<std::int64_t>(out.col_idx_.size()));
+    out.seg_row_ptr_.push_back(static_cast<std::int64_t>(out.segments_.size()));
+  }
+  return out;
+}
+
+std::int64_t RowwiseMask::max_row_nnz() const {
+  std::int64_t best = 0;
+  for (std::int64_t i = 0; i < seq_len_; ++i) best = std::max(best, row_nnz(i));
+  return best;
+}
+
+double RowwiseMask::mean_segments_per_row() const {
+  std::int64_t nonempty = 0;
+  for (std::int64_t i = 0; i < seq_len_; ++i) {
+    if (row_nnz(i) > 0) ++nonempty;
+  }
+  if (nonempty == 0) return 0.0;
+  return static_cast<double>(segments_.size()) /
+         static_cast<double>(nonempty);
+}
+
+masks::Mask RowwiseMask::to_dense() const {
+  masks::Mask m(seq_len_);
+  for (std::int64_t i = 0; i < seq_len_; ++i) {
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      m.set(i, col_idx_[static_cast<std::size_t>(k)]);
+    }
+  }
+  return m;
+}
+
+}  // namespace stof::sparse

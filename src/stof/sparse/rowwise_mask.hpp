@@ -1,0 +1,77 @@
+// Row-wise sparse mask storage.
+//
+// The row-wise MHA kernel slices Q into single rows; each row needs the
+// list of key columns it attends to.  Two views of the same data are kept:
+// a CSR column-index list (what the kernel's gather loop walks) and a
+// per-row segment list (runs of contiguous columns, which the kernel uses
+// to issue coalesced loads and which quantifies the locality that makes
+// the row-wise kernel profitable on concentrated masks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stof/core/check.hpp"
+#include "stof/masks/mask.hpp"
+
+namespace stof::sparse {
+
+/// A run of contiguous valid columns [begin, end) within one row.
+struct ColumnSegment {
+  std::int32_t begin = 0;
+  std::int32_t end = 0;
+
+  friend bool operator==(const ColumnSegment&, const ColumnSegment&) = default;
+};
+
+/// CSR + segment representation of a mask for the row-wise kernel.
+class RowwiseMask {
+ public:
+  static RowwiseMask build(const masks::Mask& mask);
+
+  [[nodiscard]] std::int64_t seq_len() const { return seq_len_; }
+
+  [[nodiscard]] const std::vector<std::int64_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& seg_row_ptr() const {
+    return seg_row_ptr_;
+  }
+  [[nodiscard]] const std::vector<ColumnSegment>& segments() const {
+    return segments_;
+  }
+
+  [[nodiscard]] std::int64_t valid_count() const {
+    return static_cast<std::int64_t>(col_idx_.size());
+  }
+  [[nodiscard]] std::int64_t row_nnz(std::int64_t i) const {
+    STOF_EXPECTS(i >= 0 && i < seq_len_);
+    return row_ptr_[static_cast<std::size_t>(i) + 1] -
+           row_ptr_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::int64_t max_row_nnz() const;
+
+  /// Mean segments per non-empty row: 1.0 means perfectly contiguous rows.
+  [[nodiscard]] double mean_segments_per_row() const;
+
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return row_ptr_.size() * sizeof(std::int64_t) +
+           col_idx_.size() * sizeof(std::int32_t) +
+           seg_row_ptr_.size() * sizeof(std::int64_t) +
+           segments_.size() * sizeof(ColumnSegment);
+  }
+
+  [[nodiscard]] masks::Mask to_dense() const;
+
+ private:
+  std::int64_t seq_len_ = 0;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  std::vector<std::int64_t> seg_row_ptr_;
+  std::vector<ColumnSegment> segments_;
+};
+
+}  // namespace stof::sparse

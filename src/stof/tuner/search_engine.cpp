@@ -1,0 +1,487 @@
+#include "stof/tuner/search_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "stof/fusion/templates.hpp"
+
+namespace stof::tuner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using fusion::FusionScheme;
+using fusion::Segment;
+using fusion::TemplateKind;
+using fusion::TemplateParams;
+using models::ExecutionPlan;
+
+double elapsed_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Shared evaluation harness: simulates plans, caches results by scheme
+/// hash + parameter keys, and accounts simulated tuning cost.
+class Evaluator {
+ public:
+  Evaluator(const models::Executor& executor, const TuningOptions& options,
+            TuningReport& report)
+      : executor_(executor), options_(options), report_(report) {}
+
+  /// Simulated e2e time of `plan`; +inf for unsupported configurations.
+  /// `changed_segment` >= 0 means this evaluation re-measures only that
+  /// segment's kernel (the paper's tuners compare operator performance,
+  /// not end-to-end inference, per candidate) — the measurement part of
+  /// the tuning cost then covers just the affected kernel.
+  double evaluate(const ExecutionPlan& plan,
+                  std::int64_t changed_segment = -1) {
+    const auto conv_start = Clock::now();
+    std::string key = plan.scheme.to_hex();
+    for (const auto& p : plan.segment_params) {
+      key += '|';
+      key += p.key();
+    }
+    report_.breakdown.conversion_us += elapsed_us(conv_start);
+
+    if (options_.use_cache) {
+      if (const auto it = cache_.find(key); it != cache_.end()) {
+        ++report_.cache_hits;
+        return it->second;
+      }
+    }
+
+    const auto r = executor_.simulate(plan);
+    const double time_us = r.supported ? r.time_us : 1e300;
+    cache_.emplace(std::move(key), time_us);
+    ++report_.evaluations;
+
+    // Table 4 cost model: compile each unseen configuration, then run it.
+    // An infeasible configuration fails compilation fast and is charged a
+    // fraction of a successful compile.
+    if (!r.supported) {
+      report_.tuning_cost_s +=
+          options_.failed_compile_fraction * options_.compile_seconds;
+      return time_us;
+    }
+    const auto segs = plan.scheme.segments();
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const auto kind = fusion::classify_segment(executor_.graph(), segs[i]);
+      std::string cfg = fusion::to_string(kind) + ':';
+      if (!plan.segment_params.empty()) cfg += plan.segment_params[i].key();
+      if (compiled_.insert(std::move(cfg)).second) {
+        report_.tuning_cost_s += options_.compile_seconds;
+      }
+    }
+    double measured_us = time_us;
+    if (changed_segment >= 0) {
+      const auto seg = segs[static_cast<std::size_t>(changed_segment)];
+      const auto kind = fusion::classify_segment(executor_.graph(), seg);
+      if (kind != fusion::TemplateKind::kUnifiedMha) {
+        const auto& p = plan.segment_params.empty()
+                            ? TemplateParams{}
+                            : plan.segment_params[static_cast<std::size_t>(
+                                  changed_segment)];
+        measured_us = gpusim::estimate_time_us(
+            fusion::segment_cost(executor_.graph(), seg, kind, p,
+                                 executor_.device()),
+            executor_.device());
+      }
+    }
+    report_.tuning_cost_s += options_.runs_per_eval * measured_us * 1e-6;
+    return time_us;
+  }
+
+ private:
+  const models::Executor& executor_;
+  const TuningOptions& options_;
+  TuningReport& report_;
+  std::unordered_map<std::string, double> cache_;
+  std::unordered_set<std::string> compiled_;
+};
+
+/// Materialize per-segment params from a begin-index keyed map.
+std::vector<TemplateParams> materialize(
+    const FusionScheme& scheme,
+    const std::map<std::int64_t, TemplateParams>& by_begin) {
+  std::vector<TemplateParams> out;
+  for (const auto& seg : scheme.segments()) {
+    const auto it = by_begin.find(seg.begin);
+    out.push_back(it == by_begin.end() ? TemplateParams{} : it->second);
+  }
+  return out;
+}
+
+struct Move {
+  FusionScheme scheme;
+  std::int64_t changed_begin = 0;  ///< begin index of the affected segment
+  int priority = 1;  ///< compete rule: lower value moves first
+};
+
+bool segment_is_mi_only(const graph::Graph& g, const Segment& seg) {
+  for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+    const auto& n = g.node(i);
+    if (graph::is_compute_intensive(n.kind) || graph::is_mha_op(n.kind) ||
+        n.kind == graph::OpKind::kInput) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t segment_ci_count(const graph::Graph& g, const Segment& seg) {
+  std::int64_t ci = 0;
+  for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+    ci += graph::is_compute_intensive(g.node(i).kind) ? 1 : 0;
+  }
+  return ci;
+}
+
+/// Generate the expand/seize moves available at boundary `i` (between
+/// segments[i] and segments[i+1]) of `scheme`, compete-ordered.
+std::vector<Move> moves_at_boundary(const graph::Graph& g,
+                                    const FusionScheme& scheme,
+                                    std::size_t i) {
+  std::vector<Move> moves;
+  const auto segs = scheme.segments();
+  STOF_EXPECTS(i + 1 < segs.size());
+  const std::int64_t n = scheme.n_ops();
+  const Segment& a = segs[i];
+  const Segment& b = segs[i + 1];
+
+  const auto try_add = [&](const Segment& left, const Segment& right,
+                           std::int64_t changed_begin, int priority) {
+    std::vector<Segment> cand;
+    for (std::size_t k = 0; k < segs.size(); ++k) {
+      if (k == i) {
+        cand.push_back(left);
+        if (right.size() > 0) cand.push_back(right);
+      } else if (k != i + 1) {
+        cand.push_back(segs[k]);
+      }
+    }
+    FusionScheme s = FusionScheme::from_segments(cand, n);
+    if (!s.valid_for(g)) return;
+    moves.push_back({std::move(s), changed_begin, priority});
+  };
+
+  // expand: merge the two segments wholesale.
+  try_add({a.begin, b.end}, {0, 0}, a.begin, 1);
+
+  // seize: a CI-bearing segment takes one op from an MI-only neighbour;
+  // compete: the segment with exactly one CI operator extends first.
+  const std::int64_t ci_a = segment_ci_count(g, a);
+  const std::int64_t ci_b = segment_ci_count(g, b);
+  if (ci_a >= 1 && segment_is_mi_only(g, b) && b.size() > 1) {
+    try_add({a.begin, a.end + 1}, {b.begin + 1, b.end}, a.begin,
+            ci_a == 1 ? 0 : 1);
+  }
+  if (ci_b >= 1 && segment_is_mi_only(g, a) && a.size() > 1) {
+    try_add({a.begin, a.end - 1}, {a.end - 1, b.end}, a.end - 1,
+            ci_b == 1 ? 0 : 1);
+  }
+
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const Move& x, const Move& y) {
+                     return x.priority < y.priority;
+                   });
+  return moves;
+}
+
+}  // namespace
+
+SearchEngine::SearchEngine(const models::Executor& executor,
+                           TuningOptions options)
+    : executor_(executor), options_(options) {}
+
+TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
+  TuningReport report;
+  const auto wall_start = Clock::now();
+  Evaluator eval(executor_, options_, report);
+  Rng rng(options_.seed);
+  const auto& g = executor_.graph();
+
+  // ---- Initialization (analysis model) -------------------------------------
+  // The rule-based scheme is the primary start; when the engine chooses its
+  // own starts it additionally probes the conservative MHA-fused detached
+  // layout — the grow-only expansion cannot undo a bad seed, so a second
+  // start point guards against rule-seeded local optima.  Both runs share
+  // the evaluation cache, so the extra cost is small.
+  const auto init_start = Clock::now();
+  std::vector<ExecutionPlan> starts;
+  if (initial.has_value()) {
+    starts.push_back(*initial);
+  } else {
+    starts.push_back(baselines::stof_initial_plan(g, &executor_.device()));
+    starts.push_back(baselines::mha_fused_detached_plan(g));
+  }
+  report.breakdown.analysis_us += elapsed_us(init_start);
+
+  ExecutionPlan best_plan;
+  double best_time = 1e300;
+  for (auto& start : starts) {
+  ExecutionPlan current = start;
+  current.segment_params.clear();
+  std::map<std::int64_t, TemplateParams> params_by_begin;
+
+  current.segment_params = materialize(current.scheme, params_by_begin);
+  double current_time = eval.evaluate(current);
+  ++report.schemes_explored;
+
+  // ---- Stage 1: fusion expansion with feedback and rollback ----------------
+  // Greedy depth-first boundary sweep: at each segment boundary the engine
+  // tries the compete-ordered expand/seize moves; an improving move is
+  // adopted and the same boundary is revisited (deeper expansion), a
+  // non-improving move rolls back.  Sweeps repeat until a fixed point.
+  constexpr int kMaxSweeps = 4;
+  const int stage1_eval_cap = report.evaluations + options_.stage1_max_evals;
+  for (int sweep = 0;
+       sweep < kMaxSweeps && report.evaluations < stage1_eval_cap; ++sweep) {
+    bool improved = false;
+    std::size_t boundary = 0;
+    while (boundary + 1 < current.scheme.segments().size() &&
+           report.evaluations < stage1_eval_cap) {
+      bool adopted = false;
+      for (auto& move : moves_at_boundary(g, current.scheme, boundary)) {
+        ++report.schemes_explored;
+        // Sample a few parameter settings for the changed segment; keep
+        // the best (the paper samples a fixed number pre/post fusion).
+        // The per-scheme RNG seed makes revisits reproduce the same
+        // samples, so the evaluation cache absorbs them.
+        Rng move_rng(options_.seed ^
+                     std::hash<std::string>{}(move.scheme.to_hex()));
+        const auto segs = move.scheme.segments();
+        std::size_t changed = 0;
+        for (std::size_t k = 0; k < segs.size(); ++k) {
+          if (segs[k].begin == move.changed_begin) changed = k;
+        }
+        const auto kind = fusion::classify_segment(g, segs[changed]);
+        const auto space = fusion::template_param_space(kind);
+
+        double best_time = 1e300;
+        TemplateParams best_params;
+        for (int t = 0; t <= options_.samples_per_candidate; ++t) {
+          TemplateParams p;  // t == 0 probes the default setting
+          if (t > 0) p = space[move_rng.next_below(space.size())];
+          ExecutionPlan cand;
+          cand.scheme = move.scheme;
+          auto by_begin = params_by_begin;
+          by_begin[move.changed_begin] = p;
+          cand.segment_params = materialize(cand.scheme, by_begin);
+          const double t_us =
+              eval.evaluate(cand, static_cast<std::int64_t>(changed));
+          if (t_us < best_time) {
+            best_time = t_us;
+            best_params = p;
+          }
+        }
+
+        if (best_time < current_time) {
+          current.scheme = move.scheme;
+          params_by_begin[move.changed_begin] = best_params;
+          current.segment_params =
+              materialize(current.scheme, params_by_begin);
+          current_time = best_time;
+          improved = true;
+          adopted = true;
+          break;  // depth-first: revisit the same boundary after adoption
+        }
+        // else: roll back (nothing was committed).
+      }
+      if (!adopted) ++boundary;
+    }
+    if (!improved) break;
+  }
+
+  // ---- Stage 2: reward-based parameter sampling -----------------------------
+  const auto segs = current.scheme.segments();
+  std::vector<int> allocation(segs.size(), 0);
+  std::int64_t rewarded = -1;
+  for (int iter = 0; iter < options_.stage2_iterations; ++iter) {
+    const auto reward_start = Clock::now();
+    const int base =
+        std::max(1, options_.stage2_budget / static_cast<int>(segs.size()));
+    for (std::size_t k = 0; k < segs.size(); ++k) {
+      allocation[k] = base;
+      if (static_cast<std::int64_t>(k) == rewarded) {
+        allocation[k] += options_.reward_bonus;
+      }
+    }
+    report.breakdown.reward_us += elapsed_us(reward_start);
+
+    double best_gain = 0;
+    std::int64_t best_segment = -1;
+    for (std::size_t k = 0; k < segs.size(); ++k) {
+      const auto kind = fusion::classify_segment(g, segs[k]);
+      if (kind == TemplateKind::kUnifiedMha) continue;  // analytical model
+      const auto space = fusion::template_param_space(kind);
+      for (int t = 0; t < allocation[k]; ++t) {
+        const TemplateParams p = space[rng.next_below(space.size())];
+        ExecutionPlan cand = current;
+        cand.segment_params[k] = p;
+        const double t_us =
+            eval.evaluate(cand, static_cast<std::int64_t>(k));
+        if (t_us < current_time) {
+          const double gain = current_time - t_us;
+          current = cand;
+          params_by_begin[segs[k].begin] = p;
+          current_time = t_us;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_segment = static_cast<std::int64_t>(k);
+          }
+        }
+      }
+    }
+    const auto reward_pick = Clock::now();
+    rewarded = best_segment;
+    report.breakdown.reward_us += elapsed_us(reward_pick);
+  }
+
+  if (current_time < best_time) {
+    best_time = current_time;
+    best_plan = current;
+  }
+  }  // for each start
+
+  report.best_plan = best_plan;
+  report.best_time_us = best_time;
+  report.breakdown.total_wall_us = elapsed_us(wall_start);
+  return report;
+}
+
+namespace {
+
+/// Shared scaffolding of the per-segment enumeration tuners.
+TuningReport enumerate_tuner(const models::Executor& executor,
+                             const TuningOptions& options,
+                             baselines::Method method,
+                             bool prune_rules) {
+  TuningReport report;
+  const auto wall_start = Clock::now();
+  Evaluator eval(executor, options, report);
+  const auto& g = executor.graph();
+
+  ExecutionPlan current = baselines::e2e_plan(method, g);
+
+  // Seed every segment with a feasible setting: the default tiling may not
+  // launch (e.g. a LayerNorm-epilogue row buffer exceeding SMEM), and the
+  // per-segment enumeration below could never repair several broken
+  // segments at once.  A segment with *no* feasible instantiation falls
+  // back to unfused single operators, as the real backends do.
+  const auto seg_feasible = [&](const Segment& seg, TemplateKind kind,
+                                const TemplateParams& p) {
+    const auto c = fusion::segment_cost(g, seg, kind, p, executor.device());
+    return c.occupancy > 0 || c.launches == 0;
+  };
+  {
+    std::vector<Segment> reworked;
+    std::vector<TemplateParams> seeded;
+    for (const auto& seg : current.scheme.segments()) {
+      const auto kind = fusion::classify_segment(g, seg);
+      if (kind == TemplateKind::kUnifiedMha) {
+        reworked.push_back(seg);
+        seeded.emplace_back();
+        continue;
+      }
+      TemplateParams chosen;
+      bool found = seg_feasible(seg, kind, chosen);
+      if (!found) {
+        for (const auto& p : fusion::template_param_space(kind)) {
+          if (seg_feasible(seg, kind, p)) {
+            chosen = p;
+            found = true;
+            break;
+          }
+        }
+      }
+      if (found) {
+        reworked.push_back(seg);
+        seeded.push_back(chosen);
+        continue;
+      }
+      // No instantiation fits: split into unfused single operators.
+      for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+        reworked.push_back({i, i + 1});
+        seeded.emplace_back();
+      }
+    }
+    current.scheme = FusionScheme::from_segments(
+        reworked, static_cast<std::int64_t>(g.size()));
+    current.segment_params = std::move(seeded);
+  }
+  const auto segs = current.scheme.segments();
+
+  double current_time = eval.evaluate(current);
+  ++report.schemes_explored;
+
+  // Transformer layers repeat, so both tuners enumerate one representative
+  // per unique segment shape and broadcast its best setting to the clones.
+  std::unordered_map<std::string, TemplateParams> best_by_shape;
+  const auto shape_of = [&g](const Segment& seg, TemplateKind kind) {
+    std::string sig = fusion::to_string(kind);
+    for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+      const auto& n = g.node(i);
+      sig += ';' + std::to_string(static_cast<int>(n.kind)) + ',' +
+             std::to_string(n.rows) + ',' + std::to_string(n.cols) + ',' +
+             std::to_string(n.inner);
+    }
+    return sig;
+  };
+
+  for (std::size_t k = 0; k < segs.size(); ++k) {
+    const auto kind = fusion::classify_segment(g, segs[k]);
+    if (kind == TemplateKind::kUnifiedMha) continue;
+    const std::string sig = shape_of(segs[k], kind);
+    if (const auto it = best_by_shape.find(sig); it != best_by_shape.end()) {
+      ExecutionPlan cand = current;
+      cand.segment_params[k] = it->second;
+      const double t_us = eval.evaluate(cand, static_cast<std::int64_t>(k));
+      if (t_us < current_time) {
+        current = cand;
+        current_time = t_us;
+      }
+      continue;
+    }
+    auto space = fusion::template_param_space(kind);
+    if (prune_rules) {
+      // MCFuser's rule pruning: drop deep pipelines and tiny K tiles.
+      std::erase_if(space, [](const TemplateParams& p) {
+        return p.gemm.num_stages > 3 || p.gemm.block_k < 32;
+      });
+    }
+    TemplateParams best_params;
+    for (const auto& p : space) {
+      ExecutionPlan cand = current;
+      cand.segment_params[k] = p;
+      const double t_us = eval.evaluate(cand, static_cast<std::int64_t>(k));
+      if (t_us < current_time) {
+        current = cand;
+        current_time = t_us;
+        best_params = p;
+      }
+    }
+    best_by_shape.emplace(sig, best_params);
+  }
+
+  report.best_plan = current;
+  report.best_time_us = current_time;
+  report.breakdown.total_wall_us = elapsed_us(wall_start);
+  return report;
+}
+
+}  // namespace
+
+TuningReport tune_mcfuser(const models::Executor& executor,
+                          TuningOptions options) {
+  return enumerate_tuner(executor, options, baselines::Method::kMcfuser,
+                         /*prune_rules=*/true);
+}
+
+TuningReport tune_bolt(const models::Executor& executor,
+                       TuningOptions options) {
+  options.failed_compile_fraction = 1.0;  // CUTLASS fails at launch time
+  return enumerate_tuner(executor, options, baselines::Method::kBolt,
+                         /*prune_rules=*/false);
+}
+
+}  // namespace stof::tuner

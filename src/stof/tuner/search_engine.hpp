@@ -1,0 +1,102 @@
+// Two-stage hierarchical search engine (paper §4.4, Fig. 9).
+//
+// Stage 1 — fusion expansion.  Starting from the rule-based initial scheme,
+// the engine generates boundary moves:
+//   * expand  — merge two adjacent segments,
+//   * seize   — a segment containing a CI operator takes one operator from
+//               an adjacent MI-only segment,
+//   * compete — when two segments could take the same operator, the one
+//               with exactly one CI operator moves first (move ordering).
+// Each candidate is scored by simulated end-to-end time over a few sampled
+// parameter settings; improving moves are kept, others rolled back, and
+// every (scheme, parameters) evaluation is cached by its hash code so the
+// same attempt never executes twice.
+//
+// Stage 2 — reward-based parameter sampling.  On the frozen scheme, every
+// iteration spends a fixed budget of parameter samples across segments; the
+// segment that produced the largest gain is rewarded with extra samples in
+// the next iteration.
+//
+// Tuning cost (Table 4) is accounted per *executed* evaluation: one
+// simulated Triton compilation for each previously unseen template
+// configuration plus `runs_per_eval` timed inferences.  Cache hits cost
+// nothing — the mechanism the paper credits for STOF's tuning speed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/models/executor.hpp"
+
+namespace stof::tuner {
+
+struct TuningOptions {
+  int samples_per_candidate = 3;  ///< stage-1 params sampled per move
+  int stage2_iterations = 4;
+  int stage2_budget = 16;         ///< parameter samples per iteration
+  int reward_bonus = 2;           ///< extra samples for the winning segment
+  std::uint64_t seed = 42;
+
+  int stage1_max_evals = 120;     ///< fixed stage-1 search budget
+  bool use_cache = true;          ///< ablation: disable the result cache
+
+  // Tuning-cost model (Table 4).
+  double compile_seconds = 0.4;   ///< per previously-unseen configuration
+  int runs_per_eval = 100;        ///< the paper measures 100 runs
+  /// Cost fraction of a failed (infeasible) configuration: Triton rejects
+  /// over-allocated kernels fast (0.25); CUTLASS instantiations compile
+  /// fully and only fail at launch (1.0, used by the Bolt tuner).
+  double failed_compile_fraction = 0.25;
+};
+
+/// Host-side overhead breakdown (Fig. 14), all wall-clock.
+struct PhaseBreakdown {
+  double analysis_us = 0;    ///< rule-based init + analytical modeling
+  double conversion_us = 0;  ///< scheme hash encoding/decoding + mapping
+  double reward_us = 0;      ///< reward-allocation bookkeeping
+  double total_wall_us = 0;  ///< entire tuning run
+};
+
+struct TuningReport {
+  models::ExecutionPlan best_plan;
+  double best_time_us = 0;
+  int schemes_explored = 0;
+  int evaluations = 0;  ///< executed (uncached) evaluations
+  int cache_hits = 0;
+  double tuning_cost_s = 0;  ///< simulated tuning time (Table 4)
+  PhaseBreakdown breakdown;
+};
+
+/// STOF's search engine over one executor (model x config x device).
+class SearchEngine {
+ public:
+  explicit SearchEngine(const models::Executor& executor,
+                        TuningOptions options = {});
+
+  /// Run both stages and return the tuned plan with cost accounting.
+  /// `initial` overrides the rule-based initial scheme (used by the
+  /// fusion-only ablation, which starts from the detached-MHA layout).
+  TuningReport tune(std::optional<models::ExecutionPlan> initial = {});
+
+ private:
+  const models::Executor& executor_;
+  TuningOptions options_;
+};
+
+/// MCFuser-style tuner: loop-space enumeration with rule pruning per CI
+/// segment, analytical ranking, no cross-candidate cache (Table 1 row).
+TuningReport tune_mcfuser(const models::Executor& executor,
+                          TuningOptions options = {});
+
+/// Bolt-style tuner: exhaustive template-parameter enumeration per
+/// segment, no cache (Table 1 row).
+TuningReport tune_bolt(const models::Executor& executor,
+                       TuningOptions options = {});
+
+}  // namespace stof::tuner

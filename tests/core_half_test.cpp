@@ -1,0 +1,104 @@
+// Unit tests for the binary16 emulation in stof/core/half.hpp.
+#include "stof/core/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace stof {
+namespace {
+
+TEST(Half, ZeroRoundTrips) {
+  EXPECT_EQ(half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(float(half(0.0f)), 0.0f);
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(half(-2.0f).bits(), 0xc000);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bff);  // max finite half
+}
+
+TEST(Half, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(float(half(static_cast<float>(i))), static_cast<float>(i))
+        << "integer " << i;
+  }
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_EQ(half(70000.0f).bits(), 0x7c00);
+  EXPECT_EQ(half(-70000.0f).bits(), 0xfc00);
+  EXPECT_TRUE(std::isinf(float(half(1e10f))));
+}
+
+TEST(Half, InfinityAndNanPropagate) {
+  EXPECT_TRUE(std::isinf(float(half(std::numeric_limits<float>::infinity()))));
+  EXPECT_TRUE(std::isnan(float(half(std::numeric_limits<float>::quiet_NaN()))));
+  EXPECT_TRUE(std::isnan(float(std::numeric_limits<half>::quiet_NaN())));
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const float denorm_min = float(std::numeric_limits<half>::denorm_min());
+  EXPECT_GT(denorm_min, 0.0f);
+  EXPECT_EQ(half(denorm_min).bits(), 0x0001);
+  // Half of the smallest subnormal rounds to zero (round-to-nearest-even).
+  EXPECT_EQ(half(denorm_min * 0.49f).bits(), 0x0000);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 2049 is exactly between representable 2048 and 2050 -> rounds to 2048.
+  EXPECT_EQ(float(half(2049.0f)), 2048.0f);
+  // 2051 is between 2050 and 2052 -> rounds to 2052 (even mantissa).
+  EXPECT_EQ(float(half(2051.0f)), 2052.0f);
+}
+
+TEST(Half, ConversionIsMonotonic) {
+  float prev = -65504.0f;
+  for (float x = -65504.0f; x <= 65504.0f; x += 117.7f) {
+    const float fx = float(half(x));
+    EXPECT_GE(fx, prev) << "x=" << x;
+    prev = fx;
+  }
+}
+
+TEST(Half, RelativeErrorWithinEpsilon) {
+  // Round-to-nearest guarantees relative error <= 2^-11 for normal values.
+  for (float x : {0.001f, 0.1f, 0.3333f, 1.5f, 3.14159f, 1234.5f, 60000.0f}) {
+    const float fx = float(half(x));
+    EXPECT_LE(std::abs(fx - x) / x, 0x1.0p-11) << "x=" << x;
+  }
+}
+
+TEST(Half, ArithmeticGoesThroughFloat) {
+  half a(1.5f), b(2.25f);
+  EXPECT_EQ(float(a + b), 3.75f);
+  EXPECT_EQ(float(a * b), 3.375f);
+  EXPECT_EQ(float(b - a), 0.75f);
+  EXPECT_EQ(float(a / half(0.5f)), 3.0f);
+  a += b;
+  EXPECT_EQ(float(a), 3.75f);
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(half(1.0f), half(2.0f));
+  EXPECT_EQ(half(1.0f), half(1.0f));
+  EXPECT_EQ(half(0.0f), half(-0.0f));  // IEEE: +0 == -0
+  EXPECT_GE(half(5.5f), half(5.5f));
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite half value must convert to float and back unchanged.
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const auto h = half::from_bits(static_cast<std::uint16_t>(b));
+    const float f = float(h);
+    if (std::isnan(f)) continue;  // NaN payloads may canonicalize
+    EXPECT_EQ(half(f).bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+}  // namespace
+}  // namespace stof

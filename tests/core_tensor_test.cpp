@@ -1,0 +1,117 @@
+// Unit tests for Shape/Tensor and the Rng.
+#include "stof/core/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stof/core/check.hpp"
+#include "stof/core/rng.hpp"
+
+namespace stof {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s, (Shape{2, 3, 4}));
+  EXPECT_NE(s, (Shape{2, 3}));
+  EXPECT_NE(s, (Shape{2, 3, 5}));
+}
+
+TEST(Shape, RejectsInvalid) {
+  EXPECT_THROW((Shape{0, 3}), Error);
+  EXPECT_THROW((Shape{-1}), Error);
+  EXPECT_THROW((Shape{1, 2, 3, 4, 5}), Error);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  TensorF t(Shape{2, 3});
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) t.at(i, j) = float(i * 10 + j);
+  // Row-major: data = [00, 01, 02, 10, 11, 12]
+  EXPECT_EQ(t.data()[0], 0.0f);
+  EXPECT_EQ(t.data()[2], 2.0f);
+  EXPECT_EQ(t.data()[3], 10.0f);
+  EXPECT_EQ(t.data()[5], 12.0f);
+}
+
+TEST(Tensor, Rank4Indexing) {
+  TensorF t(Shape{2, 2, 2, 2});
+  t.at(1, 0, 1, 0) = 7.0f;
+  EXPECT_EQ(t.data()[1 * 8 + 0 * 4 + 1 * 2 + 0], 7.0f);
+}
+
+TEST(Tensor, BoundsChecked) {
+  TensorF t(Shape{2, 3});
+  EXPECT_THROW(t.at(2, 0), Error);
+  EXPECT_THROW(t.at(0, 3), Error);
+  EXPECT_THROW(t.at(0), Error);  // rank mismatch
+}
+
+TEST(Tensor, FillAndBytes) {
+  TensorH t(Shape{4, 4}, half(1.5f));
+  EXPECT_EQ(t.size_bytes(), 16 * sizeof(half));
+  for (auto v : t.data()) EXPECT_EQ(float(v), 1.5f);
+}
+
+TEST(Tensor, HalfToFloatConversion) {
+  TensorH h(Shape{3});
+  h.at(0) = half(0.5f);
+  h.at(1) = half(-2.0f);
+  h.at(2) = half(100.0f);
+  TensorF f = h.to_float();
+  EXPECT_EQ(f.at(0), 0.5f);
+  EXPECT_EQ(f.at(1), -2.0f);
+  EXPECT_EQ(f.at(2), 100.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  TensorF a(Shape{2, 2}, 1.0f);
+  TensorF b(Shape{2, 2}, 1.0f);
+  b.at(1, 1) = 1.25f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.25);
+  TensorF c(Shape{3});
+  EXPECT_THROW(max_abs_diff(a, c), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(x, -2.0f);
+    EXPECT_LT(x, 3.0f);
+  }
+}
+
+TEST(Rng, NextBelowUnbiasedSupport) {
+  Rng rng(9);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[rng.next_below(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, FillRandomDeterministic) {
+  Rng r1(5), r2(5);
+  TensorF a(Shape{8, 8}), b(Shape{8, 8});
+  a.fill_random(r1);
+  b.fill_random(r2);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace stof

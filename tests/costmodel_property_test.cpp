@@ -1,0 +1,200 @@
+// Property tests on the GPU cost model: the monotonicities and orderings
+// the paper's claims depend on must hold over parameter sweeps, not just at
+// hand-picked points.
+#include <gtest/gtest.h>
+
+#include "stof/gpusim/cost.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/mha/rowwise_kernel.hpp"
+#include "stof/ops/fused.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::gpusim {
+namespace {
+
+class OnDevice : public ::testing::TestWithParam<DeviceSpec> {};
+
+TEST_P(OnDevice, TimeMonotoneInFlops) {
+  const auto dev = GetParam();
+  KernelCost c;
+  c.grid_blocks = 100000;
+  double prev = 0;
+  for (double flops = 1e8; flops <= 1e13; flops *= 10) {
+    c.tc_flops = flops;
+    const double t = estimate_time_us(c, dev);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(OnDevice, TimeMonotoneInBytes) {
+  const auto dev = GetParam();
+  KernelCost c;
+  c.grid_blocks = 100000;
+  double prev = 0;
+  for (double bytes = 1e5; bytes <= 1e10; bytes *= 10) {
+    c.gmem_read_bytes = bytes;
+    const double t = estimate_time_us(c, dev);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(OnDevice, TimeMonotoneInConflictFactor) {
+  const auto dev = GetParam();
+  KernelCost c;
+  c.smem_bytes = 1e9;
+  c.grid_blocks = 100000;
+  double prev = 0;
+  for (double f = 1.0; f <= 8.0; f *= 2.0) {
+    c.bank_conflict_factor = f;
+    const double t = estimate_time_us(c, dev);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(OnDevice, TimeAntitoneInOccupancy) {
+  const auto dev = GetParam();
+  KernelCost c;
+  c.tc_flops = 1e12;
+  c.grid_blocks = 100000;
+  double prev = 1e300;
+  for (double occ = 0.05; occ <= 1.0; occ += 0.05) {
+    c.occupancy = occ;
+    const double t = estimate_time_us(c, dev);
+    EXPECT_LE(t, prev + 1e-9) << "occ " << occ;
+    prev = t;
+  }
+}
+
+TEST_P(OnDevice, TimeAntitoneInOverlap) {
+  const auto dev = GetParam();
+  KernelCost c;
+  c.tc_flops = 1e11;
+  c.gmem_read_bytes = 1e9;
+  c.smem_bytes = 1e9;
+  c.grid_blocks = 100000;
+  double prev = 1e300;
+  for (double ov = 0.0; ov <= 1.0; ov += 0.1) {
+    c.overlap = ov;
+    const double t = estimate_time_us(c, dev);
+    EXPECT_LE(t, prev + 1e-9);
+    prev = t;
+  }
+}
+
+TEST_P(OnDevice, EffectiveOperandBytesProperties) {
+  const auto dev = GetParam();
+  // L2-resident operands: exactly one pass regardless of reuse.
+  const double small = static_cast<double>(dev.l2_bytes) / 2;
+  EXPECT_DOUBLE_EQ(effective_operand_bytes(small, 100.0, dev), small);
+  // Larger-than-L2 operands pay more, but never more than full reuse.
+  const double big = static_cast<double>(dev.l2_bytes) * 3;
+  const double eff = effective_operand_bytes(big, 16.0, dev);
+  EXPECT_GT(eff, big);
+  EXPECT_LE(eff, big * 16.0);
+  // Monotone in reuse.
+  EXPECT_LE(effective_operand_bytes(big, 2.0, dev), eff);
+  EXPECT_THROW(effective_operand_bytes(-1.0, 2.0, dev), Error);
+  EXPECT_THROW(effective_operand_bytes(1.0, 0.5, dev), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGpus, OnDevice,
+                         ::testing::Values(rtx4090(), a100()),
+                         [](const auto& info) { return info.param.name; });
+
+// ---- Cross-device sanity --------------------------------------------------------
+
+TEST(CrossDevice, BandwidthBoundKernelsFasterOnA100) {
+  KernelCost c;
+  c.gmem_read_bytes = 4e9;  // pure streaming
+  c.grid_blocks = 100000;
+  EXPECT_LT(estimate_time_us(c, a100()), estimate_time_us(c, rtx4090()));
+}
+
+TEST(CrossDevice, Fp32BoundKernelsFasterOn4090) {
+  KernelCost c;
+  c.cuda_flops = 1e12;  // 82.6 vs 19.5 TFLOPS FP32
+  c.grid_blocks = 100000;
+  EXPECT_LT(estimate_time_us(c, rtx4090()), estimate_time_us(c, a100()));
+}
+
+// ---- Kernel-level monotonicities -------------------------------------------------
+
+TEST(KernelCosts, BlockwiseMonotoneInMaskDensity) {
+  // Discrete full/part reclassification wobbles adjacent densities by a
+  // few percent (a part block that becomes full drops its bitmap cost), so
+  // the monotonicity check carries a 5% tolerance; across the full density
+  // range the cost must still grow severalfold.
+  const mha::MhaDims dims{4, 12, 1024, 64};
+  const auto dev = a100();
+  const mha::BlockwiseParams p{64, 64, 4};
+  double prev = 0;
+  double first = 0;
+  double last = 0;
+  for (const std::int64_t band : {16, 64, 256, 1024}) {
+    const auto bsr = sparse::BsrMask::build(
+        masks::sliding_window(1024, band), 64, 64);
+    const double t = estimate_time_us(mha::blockwise_cost(dims, bsr, p, dev),
+                                      dev);
+    EXPECT_GT(t, prev * 0.95) << "band " << band;
+    if (first == 0) first = t;
+    last = t;
+    prev = t;
+  }
+  EXPECT_GT(last, 3.0 * first);
+}
+
+TEST(KernelCosts, RowwiseMonotoneInMaskDensity) {
+  const mha::MhaDims dims{4, 12, 512, 64};
+  const auto dev = a100();
+  double prev = 0;
+  for (const std::int64_t band : {8, 32, 128, 512}) {
+    const auto rw =
+        sparse::RowwiseMask::build(masks::sliding_window(512, band));
+    const double t = estimate_time_us(
+        mha::rowwise_cost(dims, rw, {4}, dev), dev);
+    EXPECT_GT(t, prev) << "band " << band;
+    prev = t;
+  }
+}
+
+TEST(KernelCosts, BlockwiseScalesWithBatchAndHeads) {
+  const auto dev = rtx4090();
+  const auto bsr =
+      sparse::BsrMask::build(masks::sliding_window(1024, 32), 64, 64);
+  const mha::BlockwiseParams p{64, 64, 4};
+  const double t1 = estimate_time_us(
+      mha::blockwise_cost({1, 12, 1024, 64}, bsr, p, dev), dev);
+  const double t8 = estimate_time_us(
+      mha::blockwise_cost({8, 12, 1024, 64}, bsr, p, dev), dev);
+  EXPECT_GT(t8, t1 * 3.0);  // near-linear once past launch overhead
+}
+
+TEST(KernelCosts, GemmCostSymmetricProblemsComparable) {
+  // (m,n,k) permutations of the same volume stay within a small factor:
+  // the model must not wildly prefer one orientation.
+  const auto dev = a100();
+  const ops::GemmParams p;
+  const double a = estimate_time_us(
+      ops::gemm_cost({1, 4096, 512, 1024}, p, dev), dev);
+  const double b = estimate_time_us(
+      ops::gemm_cost({1, 4096, 1024, 512}, p, dev), dev);
+  EXPECT_LT(std::max(a, b) / std::min(a, b), 2.0);
+}
+
+TEST(KernelCosts, DetachedSequencePaysDispatchPerKernel) {
+  const auto dev = a100();
+  const auto seq = ops::detached_gemm_gemm_cost({1, 256, 256, 256, 256},
+                                                ops::GemmParams{}, dev);
+  ASSERT_EQ(seq.size(), 2u);
+  for (const auto& c : seq) {
+    EXPECT_DOUBLE_EQ(c.dispatch_us, dev.dispatch_overhead_us);
+  }
+}
+
+}  // namespace
+}  // namespace stof::gpusim

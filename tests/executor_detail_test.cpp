@@ -1,0 +1,122 @@
+// Detail tests of the cost executor and the e2e facade: kernel-record
+// structure, per-layer MHA replay, breakdown consistency, and determinism
+// of the simulation pipeline.
+#include <gtest/gtest.h>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/models/config.hpp"
+#include "stof/models/e2e.hpp"
+
+namespace stof::models {
+namespace {
+
+using baselines::Method;
+
+Executor make_executor(const ModelConfig& m, std::int64_t bs,
+                       std::int64_t seq, Method method = Method::kStof) {
+  return Executor(m.build_graph(bs, seq), {bs, m.heads, seq, m.head_size()},
+                  {.kind = masks::PatternKind::kBigBird, .seq_len = seq},
+                  gpusim::a100(), method);
+}
+
+TEST(ExecutorDetail, MhaRecordsReplayedPerLayer) {
+  const auto model = bert_small();  // 4 layers
+  auto exec = make_executor(model, 1, 128);
+  gpusim::Stream s(gpusim::a100());
+  exec.simulate(baselines::e2e_plan(Method::kStof, exec.graph()), &s);
+  int mha_launches = 0;
+  for (const auto& rec : s.records()) {
+    if (rec.name.rfind("stof.mha.", 0) == 0) ++mha_launches;
+  }
+  EXPECT_EQ(mha_launches, model.layers);
+}
+
+TEST(ExecutorDetail, KernelBreakdownSumsToTotal) {
+  auto exec = make_executor(bert_base(), 1, 128);
+  gpusim::Stream s(gpusim::a100());
+  const auto r =
+      exec.simulate(baselines::e2e_plan(Method::kStof, exec.graph()), &s);
+  double sum = 0;
+  for (const auto& [name, us] : s.time_by_kernel_us()) sum += us;
+  EXPECT_NEAR(sum, r.time_us, 1e-6);
+}
+
+TEST(ExecutorDetail, SimulationIsDeterministic) {
+  auto e1 = make_executor(bert_small(), 8, 512);
+  auto e2 = make_executor(bert_small(), 8, 512);
+  const auto plan = baselines::e2e_plan(Method::kPytorchCompile, e1.graph());
+  EXPECT_DOUBLE_EQ(e1.simulate(plan).time_us, e2.simulate(plan).time_us);
+}
+
+TEST(ExecutorDetail, SetupWallTimeGrowsWithSequence) {
+  auto small = make_executor(bert_small(), 1, 128);
+  auto large = make_executor(bert_small(), 1, 2048);
+  // Mask analysis over 2048^2 dwarfs 128^2.
+  EXPECT_GT(large.setup_wall_us(), small.setup_wall_us());
+}
+
+TEST(ExecutorDetail, EagerPlanPaysDispatchPerSegment) {
+  auto exec = make_executor(bert_small(), 1, 128);
+  auto native = baselines::e2e_plan(Method::kPytorchNative, exec.graph());
+  const double eager_us = exec.simulate(native).time_us;
+  native.eager = false;
+  const double compiled_us = exec.simulate(native).time_us;
+  const double per_op = gpusim::a100().dispatch_overhead_us;
+  const auto ops = static_cast<double>(exec.graph().size()) - 1;  // no input
+  EXPECT_NEAR(eager_us - compiled_us, per_op * ops, per_op * ops * 0.05);
+}
+
+TEST(ExecutorDetail, MhaMethodChangesOnlyMhaKernels) {
+  auto stof_exec = make_executor(bert_small(), 8, 512, Method::kStof);
+  auto compile_exec =
+      make_executor(bert_small(), 8, 512, Method::kPytorchCompile);
+  const auto plan =
+      baselines::e2e_plan(Method::kPytorchCompile, stof_exec.graph());
+  gpusim::Stream s1(gpusim::a100()), s2(gpusim::a100());
+  stof_exec.simulate(plan, &s1);
+  compile_exec.simulate(plan, &s2);
+  // Downstream kernel totals identical; only the MHA records differ.
+  const auto by1 = s1.time_by_kernel_us();
+  const auto by2 = s2.time_by_kernel_us();
+  for (const auto& [name, us] : by1) {
+    if (name.rfind("stof.mha", 0) == 0 || name.rfind("fa2", 0) == 0 ||
+        name.rfind("compile", 0) == 0) {
+      continue;
+    }
+    ASSERT_TRUE(by2.contains(name)) << name;
+    EXPECT_NEAR(by2.at(name), us, 1e-9) << name;
+  }
+}
+
+TEST(E2eFacade, VariantsAreDeterministic) {
+  tuner::TuningOptions opt;
+  opt.stage1_max_evals = 30;
+  opt.stage2_iterations = 1;
+  const auto a = simulate_stof_variant(StofVariant::kFull, bert_small(), 1,
+                                       128, masks::PatternKind::kBigBird,
+                                       gpusim::a100(), opt);
+  const auto b = simulate_stof_variant(StofVariant::kFull, bert_small(), 1,
+                                       128, masks::PatternKind::kBigBird,
+                                       gpusim::a100(), opt);
+  EXPECT_DOUBLE_EQ(a.time_us, b.time_us);
+}
+
+TEST(E2eFacade, MhaOnlyVariantNeverTunes) {
+  const auto r = simulate_stof_variant(StofVariant::kMhaOnly, bert_small(),
+                                       1, 128, masks::PatternKind::kBigBird,
+                                       gpusim::a100());
+  EXPECT_FALSE(r.tuning.has_value());
+  EXPECT_TRUE(r.supported);
+}
+
+TEST(E2eFacade, MhaOnlyMethodsRejectE2e) {
+  EXPECT_THROW(simulate_e2e(Method::kFlashAttention2, bert_small(), 1, 128,
+                            masks::PatternKind::kBigBird, gpusim::a100()),
+               Error);
+  EXPECT_THROW(simulate_e2e(Method::kFlexAttention, bert_small(), 1, 128,
+                            masks::PatternKind::kBigBird, gpusim::a100()),
+               Error);
+}
+
+}  // namespace
+}  // namespace stof::models

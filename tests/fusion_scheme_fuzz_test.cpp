@@ -1,0 +1,141 @@
+// Fuzz/property tests on the fusion-scheme encoding: arbitrary random
+// segmentations must round-trip through the binary digit code and the hex
+// compression, and validity must agree with a direct re-check.
+#include <gtest/gtest.h>
+
+#include "stof/core/rng.hpp"
+#include "stof/fusion/scheme.hpp"
+#include "stof/graph/builders.hpp"
+
+namespace stof::fusion {
+namespace {
+
+std::vector<Segment> random_segmentation(std::int64_t n_ops, Rng& rng) {
+  std::vector<Segment> segs;
+  std::int64_t begin = 0;
+  while (begin < n_ops) {
+    const std::int64_t len =
+        1 + static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(std::min<std::int64_t>(
+                    5, n_ops - begin))));
+    segs.push_back({begin, begin + len});
+    begin += len;
+  }
+  return segs;
+}
+
+class SchemeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchemeFuzz, SegmentsRoundTripThroughCode) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t n =
+        5 + static_cast<std::int64_t>(rng.next_below(120));
+    const auto segs = random_segmentation(n, rng);
+    const auto s = FusionScheme::from_segments(segs, n);
+    EXPECT_EQ(s.segments(), segs);
+    EXPECT_EQ(FusionScheme::from_code(s.code()), s);
+  }
+}
+
+TEST_P(SchemeFuzz, HexRoundTrip) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t n =
+        3 + static_cast<std::int64_t>(rng.next_below(200));
+    const auto s =
+        FusionScheme::from_segments(random_segmentation(n, rng), n);
+    EXPECT_EQ(FusionScheme::from_hex(s.to_hex(), n), s) << "n=" << n;
+  }
+}
+
+TEST_P(SchemeFuzz, SegmentOfConsistentWithSegments) {
+  Rng rng(GetParam() ^ 0x5555);
+  const std::int64_t n = 40;
+  const auto segs = random_segmentation(n, rng);
+  const auto s = FusionScheme::from_segments(segs, n);
+  for (std::size_t k = 0; k < segs.size(); ++k) {
+    for (std::int64_t op = segs[k].begin; op < segs[k].end; ++op) {
+      EXPECT_EQ(s.segment_of(op), static_cast<std::int64_t>(k));
+    }
+  }
+}
+
+TEST_P(SchemeFuzz, ValidityAgreesWithDirectCheck) {
+  // Random segmentations of a real BERT layer graph: valid_for must agree
+  // with a from-scratch re-derivation of the constraints.
+  graph::LayerConfig cfg;
+  cfg.batch = 1;
+  cfg.seq_len = 64;
+  cfg.hidden = 128;
+  cfg.heads = 4;
+  cfg.ffn_dim = 256;
+  const auto g = graph::build_encoder_graph(cfg, 1);
+  const std::int64_t n = static_cast<std::int64_t>(g.size());
+
+  Rng rng(GetParam() ^ 0x9999);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto segs = random_segmentation(n, rng);
+    const auto s = FusionScheme::from_segments(segs, n);
+
+    bool expect_valid = true;
+    const auto mha = graph::Graph::mha_pattern();
+    for (const auto& seg : segs) {
+      std::int64_t ci = 0;
+      std::vector<const graph::Node*> cis;
+      bool has_mha = false, has_input = false;
+      for (std::int64_t i = seg.begin; i < seg.end; ++i) {
+        const auto& node = g.node(i);
+        if (graph::is_compute_intensive(node.kind)) {
+          ++ci;
+          cis.push_back(&node);
+        }
+        has_mha = has_mha || graph::is_mha_op(node.kind);
+        has_input = has_input || node.kind == graph::OpKind::kInput;
+      }
+      if (has_input && seg.size() != 1) expect_valid = false;
+      if (has_mha && seg.size() != 1) {
+        if (seg.size() != static_cast<std::int64_t>(mha.size())) {
+          expect_valid = false;
+        } else {
+          for (std::size_t j = 0; j < mha.size(); ++j) {
+            if (g.node(seg.begin + static_cast<std::int64_t>(j)).kind !=
+                mha[j]) {
+              expect_valid = false;
+            }
+          }
+        }
+      } else if (!has_mha && ci > 2) {
+        expect_valid = false;
+      } else if (!has_mha && ci == 2) {
+        if (cis[1]->inner != cis[0]->cols || cis[1]->rows != cis[0]->rows) {
+          expect_valid = false;
+        }
+      }
+    }
+    EXPECT_EQ(s.valid_for(g), expect_valid) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemeFuzz,
+                         ::testing::Values(11u, 222u, 3333u, 44444u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(SchemeHex, KnownVector) {
+  // 10 ops, digits 0111001101 -> nibbles (MSB-first, padded to 12 bits):
+  // 0111 0011 01|00 -> "734".
+  const auto s = FusionScheme::from_code({0, 1, 1, 1, 0, 0, 1, 1, 0, 1});
+  EXPECT_EQ(s.to_hex(), "734");
+}
+
+TEST(SchemeHex, RejectsMalformed) {
+  EXPECT_THROW(FusionScheme::from_hex("zz", 8), Error);
+  EXPECT_THROW(FusionScheme::from_hex("0f", 12), Error);  // wrong length
+  // Hex whose first digit decodes to 1 is non-canonical.
+  EXPECT_THROW(FusionScheme::from_hex("80", 8), Error);
+}
+
+}  // namespace
+}  // namespace stof::fusion

@@ -1,0 +1,248 @@
+// Tests for the fusion-scheme encoding (paper §4.3) and the compilation
+// templates: encode/decode round trips, hex compression, validity rules,
+// segment classification, and segment cost composition.
+#include <gtest/gtest.h>
+
+#include "stof/fusion/scheme.hpp"
+#include "stof/fusion/templates.hpp"
+#include "stof/graph/builders.hpp"
+
+namespace stof::fusion {
+namespace {
+
+graph::Graph bert_graph(int layers = 1) {
+  graph::LayerConfig cfg;
+  cfg.batch = 2;
+  cfg.seq_len = 64;
+  cfg.hidden = 128;
+  cfg.heads = 4;
+  cfg.ffn_dim = 512;
+  return graph::build_encoder_graph(cfg, layers);
+}
+
+TEST(Scheme, DetachedAlternatesDigits) {
+  const FusionScheme s = FusionScheme::detached(5);
+  EXPECT_EQ(s.code(), (std::vector<std::uint8_t>{0, 1, 0, 1, 0}));
+  EXPECT_EQ(s.segments().size(), 5u);
+}
+
+TEST(Scheme, SegmentsRoundTrip) {
+  const std::vector<Segment> segs = {{0, 1}, {1, 4}, {4, 6}, {6, 7}};
+  const FusionScheme s = FusionScheme::from_segments(segs, 7);
+  EXPECT_EQ(s.segments(), segs);
+  // Digits: 0 | 111 | 00 | 1 (paper's alternating encoding).
+  EXPECT_EQ(s.code(), (std::vector<std::uint8_t>{0, 1, 1, 1, 0, 0, 1}));
+}
+
+TEST(Scheme, FromSegmentsRejectsGapsAndOverlaps) {
+  EXPECT_THROW(FusionScheme::from_segments({{0, 2}, {3, 4}}, 4), Error);
+  EXPECT_THROW(FusionScheme::from_segments({{0, 2}, {1, 4}}, 4), Error);
+  EXPECT_THROW(FusionScheme::from_segments({{0, 2}}, 4), Error);
+}
+
+TEST(Scheme, CodeValidation) {
+  EXPECT_THROW(FusionScheme::from_code({0, 2, 1}), Error);
+  EXPECT_THROW(FusionScheme::from_code({1, 0}), Error);  // non-canonical
+  EXPECT_THROW(FusionScheme::from_code({}), Error);
+}
+
+TEST(Scheme, HexRoundTrip) {
+  for (std::int64_t n : {3, 4, 7, 8, 17, 35}) {
+    const FusionScheme s = FusionScheme::detached(n);
+    const std::string hex = s.to_hex();
+    EXPECT_EQ(static_cast<std::int64_t>(hex.size()), (n + 3) / 4);
+    EXPECT_EQ(FusionScheme::from_hex(hex, n), s) << "n=" << n;
+  }
+}
+
+TEST(Scheme, HexRoundTripArbitrarySegmentation) {
+  const FusionScheme s =
+      FusionScheme::from_segments({{0, 3}, {3, 4}, {4, 9}, {9, 10}}, 10);
+  EXPECT_EQ(FusionScheme::from_hex(s.to_hex(), 10), s);
+}
+
+TEST(Scheme, SegmentOf) {
+  const FusionScheme s = FusionScheme::from_segments({{0, 2}, {2, 5}, {5, 6}}, 6);
+  EXPECT_EQ(s.segment_of(0), 0);
+  EXPECT_EQ(s.segment_of(1), 0);
+  EXPECT_EQ(s.segment_of(2), 1);
+  EXPECT_EQ(s.segment_of(4), 1);
+  EXPECT_EQ(s.segment_of(5), 2);
+  EXPECT_THROW((void)s.segment_of(6), Error);
+}
+
+// ---- Validity against a real transformer graph --------------------------------
+
+TEST(SchemeValidity, DetachedIsAlwaysValid) {
+  const auto g = bert_graph();
+  EXPECT_TRUE(FusionScheme::detached(static_cast<std::int64_t>(g.size()))
+                  .valid_for(g));
+}
+
+TEST(SchemeValidity, MhaMustStayWhole) {
+  const auto g = bert_graph();
+  const auto mha_start = g.find_pattern(graph::Graph::mha_pattern()).at(0);
+  // Split the MHA sub-graph in half: invalid.
+  std::vector<Segment> segs;
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(g.size()); ++i) {
+    segs.push_back({i, i + 1});
+  }
+  segs.erase(segs.begin() + mha_start, segs.begin() + mha_start + 4);
+  segs.insert(segs.begin() + mha_start,
+              {Segment{mha_start, mha_start + 2},
+               Segment{mha_start + 2, mha_start + 4}});
+  const auto s =
+      FusionScheme::from_segments(segs, static_cast<std::int64_t>(g.size()));
+  EXPECT_FALSE(s.valid_for(g));
+}
+
+TEST(SchemeValidity, CompleteMhaSegmentIsValid) {
+  const auto g = bert_graph();
+  const auto mha_start = g.find_pattern(graph::Graph::mha_pattern()).at(0);
+  std::vector<Segment> segs;
+  for (std::int64_t i = 0; i < mha_start; ++i) segs.push_back({i, i + 1});
+  segs.push_back({mha_start, mha_start + 4});
+  for (std::int64_t i = mha_start + 4; i < static_cast<std::int64_t>(g.size());
+       ++i) {
+    segs.push_back({i, i + 1});
+  }
+  EXPECT_TRUE(FusionScheme::from_segments(segs, static_cast<std::int64_t>(g.size()))
+                  .valid_for(g));
+}
+
+TEST(SchemeValidity, InputMustStayAlone) {
+  const auto g = bert_graph();
+  std::vector<Segment> segs = {{0, 2}};  // input fused with qkv proj
+  for (std::int64_t i = 2; i < static_cast<std::int64_t>(g.size()); ++i) {
+    segs.push_back({i, i + 1});
+  }
+  EXPECT_FALSE(
+      FusionScheme::from_segments(segs, static_cast<std::int64_t>(g.size()))
+          .valid_for(g));
+}
+
+TEST(SchemeValidity, IncompatibleGemmChainRejected) {
+  // Fusing QkvProj with ScoreGemm would chain (rows,3h)x... -> dims clash.
+  const auto g = bert_graph();
+  std::int64_t qkv = -1;
+  for (const auto& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kQkvProj) {
+      qkv = n.id;
+      break;
+    }
+  }
+  ASSERT_GE(qkv, 0);
+  // Segment [qkv .. qkv+2] = {QkvProj, Bias, ScoreGemm}: two CI, dims clash.
+  std::vector<Segment> segs;
+  for (std::int64_t i = 0; i < qkv; ++i) segs.push_back({i, i + 1});
+  segs.push_back({qkv, qkv + 3});
+  for (std::int64_t i = qkv + 3; i < static_cast<std::int64_t>(g.size()); ++i) {
+    segs.push_back({i, i + 1});
+  }
+  EXPECT_FALSE(
+      FusionScheme::from_segments(segs, static_cast<std::int64_t>(g.size()))
+          .valid_for(g));
+}
+
+TEST(SchemeValidity, FfnChainAccepted) {
+  // [FfnGemm, Bias, Gelu, FfnGemm, Bias] chains (rows,ffn)(ffn,h): valid.
+  const auto g = bert_graph();
+  std::int64_t up = -1;
+  for (const auto& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kFfnGemm) {
+      up = n.id;
+      break;
+    }
+  }
+  ASSERT_GE(up, 0);
+  std::vector<Segment> segs;
+  for (std::int64_t i = 0; i < up; ++i) segs.push_back({i, i + 1});
+  segs.push_back({up, up + 5});
+  for (std::int64_t i = up + 5; i < static_cast<std::int64_t>(g.size()); ++i) {
+    segs.push_back({i, i + 1});
+  }
+  const auto s =
+      FusionScheme::from_segments(segs, static_cast<std::int64_t>(g.size()));
+  EXPECT_TRUE(s.valid_for(g));
+}
+
+// ---- Template classification and cost -----------------------------------------
+
+TEST(Templates, ClassifiesByComposition) {
+  const auto g = bert_graph();
+  const auto mha_start = g.find_pattern(graph::Graph::mha_pattern()).at(0);
+  EXPECT_EQ(classify_segment(g, {mha_start, mha_start + 4}),
+            TemplateKind::kUnifiedMha);
+  EXPECT_EQ(classify_segment(g, {1, 2}), TemplateKind::kSingleOp);
+
+  std::int64_t up = -1;
+  for (const auto& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kFfnGemm) {
+      up = n.id;
+      break;
+    }
+  }
+  EXPECT_EQ(classify_segment(g, {up, up + 5}), TemplateKind::kGemmChain);
+  EXPECT_EQ(classify_segment(g, {up, up + 3}), TemplateKind::kGemmEpilogue);
+  EXPECT_EQ(classify_segment(g, {up + 1, up + 3}), TemplateKind::kMiChain);
+}
+
+TEST(Templates, ParamSpacesNonEmpty) {
+  for (const auto kind :
+       {TemplateKind::kGemmChain, TemplateKind::kGemmEpilogue,
+        TemplateKind::kMiChain, TemplateKind::kSingleOp,
+        TemplateKind::kUnifiedMha}) {
+    EXPECT_FALSE(template_param_space(kind).empty()) << to_string(kind);
+  }
+}
+
+TEST(Templates, ParamKeyDistinguishesSettings) {
+  TemplateParams a, b;
+  b.gemm.block_m = 128;
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_EQ(a.key(), TemplateParams{}.key());
+}
+
+TEST(Templates, FusedMiChainCheaperThanDetached) {
+  const auto g = bert_graph();
+  const auto dev = gpusim::a100();
+  // Find a Bias -> ResidualAdd -> LayerNorm run (post-attention).
+  std::int64_t start = -1;
+  for (const auto& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kBias &&
+        g.node(n.id + 1).kind == graph::OpKind::kResidualAdd &&
+        g.node(n.id + 2).kind == graph::OpKind::kLayerNorm) {
+      start = n.id;
+      break;
+    }
+  }
+  ASSERT_GE(start, 0);
+  const TemplateParams p;
+  const double fused = gpusim::estimate_time_us(
+      segment_cost(g, {start, start + 3}, TemplateKind::kMiChain, p, dev), dev);
+  double detached = 0;
+  for (std::int64_t i = start; i < start + 3; ++i) {
+    detached +=
+        gpusim::estimate_time_us(single_op_cost(g.node(i), p, dev), dev);
+  }
+  EXPECT_LT(fused, detached);
+}
+
+TEST(Templates, InputOpCostsNothing) {
+  const auto g = bert_graph();
+  const auto c = single_op_cost(g.node(0), TemplateParams{}, gpusim::a100());
+  EXPECT_EQ(c.launches, 0);
+  EXPECT_EQ(c.tc_flops, 0.0);
+}
+
+TEST(Templates, SegmentCostRejectsMha) {
+  const auto g = bert_graph();
+  const auto mha_start = g.find_pattern(graph::Graph::mha_pattern()).at(0);
+  EXPECT_THROW(segment_cost(g, {mha_start, mha_start + 4},
+                            TemplateKind::kUnifiedMha, TemplateParams{},
+                            gpusim::a100()),
+               Error);
+}
+
+}  // namespace
+}  // namespace stof::fusion

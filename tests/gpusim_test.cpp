@@ -1,0 +1,178 @@
+// Unit tests for the GPU execution model: device presets, occupancy,
+// kernel cost -> time estimation, and the stream timeline.
+#include <gtest/gtest.h>
+
+#include "stof/gpusim/cost.hpp"
+#include "stof/gpusim/device.hpp"
+#include "stof/gpusim/occupancy.hpp"
+#include "stof/gpusim/timeline.hpp"
+
+namespace stof::gpusim {
+namespace {
+
+TEST(Device, PresetsMatchPaperTable3) {
+  const DeviceSpec g1 = rtx4090();
+  EXPECT_EQ(g1.sm_count, 128);
+  EXPECT_EQ(g1.smem_per_sm, 128 * 1024);
+  EXPECT_DOUBLE_EQ(g1.dram_gbps, 1008.0);
+  EXPECT_EQ(g1.dram_bytes, 24ll << 30);
+
+  const DeviceSpec g2 = a100();
+  EXPECT_EQ(g2.sm_count, 108);
+  EXPECT_EQ(g2.smem_per_sm, 192 * 1024);
+  EXPECT_DOUBLE_EQ(g2.dram_gbps, 1555.0);
+  EXPECT_EQ(g2.dram_bytes, 40ll << 30);
+}
+
+TEST(Occupancy, WarpLimited) {
+  const DeviceSpec dev = a100();  // 64 warps/SM
+  const Occupancy occ = occupancy(dev, /*req_smem=*/1024, /*num_warps=*/8);
+  // SMEM allows 192 blocks; warps allow 8 blocks -> warp limited.
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, SmemLimited) {
+  const DeviceSpec dev = a100();
+  const Occupancy occ = occupancy(dev, /*req_smem=*/96 * 1024, /*num_warps=*/4);
+  EXPECT_EQ(occ.blocks_per_sm, 2);  // 192KB / 96KB
+  EXPECT_DOUBLE_EQ(occ.fraction, 8.0 / 64.0);
+}
+
+TEST(Occupancy, InfeasibleLaunchIsZero) {
+  const DeviceSpec dev = rtx4090();
+  EXPECT_EQ(occupancy(dev, dev.smem_per_sm + 1, 4).blocks_per_sm, 0);
+  EXPECT_EQ(occupancy(dev, 0, dev.max_warps_per_sm + 1).fraction, 0.0);
+}
+
+TEST(Occupancy, EfficiencySaturates) {
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(0.0), 0.0);
+  EXPECT_LT(occupancy_efficiency(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(0.55), 1.0);
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(1.0), 1.0);
+}
+
+TEST(Occupancy, GridUtilizationTailEffect) {
+  const DeviceSpec dev = rtx4090();  // 128 SMs
+  EXPECT_DOUBLE_EQ(grid_utilization(dev, 128, 1), 1.0);
+  EXPECT_DOUBLE_EQ(grid_utilization(dev, 64, 1), 0.5);
+  // 129 blocks need two waves of 128 -> just over half utilized.
+  EXPECT_NEAR(grid_utilization(dev, 129, 1), 129.0 / 256.0, 1e-12);
+  EXPECT_DOUBLE_EQ(grid_utilization(dev, 0, 1), 1.0);
+}
+
+TEST(Cost, LaunchOverheadFloorsTinyKernels) {
+  const DeviceSpec dev = a100();
+  KernelCost tiny;
+  tiny.cuda_flops = 10;
+  tiny.gmem_read_bytes = 64;
+  const double t = estimate_time_us(tiny, dev);
+  EXPECT_GE(t, dev.launch_overhead_us);
+  EXPECT_LT(t, dev.launch_overhead_us * 1.5);
+}
+
+TEST(Cost, ComputeBoundScalesWithFlops) {
+  const DeviceSpec dev = a100();
+  KernelCost c;
+  c.tc_flops = 1e12;  // 1 TFLOP at 312 TFLOPS ~ 3.2ms >> overheads
+  c.grid_blocks = 100000;
+  const double t1 = estimate_time_us(c, dev);
+  c.tc_flops = 2e12;
+  const double t2 = estimate_time_us(c, dev);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(Cost, MemoryBoundScalesWithBytes) {
+  const DeviceSpec dev = rtx4090();
+  KernelCost c;
+  c.gmem_read_bytes = 1e9;  // 1GB at ~1TB/s ~ 1ms
+  c.grid_blocks = 100000;
+  const double t1 = estimate_time_us(c, dev);
+  c.gmem_read_bytes = 3e9;
+  const double t2 = estimate_time_us(c, dev);
+  EXPECT_NEAR(t2 / t1, 3.0, 0.02);
+}
+
+TEST(Cost, BankConflictsSlowSmemBoundKernels) {
+  const DeviceSpec dev = a100();
+  KernelCost c;
+  c.smem_bytes = 1e9;
+  c.grid_blocks = 100000;
+  const double clean = estimate_time_us(c, dev);
+  c.bank_conflict_factor = 4.0;
+  const double conflicted = estimate_time_us(c, dev);
+  EXPECT_GT(conflicted, clean * 3.0);
+}
+
+TEST(Cost, LowOccupancySlowsComputeBoundKernels) {
+  const DeviceSpec dev = a100();
+  KernelCost c;
+  c.tc_flops = 1e12;
+  c.grid_blocks = 100000;
+  c.occupancy = 1.0;
+  const double fast = estimate_time_us(c, dev);
+  c.occupancy = 0.1;
+  const double slow = estimate_time_us(c, dev);
+  EXPECT_GT(slow, fast * 3.0);
+}
+
+TEST(Cost, OverlapHidesNonBottleneckPhases) {
+  const DeviceSpec dev = a100();
+  KernelCost c;
+  c.tc_flops = 1e12;
+  c.gmem_read_bytes = 1e9;
+  c.grid_blocks = 100000;
+  c.overlap = 0.0;
+  const double serial = estimate_time_us(c, dev);
+  c.overlap = 1.0;
+  const double pipelined = estimate_time_us(c, dev);
+  EXPECT_GT(serial, pipelined);
+  // Perfect overlap = max(compute, mem): must be at least the compute time.
+  KernelCost compute_only = c;
+  compute_only.gmem_read_bytes = 0;
+  EXPECT_GE(pipelined, estimate_time_us(compute_only, dev) - 1e-9);
+}
+
+TEST(Cost, MoreLaunchesCostMore) {
+  const DeviceSpec dev = rtx4090();
+  KernelCost c;
+  c.gmem_read_bytes = 1e6;
+  const double one = estimate_time_us(c, dev);
+  c.launches = 5;
+  const double five = estimate_time_us(c, dev);
+  EXPECT_NEAR(five - one, 4 * dev.launch_overhead_us, 1e-9);
+}
+
+TEST(Cost, RejectsInvalidFields) {
+  const DeviceSpec dev = a100();
+  KernelCost c;
+  c.occupancy = 1.5;
+  EXPECT_THROW(estimate_time_us(c, dev), Error);
+  c.occupancy = 1.0;
+  c.bank_conflict_factor = 0.5;
+  EXPECT_THROW(estimate_time_us(c, dev), Error);
+}
+
+TEST(Stream, AccumulatesRecords) {
+  Stream s(a100());
+  KernelCost c;
+  c.gmem_read_bytes = 1e6;
+  const double t1 = s.launch("gemm", c);
+  const double t2 = s.launch("softmax", c);
+  EXPECT_DOUBLE_EQ(s.total_us(), t1 + t2);
+  EXPECT_EQ(s.records().size(), 2u);
+  EXPECT_EQ(s.launch_count(), 2u);
+  const auto by = s.time_by_kernel_us();
+  EXPECT_DOUBLE_EQ(by.at("gemm"), t1);
+}
+
+TEST(Stream, ClearResets) {
+  Stream s(rtx4090());
+  s.launch("k", KernelCost{});
+  s.clear();
+  EXPECT_DOUBLE_EQ(s.total_us(), 0.0);
+  EXPECT_TRUE(s.records().empty());
+}
+
+}  // namespace
+}  // namespace stof::gpusim

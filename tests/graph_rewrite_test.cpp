@@ -1,0 +1,101 @@
+// Tests for graph rewriting (paper §4.3): fused-node substitution under
+// real method plans.
+#include <gtest/gtest.h>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/graph/rewrite.hpp"
+#include "stof/models/config.hpp"
+
+namespace stof::graph {
+namespace {
+
+using baselines::Method;
+
+Graph small_graph() { return models::bert_small().build_graph(1, 128); }
+
+TEST(Rewrite, DetachedSchemeIsIdentityShaped) {
+  const auto g = small_graph();
+  const auto r = rewrite(
+      g, fusion::FusionScheme::detached(static_cast<std::int64_t>(g.size())));
+  ASSERT_EQ(r.graph.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(r.graph.node(static_cast<std::int64_t>(i)).kind,
+              g.node(static_cast<std::int64_t>(i)).kind);
+    EXPECT_EQ(r.node_of_op[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Rewrite, StofPlanCollapsesMhaToFusedNodes) {
+  const auto g = small_graph();
+  const auto plan = baselines::e2e_plan(Method::kStof, g);
+  const auto r = rewrite(g, plan.scheme);
+
+  // One kFusedMha node per layer; no raw MHA operators remain.
+  int fused_mha = 0;
+  for (const auto& n : r.graph.nodes()) {
+    EXPECT_FALSE(is_mha_op(n.kind)) << to_string(n.kind);
+    fused_mha += n.kind == OpKind::kFusedMha ? 1 : 0;
+  }
+  EXPECT_EQ(fused_mha, models::bert_small().layers);
+
+  // Node count equals the number of segments (one node per segment).
+  EXPECT_EQ(r.graph.size(), plan.scheme.segments().size());
+}
+
+TEST(Rewrite, SkipEdgesRetargetedAcrossFusion) {
+  const auto g = small_graph();
+  const auto plan = baselines::e2e_plan(Method::kPytorchCompile, g);
+  const auto r = rewrite(g, plan.scheme);
+  // Every skip edge in the rewritten graph points backwards at a live node.
+  for (const auto& n : r.graph.nodes()) {
+    if (n.skip_from >= 0) {
+      EXPECT_LT(n.skip_from, n.id);
+    }
+  }
+  // And at least one fused segment carries an external residual operand.
+  bool fused_with_skip = false;
+  for (const auto& n : r.graph.nodes()) {
+    if (n.kind == OpKind::kFusedSegment && n.skip_from >= 0) {
+      fused_with_skip = true;
+    }
+  }
+  EXPECT_TRUE(fused_with_skip);
+}
+
+TEST(Rewrite, MappingCoversEveryOp) {
+  const auto g = small_graph();
+  for (const auto method : {Method::kPytorchCompile, Method::kBolt,
+                            Method::kMcfuser, Method::kStof}) {
+    const auto r = rewrite(g, baselines::e2e_plan(method, g).scheme);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ASSERT_GE(r.node_of_op[i], 0) << to_string(method) << " op " << i;
+      ASSERT_LT(r.node_of_op[i], static_cast<std::int64_t>(r.graph.size()));
+    }
+    // The mapping is monotone (segments are contiguous and ordered).
+    for (std::size_t i = 1; i < g.size(); ++i) {
+      EXPECT_GE(r.node_of_op[i], r.node_of_op[i - 1]);
+    }
+  }
+}
+
+TEST(Rewrite, FusedLabelsDescribeMembers) {
+  const auto g = small_graph();
+  const auto plan = baselines::e2e_plan(Method::kBolt, g);
+  const auto r = rewrite(g, plan.scheme);
+  bool found = false;
+  for (const auto& n : r.graph.nodes()) {
+    if (n.kind == OpKind::kFusedSegment &&
+        n.label.find('+') != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "fused labels should join member labels";
+}
+
+TEST(Rewrite, RejectsMismatchedScheme) {
+  const auto g = small_graph();
+  EXPECT_THROW(rewrite(g, fusion::FusionScheme::detached(3)), Error);
+}
+
+}  // namespace
+}  // namespace stof::graph

@@ -1,0 +1,161 @@
+// Tests for the operator-graph IR and the BERT/GPT/T5 layer builders.
+#include <gtest/gtest.h>
+
+#include "stof/graph/builders.hpp"
+#include "stof/graph/graph.hpp"
+
+namespace stof::graph {
+namespace {
+
+LayerConfig small_cfg() {
+  LayerConfig cfg;
+  cfg.batch = 2;
+  cfg.seq_len = 64;
+  cfg.hidden = 128;
+  cfg.heads = 4;
+  cfg.ffn_dim = 512;
+  return cfg;
+}
+
+TEST(Node, CiClassificationMatchesPaper) {
+  EXPECT_TRUE(is_compute_intensive(OpKind::kQkvProj));
+  EXPECT_TRUE(is_compute_intensive(OpKind::kFfnGemm));
+  EXPECT_TRUE(is_compute_intensive(OpKind::kScoreGemm));
+  EXPECT_FALSE(is_compute_intensive(OpKind::kBias));
+  EXPECT_FALSE(is_compute_intensive(OpKind::kLayerNorm));
+  EXPECT_FALSE(is_compute_intensive(OpKind::kSoftmax));
+}
+
+TEST(Node, MhaOps) {
+  EXPECT_TRUE(is_mha_op(OpKind::kScoreGemm));
+  EXPECT_TRUE(is_mha_op(OpKind::kMaskApply));
+  EXPECT_TRUE(is_mha_op(OpKind::kSoftmax));
+  EXPECT_TRUE(is_mha_op(OpKind::kPvGemm));
+  EXPECT_FALSE(is_mha_op(OpKind::kQkvProj));
+  EXPECT_FALSE(is_mha_op(OpKind::kOutProj));
+}
+
+TEST(Graph, AddAssignsSequentialIds) {
+  Graph g;
+  Node a;
+  a.kind = OpKind::kInput;
+  EXPECT_EQ(g.add(a), 0);
+  Node b;
+  b.kind = OpKind::kBias;
+  EXPECT_EQ(g.add(b), 1);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.node(1).kind, OpKind::kBias);
+  EXPECT_THROW((void)g.node(2), Error);
+}
+
+TEST(Graph, RejectsForwardSkipEdges) {
+  Graph g;
+  Node a;
+  a.kind = OpKind::kInput;
+  g.add(a);
+  Node add;
+  add.kind = OpKind::kResidualAdd;
+  add.skip_from = 5;  // points forward
+  EXPECT_THROW(g.add(add), Error);
+}
+
+TEST(Graph, FindPatternLocatesMhaSubgraphs) {
+  const Graph g = build_encoder_graph(small_cfg(), 2);
+  const auto hits = g.find_pattern(Graph::mha_pattern());
+  EXPECT_EQ(hits.size(), 2u);  // one MHA per layer
+  for (const auto h : hits) {
+    EXPECT_EQ(g.node(h).kind, OpKind::kScoreGemm);
+    EXPECT_EQ(g.node(h + 3).kind, OpKind::kPvGemm);
+  }
+}
+
+TEST(Graph, ValidateCatchesDanglingMhaOps) {
+  Graph g;
+  Node in;
+  in.kind = OpKind::kInput;
+  g.add(in);
+  Node sm;
+  sm.kind = OpKind::kSoftmax;  // softmax outside an MHA run
+  sm.rows = 4;
+  sm.cols = 4;
+  g.add(sm);
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Builders, EncoderLayerStructure) {
+  Graph g;
+  Node in;
+  in.kind = OpKind::kInput;
+  g.add(in);
+  const auto cfg = small_cfg();
+  const std::int64_t out = append_encoder_layer(g, cfg, 0);
+  EXPECT_EQ(g.node(out).kind, OpKind::kLayerNorm);  // post-LN ends the layer
+  g.validate();
+  // BERT layer: QKV, bias, 4 MHA ops, out proj, bias, add, norm,
+  // ffn up, bias, gelu, ffn down, bias, add, norm = 17 ops.
+  EXPECT_EQ(g.size(), 1u + 17u);
+  EXPECT_EQ(g.ci_count(), 6);  // qkv, score, pv, out, 2 ffn
+}
+
+TEST(Builders, DecoderLayerIsPreNorm) {
+  const auto cfg = small_cfg();
+  const Graph g = build_decoder_graph(cfg, 1);
+  EXPECT_EQ(g.node(1).kind, OpKind::kLayerNorm);  // pre-LN starts the layer
+  EXPECT_EQ(g.nodes().back().kind, OpKind::kResidualAdd);
+  g.validate();
+}
+
+TEST(Builders, CrossDecoderHasTwoAttentionBlocks) {
+  auto cfg = small_cfg();
+  cfg.use_bias = false;
+  cfg.activation = OpKind::kRelu;  // T5 style
+  Graph g;
+  Node in;
+  in.kind = OpKind::kInput;
+  in.rows = cfg.rows();
+  in.cols = cfg.hidden;
+  g.add(in);
+  append_cross_decoder_layer(g, cfg, 0);
+  EXPECT_EQ(g.find_pattern(Graph::mha_pattern()).size(), 2u);
+  g.validate();
+  // Bias-free: no kBias nodes at all.
+  for (const auto& n : g.nodes()) EXPECT_NE(n.kind, OpKind::kBias);
+}
+
+TEST(Builders, EncDecStacksBothLayerTypes) {
+  const Graph g = build_encdec_graph(small_cfg(), 2, 2);
+  // 2 encoder MHAs + 2 * 2 decoder MHAs.
+  EXPECT_EQ(g.find_pattern(Graph::mha_pattern()).size(), 6u);
+}
+
+TEST(Builders, DimsPropagate) {
+  const auto cfg = small_cfg();
+  const Graph g = build_encoder_graph(cfg, 1);
+  for (const auto& n : g.nodes()) {
+    if (n.kind == OpKind::kQkvProj) {
+      EXPECT_EQ(n.rows, cfg.rows());
+      EXPECT_EQ(n.cols, 3 * cfg.hidden);
+      EXPECT_EQ(n.inner, cfg.hidden);
+    }
+    if (n.kind == OpKind::kScoreGemm) {
+      EXPECT_EQ(n.rows, cfg.attn_rows());
+      EXPECT_EQ(n.cols, cfg.seq_len);
+      EXPECT_EQ(n.inner, cfg.head_size());
+    }
+  }
+}
+
+TEST(Builders, RejectsInvalidConfig) {
+  LayerConfig cfg = small_cfg();
+  cfg.hidden = 100;  // not divisible by heads=4? 100/4=25 — fine; use 97
+  cfg.hidden = 97;
+  Graph g;
+  Node in;
+  in.kind = OpKind::kInput;
+  g.add(in);
+  EXPECT_THROW(append_encoder_layer(g, cfg, 0), Error);
+  EXPECT_THROW(build_encoder_graph(small_cfg(), 0), Error);
+}
+
+}  // namespace
+}  // namespace stof::graph

@@ -1,0 +1,116 @@
+// Tests for the single-token decode attention extension.
+#include <gtest/gtest.h>
+
+#include "stof/core/rng.hpp"
+#include "stof/mha/decode.hpp"
+#include "stof/mha/reference.hpp"
+
+namespace stof::mha {
+namespace {
+
+struct Cache {
+  TensorH q, k, v;
+};
+
+Cache make_cache(const DecodeDims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  Cache c{TensorH(Shape{dims.instances(), 1, dims.head_size}),
+          TensorH(Shape{dims.instances(), dims.context_len, dims.head_size}),
+          TensorH(Shape{dims.instances(), dims.context_len, dims.head_size})};
+  c.q.fill_random(rng);
+  c.k.fill_random(rng);
+  c.v.fill_random(rng);
+  return c;
+}
+
+TEST(DecodeColumns, ExtractsRowOfMask) {
+  const auto m = masks::causal(8);
+  const auto cols = decode_columns(m, 5, 8);
+  EXPECT_EQ(cols, (std::vector<std::int32_t>{0, 1, 2, 3, 4, 5}));
+  // Restricting to a shorter context truncates.
+  EXPECT_EQ(decode_columns(m, 5, 3), (std::vector<std::int32_t>{0, 1, 2}));
+  EXPECT_THROW(decode_columns(m, 8, 8), Error);
+  EXPECT_THROW(decode_columns(m, 0, 0), Error);
+}
+
+TEST(DecodeAttention, MatchesReferenceLastRow) {
+  // Decoding the (n)th token over an n-token cache must equal the last row
+  // of full attention with the same mask.
+  const std::int64_t ctx = 24;
+  const DecodeDims ddims{2, 3, ctx, 16};
+  const Cache c = make_cache(ddims, 17);
+
+  // Build full-attention inputs: the query sequence is the cache keys with
+  // the new token's query as the last row.
+  const MhaDims full{2, 3, ctx, 16};
+  const auto mask = masks::MaskSpec{.kind = masks::PatternKind::kLongformer,
+                                    .seq_len = ctx}
+                        .build();
+  // Full attention with Q equal to K everywhere except the last row, which
+  // is the decode query.
+  TensorH q_full = c.k;
+  for (std::int64_t bh = 0; bh < full.instances(); ++bh) {
+    for (std::int64_t e = 0; e < 16; ++e) {
+      q_full.at(bh, ctx - 1, e) = c.q.at(bh, 0, e);
+    }
+  }
+  const TensorH ref = reference_attention(full, q_full, c.k, c.v, mask);
+
+  const auto cols = decode_columns(mask, ctx - 1, ctx);
+  const TensorH got = decode_attention(ddims, c.q, c.k, c.v, cols);
+  for (std::int64_t bh = 0; bh < full.instances(); ++bh) {
+    for (std::int64_t e = 0; e < 16; ++e) {
+      EXPECT_NEAR(float(got.at(bh, 0, e)), float(ref.at(bh, ctx - 1, e)),
+                  4e-3)
+          << bh << "," << e;
+    }
+  }
+}
+
+TEST(DecodeAttention, EmptyColumnsYieldZeros) {
+  const DecodeDims dims{1, 2, 8, 4};
+  const Cache c = make_cache(dims, 3);
+  const TensorH out = decode_attention(dims, c.q, c.k, c.v, {});
+  for (const auto v : out.data()) EXPECT_EQ(float(v), 0.0f);
+}
+
+TEST(DecodeAttention, SingleColumnCopiesV) {
+  const DecodeDims dims{1, 2, 8, 4};
+  const Cache c = make_cache(dims, 4);
+  const TensorH out = decode_attention(dims, c.q, c.k, c.v, {5});
+  for (std::int64_t bh = 0; bh < 2; ++bh) {
+    for (std::int64_t e = 0; e < 4; ++e) {
+      EXPECT_NEAR(float(out.at(bh, 0, e)), float(c.v.at(bh, 5, e)), 4e-3);
+    }
+  }
+}
+
+TEST(DecodeAttention, RejectsBadShapesAndColumns) {
+  const DecodeDims dims{1, 2, 8, 4};
+  const Cache c = make_cache(dims, 5);
+  TensorH bad_q(Shape{2, 2, 4});
+  EXPECT_THROW(decode_attention(dims, bad_q, c.k, c.v, {0}), Error);
+  EXPECT_THROW(decode_attention(dims, c.q, c.k, c.v, {8}), Error);
+  EXPECT_THROW(decode_attention(dims, c.q, c.k, c.v, {-1}), Error);
+}
+
+TEST(DecodeCost, ScalesWithAttendedColumns) {
+  const DecodeDims dims{4, 12, 2048, 64};
+  const auto dev = gpusim::a100();
+  const double sparse = gpusim::estimate_time_us(
+      decode_cost(dims, 64, dev), dev);
+  const double dense = gpusim::estimate_time_us(
+      decode_cost(dims, 2048, dev), dev);
+  EXPECT_GT(dense, sparse * 2.0);
+  EXPECT_THROW(decode_cost(dims, 4096, dev), Error);
+}
+
+TEST(DecodeCost, LaunchBoundAtTinyBatch) {
+  const DecodeDims dims{1, 12, 128, 64};
+  const auto dev = gpusim::rtx4090();
+  const double t = gpusim::estimate_time_us(decode_cost(dims, 16, dev), dev);
+  EXPECT_LT(t, 2.0 * dev.launch_overhead_us);
+}
+
+}  // namespace
+}  // namespace stof::mha

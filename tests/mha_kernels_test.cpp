@@ -1,0 +1,203 @@
+// Functional correctness of the row-wise and block-wise sparse MHA kernels
+// against the dense masked reference, across every mask pattern and several
+// block shapes (parameterized property sweeps).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stof/core/rng.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/mha/reference.hpp"
+#include "stof/mha/rowwise_kernel.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::mha {
+namespace {
+
+using masks::MaskSpec;
+using masks::PatternKind;
+
+// FP16 output rounding dominates: half epsilon ~ 4.9e-4 relative; attention
+// outputs are O(1) weighted means of inputs in [-1, 1].
+constexpr double kTol = 4e-3;
+
+struct Inputs {
+  TensorH q, k, v;
+};
+
+Inputs make_inputs(const MhaDims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  Inputs in{TensorH(dims.qkv_shape()), TensorH(dims.qkv_shape()),
+            TensorH(dims.qkv_shape())};
+  in.q.fill_random(rng);
+  in.k.fill_random(rng);
+  in.v.fill_random(rng);
+  return in;
+}
+
+// ---- Reference sanity --------------------------------------------------------
+
+TEST(ReferenceAttention, DenseMaskIsStandardAttention) {
+  const MhaDims dims{1, 2, 8, 4};
+  const Inputs in = make_inputs(dims, 1);
+  const TensorH out =
+      reference_attention(dims, in.q, in.k, in.v, masks::dense(8));
+  // Each output row is a convex combination of V rows: within V's range.
+  for (std::int64_t bh = 0; bh < dims.instances(); ++bh) {
+    for (std::int64_t i = 0; i < 8; ++i) {
+      for (std::int64_t e = 0; e < 4; ++e) {
+        EXPECT_LE(std::abs(float(out.at(bh, i, e))), 1.0f + 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(ReferenceAttention, FullyMaskedRowIsZero) {
+  const MhaDims dims{1, 1, 4, 4};
+  const Inputs in = make_inputs(dims, 2);
+  masks::Mask m(4);
+  m.set(0, 0);
+  m.set(1, 0);
+  m.set(1, 1);  // rows 2, 3 fully masked
+  const TensorH out = reference_attention(dims, in.q, in.k, in.v, m);
+  for (std::int64_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(float(out.at(0, 2, e)), 0.0f);
+    EXPECT_EQ(float(out.at(0, 3, e)), 0.0f);
+  }
+}
+
+TEST(ReferenceAttention, SingleValidColumnCopiesV) {
+  const MhaDims dims{1, 1, 4, 4};
+  const Inputs in = make_inputs(dims, 3);
+  masks::Mask m(4);
+  m.set(2, 3);  // row 2 attends only to key 3 => output = V[3]
+  const TensorH out = reference_attention(dims, in.q, in.k, in.v, m);
+  for (std::int64_t e = 0; e < 4; ++e) {
+    EXPECT_NEAR(float(out.at(0, 2, e)), float(in.v.at(0, 3, e)), kTol);
+  }
+}
+
+// ---- Row-wise kernel vs reference ---------------------------------------------
+
+class RowwiseVsReference : public ::testing::TestWithParam<PatternKind> {};
+
+TEST_P(RowwiseVsReference, MatchesOnPattern) {
+  const MhaDims dims{2, 3, 48, 16};
+  const Inputs in = make_inputs(dims, 7);
+  MaskSpec spec{.kind = GetParam(), .seq_len = 48};
+  const masks::Mask m = spec.build();
+  const TensorH ref = reference_attention(dims, in.q, in.k, in.v, m);
+  const TensorH got = rowwise_attention(dims, in.q, in.k, in.v,
+                                        sparse::RowwiseMask::build(m));
+  EXPECT_LT(max_abs_diff(ref, got), kTol) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, RowwiseVsReference,
+    ::testing::Values(PatternKind::kDense, PatternKind::kCausal,
+                      PatternKind::kSlidingWindow, PatternKind::kDilated,
+                      PatternKind::kGlobal, PatternKind::kRandom,
+                      PatternKind::kLongformer, PatternKind::kBigBird,
+                      PatternKind::kStrided),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(RowwiseKernel, FullyMaskedRowsAreZero) {
+  const MhaDims dims{1, 1, 8, 4};
+  const Inputs in = make_inputs(dims, 8);
+  masks::Mask m(8);
+  m.set(0, 0);  // only row 0 has any valid column
+  const TensorH out = rowwise_attention(dims, in.q, in.k, in.v,
+                                        sparse::RowwiseMask::build(m));
+  for (std::int64_t i = 1; i < 8; ++i) {
+    for (std::int64_t e = 0; e < 4; ++e) {
+      EXPECT_EQ(float(out.at(0, i, e)), 0.0f);
+    }
+  }
+}
+
+// ---- Block-wise kernel vs reference --------------------------------------------
+
+class BlockwiseVsReference
+    : public ::testing::TestWithParam<std::tuple<PatternKind, int, int>> {};
+
+TEST_P(BlockwiseVsReference, MatchesOnPatternAndBlockShape) {
+  const auto [kind, bm, bn] = GetParam();
+  const MhaDims dims{2, 2, 64, 16};
+  const Inputs in = make_inputs(dims, 11);
+  MaskSpec spec{.kind = kind, .seq_len = 64};
+  const masks::Mask m = spec.build();
+  const TensorH ref = reference_attention(dims, in.q, in.k, in.v, m);
+  BlockwiseParams params;
+  params.block_m = bm;
+  params.block_n = bn;
+  const auto bsr = sparse::BsrMask::build(m, bm, bn);
+  const TensorH got = blockwise_attention(dims, in.q, in.k, in.v, bsr, params);
+  EXPECT_LT(max_abs_diff(ref, got), kTol)
+      << to_string(kind) << " " << bm << "x" << bn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndBlocks, BlockwiseVsReference,
+    ::testing::Combine(
+        ::testing::Values(PatternKind::kDense, PatternKind::kCausal,
+                          PatternKind::kSlidingWindow, PatternKind::kDilated,
+                          PatternKind::kGlobal, PatternKind::kRandom,
+                          PatternKind::kLongformer, PatternKind::kBigBird,
+                          PatternKind::kStrided),
+        ::testing::Values(16, 32), ::testing::Values(16, 32)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "x" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(BlockwiseKernel, NonDividingSeqLen) {
+  // seq_len 50 with 16x16 blocks exercises the edge-block paths.
+  const MhaDims dims{1, 2, 50, 8};
+  const Inputs in = make_inputs(dims, 13);
+  const masks::Mask m = masks::causal(50);
+  const TensorH ref = reference_attention(dims, in.q, in.k, in.v, m);
+  const auto bsr = sparse::BsrMask::build(m, 16, 16);
+  const TensorH got =
+      blockwise_attention(dims, in.q, in.k, in.v, bsr, BlockwiseParams{16, 16});
+  EXPECT_LT(max_abs_diff(ref, got), kTol);
+}
+
+TEST(BlockwiseKernel, RejectsMismatchedBsrBlocks) {
+  const MhaDims dims{1, 1, 32, 8};
+  const Inputs in = make_inputs(dims, 14);
+  const auto bsr = sparse::BsrMask::build(masks::causal(32), 16, 16);
+  BlockwiseParams p;
+  p.block_m = 32;  // does not match the BSR's 16
+  p.block_n = 16;
+  EXPECT_THROW(blockwise_attention(dims, in.q, in.k, in.v, bsr, p), Error);
+}
+
+TEST(BlockwiseParams, ValidatesBlockConstraints) {
+  BlockwiseParams p;
+  p.block_m = 24;  // not a power of two
+  EXPECT_THROW(p.validate(), Error);
+  p.block_m = 8;  // below the wmma minimum
+  EXPECT_THROW(p.validate(), Error);
+  p.block_m = 64;
+  p.num_warps = 0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(BlockwiseKernel, RowwiseAndBlockwiseAgree) {
+  // The two kernels are alternative schedules of the same computation.
+  const MhaDims dims{1, 4, 64, 32};
+  const Inputs in = make_inputs(dims, 15);
+  const masks::Mask m = masks::bigbird(64, 8, 8, 0.2, 16, 9);
+  const TensorH row = rowwise_attention(dims, in.q, in.k, in.v,
+                                        sparse::RowwiseMask::build(m));
+  const TensorH blk = blockwise_attention(
+      dims, in.q, in.k, in.v, sparse::BsrMask::build(m, 16, 16),
+      BlockwiseParams{16, 16});
+  EXPECT_LT(max_abs_diff(row, blk), kTol);
+}
+
+}  // namespace
+}  // namespace stof::mha

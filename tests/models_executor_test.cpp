@@ -1,0 +1,195 @@
+// Tests for model configs, the end-to-end executor, and the per-method
+// e2e fusion plans.
+#include <gtest/gtest.h>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/models/config.hpp"
+#include "stof/models/executor.hpp"
+
+namespace stof::models {
+namespace {
+
+using baselines::Method;
+
+mha::MhaDims attn_dims(const ModelConfig& m, std::int64_t bs,
+                       std::int64_t seq) {
+  return {bs, m.heads, seq, m.head_size()};
+}
+
+masks::MaskSpec bigbird_spec(std::int64_t seq) {
+  return {.kind = masks::PatternKind::kBigBird, .seq_len = seq};
+}
+
+TEST(ModelConfig, PresetsMatchStandardCheckpoints) {
+  EXPECT_EQ(bert_small().layers, 4);
+  EXPECT_EQ(bert_small().hidden, 512);
+  EXPECT_EQ(bert_base().layers, 12);
+  EXPECT_EQ(bert_base().hidden, 768);
+  EXPECT_EQ(bert_base().head_size(), 64);
+  EXPECT_EQ(bert_large().layers, 24);
+  EXPECT_EQ(bert_large().heads, 16);
+  EXPECT_EQ(gpt().arch, Architecture::kDecoder);
+  EXPECT_EQ(t5().arch, Architecture::kEncDec);
+  EXPECT_FALSE(t5().use_bias);
+  EXPECT_EQ(all_models().size(), 5u);
+}
+
+TEST(ModelConfig, GraphsBuildAndValidate) {
+  for (const auto& m : all_models()) {
+    const auto g = m.build_graph(1, 128);
+    EXPECT_GT(g.size(), 10u) << m.name;
+    // One MHA per encoder/decoder layer (two per T5 decoder layer).
+    const auto mha_count = g.find_pattern(graph::Graph::mha_pattern()).size();
+    EXPECT_GE(mha_count, static_cast<std::size_t>(m.layers)) << m.name;
+  }
+}
+
+TEST(Executor, SimulatesDetachedPlan) {
+  const auto m = bert_small();
+  Executor exec(m.build_graph(1, 128), attn_dims(m, 1, 128),
+                bigbird_spec(128), gpusim::a100(), Method::kStof);
+  const auto plan = baselines::e2e_plan(Method::kPytorchNative, exec.graph());
+  const auto r = exec.simulate(plan);
+  EXPECT_TRUE(r.supported);
+  EXPECT_GT(r.time_us, 0);
+  // Detached: roughly one launch per non-input operator.
+  EXPECT_GE(r.launches, exec.graph().size() - 1);
+}
+
+TEST(Executor, FusionReducesLaunchesAndTime) {
+  const auto m = bert_small();
+  Executor exec(m.build_graph(8, 512), attn_dims(m, 8, 512),
+                bigbird_spec(512), gpusim::a100(), Method::kStof);
+  const auto native = exec.simulate(
+      baselines::e2e_plan(Method::kPytorchNative, exec.graph()));
+  const auto stof =
+      exec.simulate(baselines::e2e_plan(Method::kStof, exec.graph()));
+  EXPECT_LT(stof.launches, native.launches);
+  EXPECT_LT(stof.time_us, native.time_us);
+}
+
+TEST(Executor, RecordsKernelsOnProvidedStream) {
+  const auto m = bert_small();
+  Executor exec(m.build_graph(1, 128), attn_dims(m, 1, 128),
+                bigbird_spec(128), gpusim::a100(), Method::kStof);
+  gpusim::Stream s(gpusim::a100());
+  const auto r = exec.simulate(
+      baselines::e2e_plan(Method::kStof, exec.graph()), &s);
+  EXPECT_NEAR(s.total_us(), r.time_us, 1e-9);
+  EXPECT_FALSE(s.records().empty());
+}
+
+TEST(Executor, UnsupportedMhaPropagates) {
+  const auto m = bert_small();
+  // ByteTransformer at seq 2048: unsupported end to end.
+  Executor exec(m.build_graph(1, 2048), attn_dims(m, 1, 2048),
+                bigbird_spec(2048), gpusim::a100(), Method::kByteTransformer);
+  EXPECT_FALSE(exec.mha_supported());
+  const auto r = exec.simulate(
+      baselines::e2e_plan(Method::kByteTransformer, exec.graph()));
+  EXPECT_FALSE(r.supported);
+  EXPECT_FALSE(r.unsupported_reason.empty());
+}
+
+TEST(Executor, RejectsMismatchedPlan) {
+  const auto m = bert_small();
+  Executor exec(m.build_graph(1, 128), attn_dims(m, 1, 128),
+                bigbird_spec(128), gpusim::a100(), Method::kStof);
+  ExecutionPlan bad;
+  bad.scheme = fusion::FusionScheme::detached(3);
+  EXPECT_THROW(exec.simulate(bad), Error);
+}
+
+// ---- Per-method plan structure -------------------------------------------------
+
+TEST(E2ePlans, NativeIsFullyDetached) {
+  const auto g = bert_small().build_graph(1, 128);
+  const auto plan = baselines::e2e_plan(Method::kPytorchNative, g);
+  EXPECT_EQ(plan.scheme.segments().size(), g.size());
+}
+
+TEST(E2ePlans, CompileFusesMhaAndMiRuns) {
+  const auto g = bert_small().build_graph(1, 128);
+  const auto plan = baselines::e2e_plan(Method::kPytorchCompile, g);
+  const auto segs = plan.scheme.segments();
+  EXPECT_LT(segs.size(), g.size());
+  // Every MHA sub-graph is one 4-op segment.
+  const auto mha_starts = g.find_pattern(graph::Graph::mha_pattern());
+  for (const auto start : mha_starts) {
+    bool found = false;
+    for (const auto& s : segs) {
+      if (s.begin == start) {
+        EXPECT_EQ(s.size(), 4);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "MHA at " << start;
+  }
+}
+
+TEST(E2ePlans, McfuserFusesFfnChains) {
+  const auto g = bert_small().build_graph(1, 128);
+  const auto plan = baselines::e2e_plan(Method::kMcfuser, g);
+  bool has_chain = false;
+  for (const auto& s : plan.scheme.segments()) {
+    std::int64_t ci = 0;
+    bool mha = false;
+    for (std::int64_t i = s.begin; i < s.end; ++i) {
+      ci += graph::is_compute_intensive(g.node(i).kind) ? 1 : 0;
+      mha = mha || graph::is_mha_op(g.node(i).kind);
+    }
+    if (ci == 2 && !mha) has_chain = true;
+  }
+  EXPECT_TRUE(has_chain);
+}
+
+TEST(E2ePlans, BoltAttachesEpilogues) {
+  const auto g = bert_small().build_graph(1, 128);
+  const auto plan = baselines::e2e_plan(Method::kBolt, g);
+  // Bolt never forms CI+CI chains.
+  for (const auto& s : plan.scheme.segments()) {
+    std::int64_t ci = 0;
+    for (std::int64_t i = s.begin; i < s.end; ++i) {
+      ci += graph::is_compute_intensive(g.node(i).kind) ? 1 : 0;
+    }
+    EXPECT_LE(ci, 1);
+  }
+  // And at least one GEMM+epilogue segment exists.
+  bool has_epilogue = false;
+  for (const auto& s : plan.scheme.segments()) {
+    if (s.size() > 1 && graph::is_compute_intensive(g.node(s.begin).kind)) {
+      has_epilogue = true;
+    }
+  }
+  EXPECT_TRUE(has_epilogue);
+}
+
+TEST(E2ePlans, StofInitialPlanIsValid) {
+  for (std::int64_t seq : {128, 2048}) {
+    const auto g = bert_small().build_graph(1, seq);
+    const auto plan = baselines::e2e_plan(Method::kStof, g);
+    EXPECT_TRUE(plan.scheme.valid_for(g)) << "seq " << seq;
+  }
+}
+
+TEST(E2ePlans, StofInitialSeedsChainsOnlyAtSmallScale) {
+  const auto count_chains = [](const graph::Graph& g) {
+    const auto plan = baselines::stof_initial_plan(g);
+    int chains = 0;
+    for (const auto& s : plan.scheme.segments()) {
+      std::int64_t ci = 0;
+      bool mha = false;
+      for (std::int64_t i = s.begin; i < s.end; ++i) {
+        ci += graph::is_compute_intensive(g.node(i).kind) ? 1 : 0;
+        mha = mha || graph::is_mha_op(g.node(i).kind);
+      }
+      if (ci == 2 && !mha) ++chains;
+    }
+    return chains;
+  };
+  EXPECT_GT(count_chains(bert_small().build_graph(1, 128)), 0);
+  EXPECT_EQ(count_chains(bert_small().build_graph(16, 2048)), 0);
+}
+
+}  // namespace
+}  // namespace stof::models

@@ -1,0 +1,404 @@
+// Unit + property tests for the operator library: functional correctness of
+// every op, fused == detached numerics, and the cost-model shapes that
+// reproduce the paper's Fig. 3 observations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "stof/core/rng.hpp"
+#include "stof/core/tensor.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/ops/elementwise.hpp"
+#include "stof/ops/fused.hpp"
+#include "stof/ops/gemm.hpp"
+#include "stof/ops/normalize.hpp"
+
+namespace stof::ops {
+namespace {
+
+// FP16 storage with FP32 accumulate keeps relative error ~2^-11 per
+// rounding; accumulated over small test sizes this tolerance is generous.
+constexpr double kTol = 5e-2;
+
+TensorH random_tensor(Shape shape, std::uint64_t seed) {
+  TensorH t(shape);
+  Rng rng(seed);
+  t.fill_random(rng);
+  return t;
+}
+
+// ---- GEMM -------------------------------------------------------------------
+
+TEST(Gemm, MatchesNaiveReference) {
+  const std::int64_t b = 2, m = 5, k = 7, n = 3;
+  const TensorH a = random_tensor(Shape{b, m, k}, 1);
+  const TensorH w = random_tensor(Shape{k, n}, 2);
+  TensorH c(Shape{b, m, n});
+  gemm(a, w, c);
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        float ref = 0;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+          ref += float(a.at(bi, i, kk)) * float(w.at(kk, j));
+        EXPECT_NEAR(float(c.at(bi, i, j)), ref, kTol);
+      }
+    }
+  }
+}
+
+TEST(Gemm, BatchedBOperand) {
+  const TensorH a = random_tensor(Shape{3, 4, 6}, 3);
+  const TensorH w = random_tensor(Shape{3, 6, 5}, 4);
+  TensorH c(Shape{3, 4, 5});
+  gemm(a, w, c);
+  float ref = 0;
+  for (std::int64_t kk = 0; kk < 6; ++kk)
+    ref += float(a.at(2, 1, kk)) * float(w.at(2, kk, 3));
+  EXPECT_NEAR(float(c.at(2, 1, 3)), ref, kTol);
+}
+
+TEST(Gemm, BiasEpilogue) {
+  const TensorH a = random_tensor(Shape{1, 3, 4}, 5);
+  const TensorH w = random_tensor(Shape{4, 2}, 6);
+  TensorH bias(Shape{2});
+  bias.at(0) = half(1.0f);
+  bias.at(1) = half(-2.0f);
+  TensorH plain(Shape{1, 3, 2}), biased(Shape{1, 3, 2});
+  gemm(a, w, plain);
+  gemm(a, w, biased, Epilogue::kBias, &bias);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(float(biased.at(0, i, 0)), float(plain.at(0, i, 0)) + 1.0f,
+                kTol);
+    EXPECT_NEAR(float(biased.at(0, i, 1)), float(plain.at(0, i, 1)) - 2.0f,
+                kTol);
+  }
+}
+
+TEST(Gemm, ReluAndGeluEpilogues) {
+  const TensorH a = random_tensor(Shape{1, 4, 4}, 7);
+  const TensorH w = random_tensor(Shape{4, 4}, 8);
+  TensorH bias(Shape{4}, half(0.0f));
+  TensorH plain(Shape{1, 4, 4}), relu_out(Shape{1, 4, 4}),
+      gelu_out(Shape{1, 4, 4});
+  gemm(a, w, plain);
+  gemm(a, w, relu_out, Epilogue::kBiasRelu, &bias);
+  gemm(a, w, gelu_out, Epilogue::kBiasGelu, &bias);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      const float p = float(plain.at(0, i, j));
+      EXPECT_NEAR(float(relu_out.at(0, i, j)), std::max(0.0f, p), kTol);
+      EXPECT_NEAR(float(gelu_out.at(0, i, j)), gelu(p), kTol);
+    }
+  }
+}
+
+TEST(Gemm, ShapeContractsEnforced) {
+  TensorH a(Shape{1, 2, 3}), w(Shape{4, 2}), c(Shape{1, 2, 2});
+  EXPECT_THROW(gemm(a, w, c), Error);  // inner dim mismatch
+  TensorH w2(Shape{3, 2}), cbad(Shape{1, 2, 3});
+  EXPECT_THROW(gemm(a, w2, cbad), Error);  // output shape mismatch
+  TensorH cgood(Shape{1, 2, 2});
+  EXPECT_THROW(gemm(a, w2, cgood, Epilogue::kBias, nullptr), Error);
+}
+
+// ---- Elementwise ------------------------------------------------------------
+
+TEST(Elementwise, BiasAdd) {
+  const TensorH x = random_tensor(Shape{4, 3}, 9);
+  TensorH bias(Shape{3});
+  for (std::int64_t j = 0; j < 3; ++j) bias.at(j) = half(float(j));
+  TensorH y(Shape{4, 3});
+  bias_add(x, bias, y);
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(float(y.at(i, j)), float(x.at(i, j)) + float(j), kTol);
+}
+
+TEST(Elementwise, ReluClampsNegatives) {
+  TensorH x(Shape{2, 2});
+  x.at(0, 0) = half(-1.0f);
+  x.at(0, 1) = half(2.0f);
+  x.at(1, 0) = half(0.0f);
+  x.at(1, 1) = half(-0.5f);
+  TensorH y(Shape{2, 2});
+  relu(x, y);
+  EXPECT_EQ(float(y.at(0, 0)), 0.0f);
+  EXPECT_EQ(float(y.at(0, 1)), 2.0f);
+  EXPECT_EQ(float(y.at(1, 0)), 0.0f);
+  EXPECT_EQ(float(y.at(1, 1)), 0.0f);
+}
+
+TEST(Elementwise, GeluKnownValues) {
+  EXPECT_NEAR(gelu(0.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(gelu(1.0f), 0.8412f, 1e-3);
+  EXPECT_NEAR(gelu(-1.0f), -0.1588f, 1e-3);
+  TensorH x(Shape{1, 1}, half(1.0f)), y(Shape{1, 1});
+  gelu_op(x, y);
+  EXPECT_NEAR(float(y.at(0, 0)), 0.8412f, 5e-3);
+}
+
+TEST(Elementwise, ResidualAdd) {
+  const TensorH a = random_tensor(Shape{3, 3}, 10);
+  const TensorH b = random_tensor(Shape{3, 3}, 11);
+  TensorH y(Shape{3, 3});
+  residual_add(a, b, y);
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(float(y.data()[static_cast<std::size_t>(i)]),
+                float(a.data()[static_cast<std::size_t>(i)]) +
+                    float(b.data()[static_cast<std::size_t>(i)]),
+                kTol);
+  }
+}
+
+// ---- LayerNorm / Softmax -----------------------------------------------------
+
+TEST(Layernorm, NormalizesRows) {
+  const TensorH x = random_tensor(Shape{6, 32}, 12);
+  TensorH gamma(Shape{32}, half(1.0f)), beta(Shape{32}, half(0.0f));
+  TensorH y(Shape{6, 32});
+  layernorm(x, gamma, beta, y);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    float mean = 0, var = 0;
+    for (std::int64_t j = 0; j < 32; ++j) mean += float(y.at(i, j));
+    mean /= 32;
+    for (std::int64_t j = 0; j < 32; ++j) {
+      const float d = float(y.at(i, j)) - mean;
+      var += d * d;
+    }
+    var /= 32;
+    EXPECT_NEAR(mean, 0.0f, 0.02);
+    EXPECT_NEAR(var, 1.0f, 0.05);
+  }
+}
+
+TEST(Layernorm, AffineApplied) {
+  TensorH x(Shape{1, 4});
+  for (std::int64_t j = 0; j < 4; ++j) x.at(0, j) = half(float(j));
+  TensorH gamma(Shape{4}, half(2.0f)), beta(Shape{4}, half(3.0f));
+  TensorH y(Shape{1, 4});
+  layernorm(x, gamma, beta, y);
+  float mean = 0;
+  for (std::int64_t j = 0; j < 4; ++j) mean += float(y.at(0, j));
+  EXPECT_NEAR(mean / 4, 3.0f, 0.02);  // beta shifts the mean
+}
+
+TEST(Softmax, RowsSumToOne) {
+  TensorF x(Shape{5, 16});
+  Rng rng(13);
+  x.fill_random(rng, -5.0f, 5.0f);
+  TensorF y(Shape{5, 16});
+  softmax(x, y);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    float sum = 0;
+    for (std::int64_t j = 0; j < 16; ++j) {
+      EXPECT_GE(y.at(i, j), 0.0f);
+      sum += y.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  TensorF x(Shape{1, 4}, 1000.0f);
+  x.at(0, 2) = 1001.0f;
+  TensorF y(Shape{1, 4});
+  softmax(x, y);
+  EXPECT_FALSE(std::isnan(y.at(0, 0)));
+  EXPECT_GT(y.at(0, 2), y.at(0, 0));
+}
+
+TEST(MaskedSoftmax, MaskedPositionsGetZero) {
+  const masks::Mask m = masks::causal(8);
+  TensorF scores(Shape{8, 8});
+  Rng rng(14);
+  scores.fill_random(rng);
+  TensorF y(Shape{8, 8});
+  masked_softmax(scores, m, y);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    float sum = 0;
+    for (std::int64_t j = 0; j < 8; ++j) {
+      if (j > i) {
+        EXPECT_EQ(y.at(i, j), 0.0f);
+      }
+      sum += y.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(MaskedSoftmax, FullyMaskedRowIsZero) {
+  masks::Mask m(4);  // all masked
+  m.set(0, 0);
+  TensorF scores(Shape{4, 4}, 1.0f), y(Shape{4, 4});
+  masked_softmax(scores, m, y);
+  EXPECT_NEAR(y.at(0, 0), 1.0f, 1e-6);
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_EQ(y.at(2, j), 0.0f);
+}
+
+TEST(MaskedSoftmax, BatchedRowsShareMask) {
+  const masks::Mask m = masks::sliding_window(4, 2);
+  TensorF scores(Shape{8, 4}, 0.5f), y(Shape{8, 4});  // 2 batches of 4 rows
+  masked_softmax(scores, m, y);
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      EXPECT_EQ(y.at(i, j), y.at(i + 4, j)) << i << "," << j;
+}
+
+// ---- Fused == detached numerics ----------------------------------------------
+
+TEST(Fused, BiasLayernormMatchesDetached) {
+  const TensorH x = random_tensor(Shape{7, 24}, 15);
+  const TensorH bias = random_tensor(Shape{24}, 16);
+  const TensorH gamma = random_tensor(Shape{24}, 17);
+  const TensorH beta = random_tensor(Shape{24}, 18);
+
+  TensorH fused(Shape{7, 24});
+  fused_bias_layernorm(x, bias, gamma, beta, fused);
+
+  TensorH biased(Shape{7, 24}), detached(Shape{7, 24});
+  bias_add(x, bias, biased);
+  layernorm(biased, gamma, beta, detached);
+
+  EXPECT_LT(max_abs_diff(fused, detached), kTol);
+}
+
+TEST(Fused, GemmLayernormMatchesDetached) {
+  const TensorH a = random_tensor(Shape{2, 6, 8}, 19);
+  const TensorH w = random_tensor(Shape{8, 16}, 20);
+  const TensorH gamma = random_tensor(Shape{16}, 21);
+  const TensorH beta = random_tensor(Shape{16}, 22);
+
+  TensorH fused(Shape{2, 6, 16});
+  fused_gemm_layernorm(a, w, gamma, beta, fused);
+
+  TensorH mm(Shape{2, 6, 16});
+  gemm(a, w, mm);
+  TensorH flat(Shape{12, 16});
+  for (std::int64_t i = 0; i < 12; ++i)
+    for (std::int64_t j = 0; j < 16; ++j) flat.at(i, j) = mm.at(i / 6, i % 6, j);
+  TensorH norm(Shape{12, 16});
+  layernorm(flat, gamma, beta, norm);
+
+  for (std::int64_t i = 0; i < 12; ++i)
+    for (std::int64_t j = 0; j < 16; ++j)
+      EXPECT_NEAR(float(fused.at(i / 6, i % 6, j)), float(norm.at(i, j)), kTol);
+}
+
+TEST(Fused, GemmGemmMatchesDetached) {
+  const TensorH a = random_tensor(Shape{2, 5, 6}, 23);
+  const TensorH b1 = random_tensor(Shape{6, 7}, 24);
+  const TensorH b2 = random_tensor(Shape{7, 4}, 25);
+
+  TensorH fused(Shape{2, 5, 4});
+  fused_gemm_gemm(a, b1, b2, fused);
+
+  TensorH mid(Shape{2, 5, 7}), detached(Shape{2, 5, 4});
+  gemm(a, b1, mid);
+  gemm(mid, b2, detached);
+
+  EXPECT_LT(max_abs_diff(fused, detached), kTol);
+}
+
+// ---- Cost-model shapes (Fig. 3) ----------------------------------------------
+
+class DeviceCase : public ::testing::TestWithParam<gpusim::DeviceSpec> {};
+
+TEST_P(DeviceCase, BiasLayernormFusionAlwaysWins) {
+  const auto dev = GetParam();
+  for (std::int64_t rows : {128, 4096, 32768}) {
+    for (std::int64_t n : {512, 1024}) {
+      const double fused = gpusim::estimate_time_us(
+          fused_bias_layernorm_cost(rows, n, NormParams{}, dev), dev);
+      const double detached = sequence_time_us(
+          detached_bias_layernorm_cost(rows, n, EwParams{}, NormParams{}, dev),
+          dev);
+      EXPECT_LT(fused, detached) << dev.name << " rows=" << rows << " n=" << n;
+    }
+  }
+}
+
+// Fig. 3: GEMM+LayerNorm fusion is strongly profitable at hidden 512 but
+// causes slowdowns at hidden 1024 (shared-memory row buffer kills
+// occupancy).  Evaluated at the best parameter setting for each side.
+double best_fused_gemm_ln_us(const GemmDims& d, const gpusim::DeviceSpec& dev) {
+  double best = 1e30;
+  for (const auto& p : gemm_param_space()) {
+    const auto c = fused_gemm_layernorm_cost(d, p, dev);
+    if (c.occupancy <= 0) continue;
+    best = std::min(best, gpusim::estimate_time_us(c, dev));
+  }
+  return best;
+}
+
+double best_detached_gemm_ln_us(const GemmDims& d,
+                                const gpusim::DeviceSpec& dev) {
+  double best = 1e30;
+  for (const auto& p : gemm_param_space()) {
+    const auto seq = detached_gemm_layernorm_cost(d, p, NormParams{}, dev);
+    best = std::min(best, sequence_time_us(seq, dev));
+  }
+  return best;
+}
+
+TEST_P(DeviceCase, GemmLayernormFusionWinsAtHidden512) {
+  const auto dev = GetParam();
+  const GemmDims dims{1, 8 * 512, 512, 512};  // (bs 8, seq 512), hidden 512
+  EXPECT_LT(best_fused_gemm_ln_us(dims, dev),
+            best_detached_gemm_ln_us(dims, dev))
+      << dev.name;
+}
+
+TEST_P(DeviceCase, GemmLayernormFusionLosesAtHidden1024) {
+  const auto dev = GetParam();
+  const GemmDims dims{1, 16 * 2048, 1024, 1024};
+  EXPECT_GT(best_fused_gemm_ln_us(dims, dev),
+            best_detached_gemm_ln_us(dims, dev))
+      << dev.name;
+}
+
+// Fig. 3 / §3.2: CI+CI chain fusion only benefits small scales.
+TEST_P(DeviceCase, GemmChainFusionLosesAtLargeScale) {
+  const auto dev = GetParam();
+  const GemmChainDims dims{1, 16 * 2048, 1024, 1024, 1024};
+  double best_fused = 1e30, best_detached = 1e30;
+  for (const auto& p : gemm_param_space()) {
+    const auto c = fused_gemm_gemm_cost(dims, p, dev);
+    if (c.occupancy > 0) {
+      best_fused = std::min(best_fused, gpusim::estimate_time_us(c, dev));
+    }
+    best_detached = std::min(
+        best_detached, sequence_time_us(detached_gemm_gemm_cost(dims, p, dev), dev));
+  }
+  EXPECT_GT(best_fused, best_detached) << dev.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGpus, DeviceCase,
+                         ::testing::Values(gpusim::rtx4090(), gpusim::a100()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(CostModel, GemmCostScalesWithProblem) {
+  const auto dev = gpusim::a100();
+  const GemmParams p;
+  const auto small = gemm_cost({1, 128, 512, 512}, p, dev);
+  const auto large = gemm_cost({1, 4096, 512, 512}, p, dev);
+  EXPECT_GT(large.tc_flops, small.tc_flops * 30);
+  EXPECT_GT(gpusim::estimate_time_us(large, dev),
+            gpusim::estimate_time_us(small, dev));
+}
+
+TEST(CostModel, ParamSpacesNonEmptyAndValid) {
+  EXPECT_GT(gemm_param_space().size(), 20u);
+  EXPECT_GT(elementwise_param_space().size(), 4u);
+  EXPECT_GT(norm_param_space().size(), 4u);
+  const auto dev = gpusim::rtx4090();
+  for (const auto& p : gemm_param_space()) {
+    const auto c = gemm_cost({1, 256, 256, 256}, p, dev);
+    EXPECT_GE(c.occupancy, 0.0);
+    EXPECT_GT(gpusim::estimate_time_us(c, dev), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace stof::ops

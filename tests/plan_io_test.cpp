@@ -1,0 +1,134 @@
+// Tests for execution-plan serialization: round trips of tuned plans, the
+// tune-offline/deploy-later loop, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/models/config.hpp"
+#include "stof/models/plan_io.hpp"
+#include "stof/tuner/search_engine.hpp"
+
+namespace stof::models {
+namespace {
+
+using baselines::Method;
+
+Executor make_executor(const ModelConfig& m, std::int64_t bs,
+                       std::int64_t seq) {
+  return Executor(m.build_graph(bs, seq), {bs, m.heads, seq, m.head_size()},
+                  {.kind = masks::PatternKind::kBigBird, .seq_len = seq},
+                  gpusim::a100(), Method::kStof);
+}
+
+TEST(PlanIo, RoundTripsDeterministicPlans) {
+  const auto g = bert_small().build_graph(1, 128);
+  for (const auto method :
+       {Method::kPytorchNative, Method::kPytorchCompile, Method::kMcfuser,
+        Method::kBolt, Method::kStof}) {
+    const auto plan = baselines::e2e_plan(method, g);
+    std::stringstream ss;
+    save_plan(plan, ss);
+    const auto loaded = load_plan(ss);
+    EXPECT_EQ(loaded.scheme, plan.scheme) << to_string(method);
+    EXPECT_EQ(loaded.eager, plan.eager) << to_string(method);
+    EXPECT_EQ(loaded.segment_params.size(), plan.segment_params.size());
+  }
+}
+
+TEST(PlanIo, RoundTripsTunedPlanWithParams) {
+  const auto exec = make_executor(bert_small(), 1, 128);
+  tuner::TuningOptions opt;
+  opt.stage1_max_evals = 40;
+  opt.stage2_iterations = 1;
+  const auto report = tuner::SearchEngine(exec, opt).tune();
+
+  std::stringstream ss;
+  save_plan(report.best_plan, ss);
+  const auto loaded = load_plan(ss);
+  EXPECT_EQ(loaded.scheme, report.best_plan.scheme);
+  ASSERT_EQ(loaded.segment_params.size(),
+            report.best_plan.segment_params.size());
+  for (std::size_t i = 0; i < loaded.segment_params.size(); ++i) {
+    EXPECT_EQ(loaded.segment_params[i], report.best_plan.segment_params[i])
+        << "segment " << i;
+  }
+}
+
+TEST(PlanIo, DeployedPlanSimulatesIdentically) {
+  // The tune-offline / deploy-later loop: the reloaded plan must simulate
+  // to exactly the tuned time on a fresh executor.
+  const auto exec = make_executor(bert_small(), 8, 512);
+  tuner::TuningOptions opt;
+  opt.stage1_max_evals = 60;
+  opt.stage2_iterations = 1;
+  const auto report = tuner::SearchEngine(exec, opt).tune();
+
+  const std::string path = "/tmp/stof_plan_test.stofplan";
+  save_plan_file(report.best_plan, path);
+  const auto deployed = load_plan_file(path);
+  std::remove(path.c_str());
+
+  const auto fresh = make_executor(bert_small(), 8, 512);
+  EXPECT_DOUBLE_EQ(fresh.simulate(deployed).time_us, report.best_time_us);
+}
+
+TEST(PlanIo, EagerFlagPreserved) {
+  const auto g = bert_small().build_graph(1, 128);
+  const auto native = baselines::e2e_plan(Method::kPytorchNative, g);
+  ASSERT_TRUE(native.eager);
+  std::stringstream ss;
+  save_plan(native, ss);
+  EXPECT_TRUE(load_plan(ss).eager);
+}
+
+TEST(PlanIoErrors, RejectsMalformedStreams) {
+  {
+    std::stringstream ss("garbage");
+    EXPECT_THROW(load_plan(ss), Error);
+  }
+  {
+    std::stringstream ss("STOFPLAN v9\nops 4 eager 0\nscheme 5\n");
+    EXPECT_THROW(load_plan(ss), Error);  // unknown version
+  }
+  {
+    std::stringstream ss("STOFPLAN v1\nops 0 eager 0\nscheme 0\n");
+    EXPECT_THROW(load_plan(ss), Error);  // zero ops
+  }
+  {
+    // Non-canonical hex for 4 ops (leading digit 1).
+    std::stringstream ss("STOFPLAN v1\nops 4 eager 0\nscheme f\n");
+    EXPECT_THROW(load_plan(ss), Error);
+  }
+  {
+    // seg index jumps.
+    std::stringstream ss(
+        "STOFPLAN v1\nops 4 eager 0\nscheme 5\n"
+        "seg 1 gemm 64 64 32 4 2 ew 256 4 norm 256 1\n");
+    EXPECT_THROW(load_plan(ss), Error);
+  }
+  EXPECT_THROW(load_plan_file("/nonexistent/plan.stofplan"), Error);
+}
+
+TEST(PlanIoErrors, RejectsParamCountMismatch) {
+  // 4 ops, detached = 4 segments, but only 2 seg lines.
+  std::stringstream ss(
+      "STOFPLAN v1\nops 4 eager 0\nscheme 5\n"
+      "seg 0 gemm 64 64 32 4 2 ew 256 4 norm 256 1\n"
+      "seg 1 gemm 64 64 32 4 2 ew 256 4 norm 256 1\n");
+  EXPECT_THROW(load_plan(ss), Error);
+}
+
+TEST(PlanIo, FormatIsHumanAuditable) {
+  const auto g = bert_small().build_graph(1, 128);
+  const auto plan = baselines::e2e_plan(Method::kStof, g);
+  std::stringstream ss;
+  save_plan(plan, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("STOFPLAN v1"), std::string::npos);
+  EXPECT_NE(text.find("scheme "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stof::models

@@ -1,0 +1,143 @@
+// Tests for the score-modification hook on the block-wise kernel:
+// composing expression-based score changes (relative position bias, ALiBi,
+// soft capping) with block-sparse skipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stof/core/rng.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/mha/reference.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+
+namespace stof::mha {
+namespace {
+
+struct Inputs {
+  TensorH q, k, v;
+};
+
+Inputs make_inputs(const MhaDims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  Inputs in{TensorH(dims.qkv_shape()), TensorH(dims.qkv_shape()),
+            TensorH(dims.qkv_shape())};
+  in.q.fill_random(rng);
+  in.k.fill_random(rng);
+  in.v.fill_random(rng);
+  return in;
+}
+
+// Reference attention with an arbitrary score modification, dense FP32.
+TensorH reference_with_mod(const MhaDims& dims, const Inputs& in,
+                           const masks::Mask& mask, const ScoreMod& mod) {
+  TensorH out(dims.qkv_shape());
+  const std::int64_t n = dims.seq_len;
+  const std::int64_t d = dims.head_size;
+  const float scale = dims.scale();
+  for (std::int64_t bh = 0; bh < dims.instances(); ++bh) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::vector<float> w(static_cast<std::size_t>(n), 0.0f);
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (!mask.at(i, j)) continue;
+        float dot = 0;
+        for (std::int64_t e = 0; e < d; ++e) {
+          dot += float(in.q.at(bh, i, e)) * float(in.k.at(bh, j, e));
+        }
+        float s = dot * scale;
+        if (mod) s = mod(bh, i, j, s);
+        w[static_cast<std::size_t>(j)] = s;
+        max_v = std::max(max_v, s);
+      }
+      float sum = 0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (!mask.at(i, j)) continue;
+        w[static_cast<std::size_t>(j)] =
+            std::exp(w[static_cast<std::size_t>(j)] - max_v);
+        sum += w[static_cast<std::size_t>(j)];
+      }
+      for (std::int64_t e = 0; e < d; ++e) {
+        float acc = 0;
+        for (std::int64_t j = 0; j < n; ++j) {
+          if (!mask.at(i, j)) continue;
+          acc += w[static_cast<std::size_t>(j)] * float(in.v.at(bh, j, e));
+        }
+        out.at(bh, i, e) = half(sum == 0 ? 0.0f : acc / sum);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ScoreMod, NullModMatchesPlainKernel) {
+  const MhaDims dims{1, 2, 48, 16};
+  const Inputs in = make_inputs(dims, 41);
+  const auto mask = masks::MaskSpec{.kind = masks::PatternKind::kBigBird,
+                                    .seq_len = 48}
+                        .build();
+  const auto bsr = sparse::BsrMask::build(mask, 16, 16);
+  const TensorH a = blockwise_attention(dims, in.q, in.k, in.v, bsr,
+                                        BlockwiseParams{16, 16});
+  const TensorH b = blockwise_attention(dims, in.q, in.k, in.v, bsr,
+                                        BlockwiseParams{16, 16}, nullptr);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(ScoreMod, AlibiBiasMatchesReference) {
+  // ALiBi: score -= slope(head) * |i - j|.
+  const MhaDims dims{1, 4, 48, 16};
+  const Inputs in = make_inputs(dims, 42);
+  const auto mask = masks::causal(48);
+  const ScoreMod alibi = [&](std::int64_t bh, std::int64_t i, std::int64_t j,
+                             float s) {
+    const auto head = bh % dims.heads;
+    const float slope = std::exp2(-static_cast<float>(head + 1));
+    return s - slope * static_cast<float>(std::llabs(i - j));
+  };
+  const auto bsr = sparse::BsrMask::build(mask, 16, 16);
+  const TensorH got = blockwise_attention(dims, in.q, in.k, in.v, bsr,
+                                          BlockwiseParams{16, 16}, alibi);
+  const TensorH ref = reference_with_mod(dims, in, mask, alibi);
+  EXPECT_LT(max_abs_diff(got, ref), 4e-3);
+}
+
+TEST(ScoreMod, SoftCappingMatchesReference) {
+  const MhaDims dims{2, 2, 32, 8};
+  const Inputs in = make_inputs(dims, 43);
+  const auto mask = masks::MaskSpec{.kind = masks::PatternKind::kLongformer,
+                                    .seq_len = 32}
+                        .build();
+  const ScoreMod cap = [](std::int64_t, std::int64_t, std::int64_t, float s) {
+    return 5.0f * std::tanh(s / 5.0f);  // Gemma-style soft capping
+  };
+  const auto bsr = sparse::BsrMask::build(mask, 16, 16);
+  const TensorH got = blockwise_attention(dims, in.q, in.k, in.v, bsr,
+                                          BlockwiseParams{16, 16}, cap);
+  const TensorH ref = reference_with_mod(dims, in, mask, cap);
+  EXPECT_LT(max_abs_diff(got, ref), 4e-3);
+}
+
+TEST(ScoreMod, ModAppliesOnlyToUnmaskedPositions) {
+  // A mod returning +inf everywhere must not resurrect masked positions.
+  const MhaDims dims{1, 1, 16, 4};
+  const Inputs in = make_inputs(dims, 44);
+  masks::Mask m(16);
+  m.set(0, 3);  // row 0 attends only to key 3
+  const ScoreMod boost = [](std::int64_t, std::int64_t, std::int64_t, float) {
+    return 100.0f;
+  };
+  const auto bsr = sparse::BsrMask::build(m, 16, 16);
+  const TensorH out = blockwise_attention(dims, in.q, in.k, in.v, bsr,
+                                          BlockwiseParams{16, 16}, boost);
+  for (std::int64_t e = 0; e < 4; ++e) {
+    EXPECT_NEAR(float(out.at(0, 0, e)), float(in.v.at(0, 3, e)), 4e-3);
+  }
+  // Fully masked rows remain zero regardless of the mod.
+  for (std::int64_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(float(out.at(0, 5, e)), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace stof::mha

@@ -1,0 +1,169 @@
+// Sensitivity and robustness tests for the analytical kernel selector:
+// tau sweeps, device sweeps, pattern sweeps, and failure injection on the
+// planning APIs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stof/masks/mask.hpp"
+#include "stof/mha/reference.hpp"
+#include "stof/mha/unified.hpp"
+#include "stof/sparse/bsr_cache.hpp"
+
+namespace stof::mha {
+namespace {
+
+using masks::MaskSpec;
+using masks::PatternKind;
+
+// ---- Tau sensitivity -----------------------------------------------------------
+
+TEST(TauSweep, LargerTauPrefersRowwise) {
+  // tau scales the sparsity penalty: monotonically growing tau can only
+  // move decisions from block-wise toward row-wise, never back.
+  const auto m =
+      MaskSpec{.kind = PatternKind::kSlidingWindow, .seq_len = 512}.build();
+  const auto bsr16 = sparse::BsrMask::build(m, 16, 16);
+  bool seen_rowwise = false;
+  for (const double tau : {0.5, 2.0, 8.0, 12.0, 32.0, 128.0}) {
+    const bool rowwise = eq1_threshold(bsr16, tau) < 0;
+    if (seen_rowwise) {
+      EXPECT_TRUE(rowwise) << "tau " << tau << " flipped back to block-wise";
+    }
+    seen_rowwise = seen_rowwise || rowwise;
+  }
+  EXPECT_TRUE(seen_rowwise) << "even tau=128 never selected row-wise";
+}
+
+TEST(TauSweep, ZeroTauAlwaysBlockwiseForNonEmptyMasks) {
+  for (const auto kind :
+       {PatternKind::kSlidingWindow, PatternKind::kDilated,
+        PatternKind::kBigBird, PatternKind::kStrided}) {
+    const auto m = MaskSpec{.kind = kind, .seq_len = 256}.build();
+    EXPECT_GT(eq1_threshold(sparse::BsrMask::build(m, 16, 16), 0.0), 0.0)
+        << to_string(kind);
+  }
+}
+
+// ---- Plans across devices and patterns -------------------------------------------
+
+class PlanSweep
+    : public ::testing::TestWithParam<std::tuple<PatternKind, int>> {};
+
+TEST_P(PlanSweep, PlanIsDeterministicAndFeasible) {
+  const auto [kind, dev_idx] = GetParam();
+  const auto dev = dev_idx == 0 ? gpusim::rtx4090() : gpusim::a100();
+  const MhaDims dims{4, 12, 512, 64};
+  const auto mask = MaskSpec{.kind = kind, .seq_len = 512}.build();
+
+  UnifiedMha a(dims, mask, dev);
+  UnifiedMha b(dims, mask, dev);
+  EXPECT_EQ(a.plan().choice.kind, b.plan().choice.kind);
+  if (a.plan().choice.kind == KernelKind::kBlockwise) {
+    EXPECT_EQ(a.plan().choice.blockwise, b.plan().choice.blockwise);
+    // The chosen setting must be a feasible launch on this device.
+    const auto occ = gpusim::occupancy(
+        dev,
+        blockwise_req_smem_bytes(a.plan().choice.blockwise, dims.head_size),
+        a.plan().choice.blockwise.num_warps);
+    EXPECT_GT(occ.blocks_per_sm, 0);
+  }
+  EXPECT_GT(a.plan().choice.predicted_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndDevices, PlanSweep,
+    ::testing::Combine(::testing::Values(PatternKind::kSlidingWindow,
+                                         PatternKind::kDilated,
+                                         PatternKind::kLongformer,
+                                         PatternKind::kBigBird,
+                                         PatternKind::kStrided,
+                                         PatternKind::kDense),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == 0 ? "_4090" : "_a100");
+    });
+
+TEST(PlanSweep, PredictionTracksSimulation) {
+  // The selector's predicted time must equal what simulate() then records
+  // (the selector *is* the cost model).
+  const MhaDims dims{2, 12, 1024, 64};
+  const auto mask =
+      MaskSpec{.kind = PatternKind::kBigBird, .seq_len = 1024}.build();
+  UnifiedMha attention(dims, mask, gpusim::a100());
+  gpusim::Stream s(gpusim::a100());
+  const double t = attention.simulate(s);
+  EXPECT_NEAR(attention.plan().choice.predicted_us, t, 1e-9);
+}
+
+// ---- Failure injection -------------------------------------------------------------
+
+TEST(PlanningErrors, MaskSeqMismatchRejected) {
+  const MhaDims dims{1, 4, 128, 32};
+  const auto mask = masks::causal(64);  // wrong seq_len
+  EXPECT_THROW(UnifiedMha(dims, mask, gpusim::a100()), Error);
+}
+
+TEST(PlanningErrors, InvalidDimsRejected) {
+  const auto mask = masks::causal(64);
+  EXPECT_THROW(UnifiedMha({0, 4, 64, 32}, mask, gpusim::a100()), Error);
+  EXPECT_THROW(UnifiedMha({1, 0, 64, 32}, mask, gpusim::a100()), Error);
+  EXPECT_THROW(UnifiedMha({1, 4, 64, 0}, mask, gpusim::a100()), Error);
+}
+
+TEST(PlanningErrors, ForcedInfeasibleParamsSurfaceInCost) {
+  const MhaDims dims{1, 4, 128, 32};
+  const auto mask = masks::causal(128);
+  MhaOptions opt;
+  opt.force_kernel = KernelKind::kBlockwise;
+  BlockwiseParams monster;
+  monster.block_m = monster.block_n = 1024;  // cannot fit any SMEM
+  opt.force_params = monster;
+  UnifiedMha attention(dims, mask, gpusim::a100(), opt);
+  gpusim::Stream s(gpusim::a100());
+  attention.simulate(s);
+  EXPECT_EQ(s.records().back().cost.occupancy, 0.0);  // flagged infeasible
+}
+
+TEST(PlanningErrors, RunRejectsWrongShapes) {
+  const MhaDims dims{1, 2, 64, 16};
+  const auto mask = masks::causal(64);
+  UnifiedMha attention(dims, mask, gpusim::a100());
+  gpusim::Stream s(gpusim::a100());
+  TensorH q(dims.qkv_shape()), k(dims.qkv_shape());
+  TensorH v_bad(Shape{2, 32, 16});
+  EXPECT_THROW(attention.run(q, k, v_bad, s), Error);
+}
+
+TEST(PlanningEdge, FullyEmptyMaskPlansAndRunsToZeros) {
+  const MhaDims dims{1, 2, 32, 8};
+  masks::Mask empty(32);
+  UnifiedMha attention(dims, empty, gpusim::a100());
+  Rng rng(3);
+  TensorH q(dims.qkv_shape()), k(dims.qkv_shape()), v(dims.qkv_shape());
+  q.fill_random(rng);
+  k.fill_random(rng);
+  v.fill_random(rng);
+  gpusim::Stream s(gpusim::a100());
+  const TensorH out = attention.run(q, k, v, s);
+  for (const auto x : out.data()) EXPECT_EQ(float(x), 0.0f);
+}
+
+TEST(PlanningEdge, DenseMaskStillCorrect) {
+  const MhaDims dims{1, 2, 48, 16};
+  const auto mask = masks::dense(48);
+  UnifiedMha attention(dims, mask, gpusim::rtx4090());
+  Rng rng(5);
+  TensorH q(dims.qkv_shape()), k(dims.qkv_shape()), v(dims.qkv_shape());
+  q.fill_random(rng);
+  k.fill_random(rng);
+  v.fill_random(rng);
+  gpusim::Stream s(gpusim::rtx4090());
+  const TensorH out = attention.run(q, k, v, s);
+  const TensorH ref = reference_attention(dims, q, k, v, mask);
+  EXPECT_LT(max_abs_diff(out, ref), 4e-3);
+}
+
+}  // namespace
+}  // namespace stof::mha

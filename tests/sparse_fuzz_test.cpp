@@ -1,0 +1,173 @@
+// Fuzz/property tests on the sparse mask formats: random masks at several
+// densities must round-trip through every representation, and the BSR
+// structural invariants must hold for arbitrary inputs (not just the
+// regular patterns of the paper).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stof/core/rng.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+#include "stof/sparse/flashmask_format.hpp"
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::sparse {
+namespace {
+
+masks::Mask random_mask(std::int64_t seq, double density, std::uint64_t seed) {
+  masks::Mask m(seq);
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < seq; ++i) {
+    for (std::int64_t j = 0; j < seq; ++j) {
+      if (rng.bernoulli(density)) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+class RandomMask
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(RandomMask, BsrRoundTrip) {
+  const auto [density, seed] = GetParam();
+  const auto m = random_mask(77, density, seed);  // non-dividing seq_len
+  for (const auto& [bm, bn] :
+       {std::pair<int, int>{16, 16}, {16, 32}, {32, 16}}) {
+    const auto b = BsrMask::build(m, bm, bn);
+    EXPECT_EQ(b.to_dense(), m) << "blocks " << bm << "x" << bn;
+  }
+}
+
+TEST_P(RandomMask, RowwiseRoundTrip) {
+  const auto [density, seed] = GetParam();
+  const auto m = random_mask(77, density, seed);
+  EXPECT_EQ(RowwiseMask::build(m).to_dense(), m);
+}
+
+TEST_P(RandomMask, BsrStructuralInvariants) {
+  const auto [density, seed] = GetParam();
+  const auto m = random_mask(96, density, seed);
+  const auto b = BsrMask::build(m, 16, 16);
+
+  // Row pointers are monotone and end at the index-array sizes.
+  const auto check_csr = [&](const std::vector<std::int64_t>& ptr,
+                             const std::vector<std::int32_t>& idx) {
+    ASSERT_EQ(ptr.size(), static_cast<std::size_t>(b.rows()) + 1);
+    EXPECT_EQ(ptr.front(), 0);
+    EXPECT_EQ(ptr.back(), static_cast<std::int64_t>(idx.size()));
+    for (std::size_t i = 1; i < ptr.size(); ++i) EXPECT_GE(ptr[i], ptr[i - 1]);
+    // Column indices strictly increasing within each row and in range.
+    for (std::size_t r = 0; r + 1 < ptr.size(); ++r) {
+      for (std::int64_t k = ptr[r]; k < ptr[r + 1]; ++k) {
+        EXPECT_GE(idx[static_cast<std::size_t>(k)], 0);
+        EXPECT_LT(idx[static_cast<std::size_t>(k)], b.cols());
+        if (k > ptr[r]) {
+          EXPECT_GT(idx[static_cast<std::size_t>(k)],
+                    idx[static_cast<std::size_t>(k) - 1]);
+        }
+      }
+    }
+  };
+  check_csr(b.full_row_ptr(), b.full_col_idx());
+  check_csr(b.part_row_ptr(), b.part_col_idx());
+  check_csr(b.load_row_ptr(), b.load_col_idx());
+
+  // part_mask_id is parallel to part_col_idx and points into part_masks.
+  ASSERT_EQ(b.part_mask_id().size(), b.part_col_idx().size());
+  for (const auto id : b.part_mask_id()) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, static_cast<std::int32_t>(b.part_masks().size()));
+  }
+
+  // Every unique bitmap is mixed (a full or empty bitmap would have been
+  // classified differently) — except for edge blocks where out-of-range
+  // lanes are recorded as 0, so "all ones" never appears.
+  for (const auto& bitmap : b.part_masks()) {
+    bool any0 = false, any1 = false;
+    for (const auto v : bitmap) {
+      any0 = any0 || v == 0;
+      any1 = any1 || v == 1;
+    }
+    EXPECT_TRUE(any1) << "empty bitmap stored as part";
+    EXPECT_TRUE(any0) << "full bitmap stored as part";
+  }
+
+  // load == full + part per row, and the classification is consistent.
+  for (std::int64_t bi = 0; bi < b.rows(); ++bi) {
+    const std::size_t r = static_cast<std::size_t>(bi);
+    EXPECT_EQ(b.load_row_ptr()[r + 1] - b.load_row_ptr()[r],
+              (b.full_row_ptr()[r + 1] - b.full_row_ptr()[r]) +
+                  (b.part_row_ptr()[r + 1] - b.part_row_ptr()[r]));
+  }
+}
+
+TEST_P(RandomMask, FlashmaskRoundTripWhenRepresentable) {
+  const auto [density, seed] = GetParam();
+  const auto m = random_mask(48, density, seed);
+  if (FlashmaskFormat::representable(m)) {
+    EXPECT_EQ(FlashmaskFormat::build(m).to_dense(), m);
+  } else {
+    EXPECT_THROW(FlashmaskFormat::build(m), Error);
+  }
+}
+
+TEST_P(RandomMask, ValidCountsAgreeAcrossFormats) {
+  const auto [density, seed] = GetParam();
+  const auto m = random_mask(64, density, seed);
+  const auto rw = RowwiseMask::build(m);
+  EXPECT_EQ(rw.valid_count(), m.valid_count());
+  // BSR valid blocks cover at least every valid element's block.
+  const auto b = BsrMask::build(m, 16, 16);
+  std::int64_t covered = 0;
+  for (std::int64_t bi = 0; bi < b.rows(); ++bi) {
+    for (std::int64_t bj = 0; bj < b.cols(); ++bj) {
+      if (b.block_kind(bi, bj) != BlockKind::kEmpty) ++covered;
+    }
+  }
+  EXPECT_EQ(covered, b.valid_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitiesAndSeeds, RandomMask,
+    ::testing::Combine(::testing::Values(0.01, 0.1, 0.5, 0.9),
+                       ::testing::Values(1u, 7u, 1234u)),
+    [](const auto& info) {
+      return "d" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RandomMaskEdge, AllZeroAndAllOne) {
+  const masks::Mask zero(40);
+  const auto b0 = BsrMask::build(zero, 16, 16);
+  EXPECT_EQ(b0.valid_count(), 0);
+  EXPECT_EQ(b0.to_dense(), zero);
+
+  const masks::Mask one = masks::dense(40);
+  const auto b1 = BsrMask::build(one, 16, 16);
+  EXPECT_EQ(b1.part_count(), 0);  // every block full, even edges
+  EXPECT_EQ(b1.to_dense(), one);
+}
+
+TEST(RandomMaskEdge, SingleElementMask) {
+  masks::Mask m(33);
+  m.set(32, 0);
+  const auto b = BsrMask::build(m, 16, 16);
+  EXPECT_EQ(b.valid_count(), 1);
+  EXPECT_EQ(b.part_count(), 1);
+  EXPECT_EQ(b.block_kind(2, 0), BlockKind::kPart);
+  EXPECT_EQ(b.to_dense(), m);
+}
+
+TEST(RandomMaskEdge, BlockLargerThanMask) {
+  const auto m = masks::causal(10);
+  const auto b = BsrMask::build(m, 16, 16);
+  EXPECT_EQ(b.rows(), 1);
+  EXPECT_EQ(b.cols(), 1);
+  EXPECT_EQ(b.part_count(), 1);  // causal triangle is mixed
+  EXPECT_EQ(b.to_dense(), m);
+}
+
+}  // namespace
+}  // namespace stof::sparse

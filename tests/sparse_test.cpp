@@ -1,0 +1,274 @@
+// Unit + property tests for the sparse mask storage formats: BSR with
+// full/part classification (paper Fig. 6), row-wise CSR/segments, and the
+// FlashMask column-wise baseline format.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stof/masks/mask.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+#include "stof/sparse/flashmask_format.hpp"
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::sparse {
+namespace {
+
+using masks::Mask;
+using masks::MaskSpec;
+using masks::PatternKind;
+
+// ---- BSR: the paper's worked example ---------------------------------------
+// Fig. 6 uses an 8x8 mask with BLOCK_M = BLOCK_N = 2 giving a 4x4 block grid.
+
+Mask fig6_like_mask() {
+  // Row-block 0: one full block at column-block 0, a part block at 2.
+  // Row-block 1: full blocks at 0 and 2 (the paper calls out "column
+  // indices of full blocks in the 2-nd row are 0 and 2").
+  Mask m(8);
+  auto fill_block = [&m](std::int64_t bi, std::int64_t bj) {
+    for (std::int64_t r = 0; r < 2; ++r)
+      for (std::int64_t c = 0; c < 2; ++c) m.set(bi * 2 + r, bj * 2 + c);
+  };
+  fill_block(0, 0);
+  m.set(0, 4);  // part block (0, 2): single element
+  fill_block(1, 0);
+  fill_block(1, 2);
+  m.set(5, 7);  // part block (2, 3)
+  m.set(7, 1);  // part block (3, 0)
+  return m;
+}
+
+TEST(BsrMask, RowPtrLengthMatchesPaperFormula) {
+  const Mask m = fig6_like_mask();
+  const BsrMask b = BsrMask::build(m, 2, 2);
+  // Paper: len(full_row_ptr) = ceil(seq_len / BLOCK_M) + 1.
+  EXPECT_EQ(b.full_row_ptr().size(), 8u / 2 + 1);
+  EXPECT_EQ(b.part_row_ptr().size(), 8u / 2 + 1);
+  EXPECT_EQ(b.load_row_ptr().size(), 8u / 2 + 1);
+}
+
+TEST(BsrMask, ClassifiesFullPartEmpty) {
+  const BsrMask b = BsrMask::build(fig6_like_mask(), 2, 2);
+  EXPECT_EQ(b.block_kind(0, 0), BlockKind::kFull);
+  EXPECT_EQ(b.block_kind(0, 2), BlockKind::kPart);
+  EXPECT_EQ(b.block_kind(0, 1), BlockKind::kEmpty);
+  EXPECT_EQ(b.block_kind(1, 0), BlockKind::kFull);
+  EXPECT_EQ(b.block_kind(1, 2), BlockKind::kFull);
+  EXPECT_EQ(b.block_kind(2, 3), BlockKind::kPart);
+  EXPECT_EQ(b.block_kind(3, 0), BlockKind::kPart);
+  EXPECT_EQ(b.full_count(), 3);
+  EXPECT_EQ(b.part_count(), 3);
+}
+
+TEST(BsrMask, FullColIdxOfSecondRowIsZeroAndTwo) {
+  const BsrMask b = BsrMask::build(fig6_like_mask(), 2, 2);
+  const auto& ptr = b.full_row_ptr();
+  const auto& idx = b.full_col_idx();
+  ASSERT_EQ(ptr[2] - ptr[1], 2);  // two full blocks in block-row 1
+  EXPECT_EQ(idx[static_cast<std::size_t>(ptr[1])], 0);
+  EXPECT_EQ(idx[static_cast<std::size_t>(ptr[1]) + 1], 2);
+}
+
+TEST(BsrMask, LoadArraysAreUnionOfFullAndPart) {
+  const BsrMask b = BsrMask::build(fig6_like_mask(), 2, 2);
+  for (std::int64_t bi = 0; bi < b.rows(); ++bi) {
+    const std::int64_t loads =
+        b.load_row_ptr()[static_cast<std::size_t>(bi) + 1] -
+        b.load_row_ptr()[static_cast<std::size_t>(bi)];
+    const std::int64_t fulls =
+        b.full_row_ptr()[static_cast<std::size_t>(bi) + 1] -
+        b.full_row_ptr()[static_cast<std::size_t>(bi)];
+    const std::int64_t parts =
+        b.part_row_ptr()[static_cast<std::size_t>(bi) + 1] -
+        b.part_row_ptr()[static_cast<std::size_t>(bi)];
+    EXPECT_EQ(loads, fulls + parts) << "block-row " << bi;
+  }
+}
+
+TEST(BsrMask, PartBitmapsDeduplicated) {
+  // A sliding-window band repeats the same few edge bitmaps many times.
+  const Mask m = masks::sliding_window(256, 16);
+  const BsrMask b = BsrMask::build(m, 16, 16);
+  EXPECT_GT(b.part_count(), 10);
+  // All interior part blocks share two bitmaps (upper/lower band edge).
+  EXPECT_LE(b.unique_part_masks(), 4);
+}
+
+TEST(BsrMask, PartBitmapLookupMatchesDense) {
+  const Mask m = fig6_like_mask();
+  const BsrMask b = BsrMask::build(m, 2, 2);
+  const auto& bm = b.part_bitmap(0, 2);
+  EXPECT_EQ(bm[0], 1);  // element (0,4) valid
+  EXPECT_EQ(bm[1], 0);
+  EXPECT_EQ(bm[2], 0);
+  EXPECT_EQ(bm[3], 0);
+  EXPECT_THROW((void)b.part_bitmap(0, 0), Error);  // full, not part
+}
+
+TEST(BsrMask, SparseStorageSmallerThanDense) {
+  const Mask m = masks::sliding_window(1024, 32);
+  const BsrMask b = BsrMask::build(m, 32, 32);
+  EXPECT_LT(b.storage_bytes(), 1024u * 1024u / 8u);
+}
+
+TEST(BsrMask, EdgeBlocksWithNonDividingSeqLen) {
+  // seq_len 10 with 4x4 blocks: edge blocks cover a 2-wide remainder.
+  const Mask m = masks::dense(10);
+  const BsrMask b = BsrMask::build(m, 4, 4);
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 3);
+  // Every block of a dense mask must be "full", including edge blocks whose
+  // in-range elements are all valid.
+  EXPECT_EQ(b.full_count(), 9);
+  EXPECT_EQ(b.part_count(), 0);
+  EXPECT_EQ(b.to_dense(), m);
+}
+
+TEST(BsrMask, ValidRatioOfDenseIsOne) {
+  const BsrMask b = BsrMask::build(masks::dense(64), 16, 16);
+  EXPECT_DOUBLE_EQ(b.valid_ratio(), 1.0);
+}
+
+TEST(BsrMask, RejectsBadBlockSizes) {
+  EXPECT_THROW(BsrMask::build(masks::dense(8), 0, 2), Error);
+  EXPECT_THROW(BsrMask::build(masks::dense(8), 2, -1), Error);
+}
+
+// Round-trip property across every pattern and several block shapes.
+class BsrRoundTrip
+    : public ::testing::TestWithParam<
+          std::tuple<PatternKind, std::int64_t, std::int64_t>> {};
+
+TEST_P(BsrRoundTrip, ToDenseReconstructsMask) {
+  const auto [kind, bm, bn] = GetParam();
+  MaskSpec spec{.kind = kind, .seq_len = 96};
+  const Mask m = spec.build();
+  const BsrMask b = BsrMask::build(m, bm, bn);
+  EXPECT_EQ(b.to_dense(), m);
+}
+
+TEST_P(BsrRoundTrip, ValidBlocksCoverAllValidElements) {
+  const auto [kind, bm, bn] = GetParam();
+  MaskSpec spec{.kind = kind, .seq_len = 96};
+  const Mask m = spec.build();
+  const BsrMask b = BsrMask::build(m, bm, bn);
+  for (std::int64_t i = 0; i < m.seq_len(); ++i) {
+    for (std::int64_t j = 0; j < m.seq_len(); ++j) {
+      if (m.at(i, j)) {
+        EXPECT_NE(b.block_kind(i / bm, j / bn), BlockKind::kEmpty)
+            << i << "," << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndBlocks, BsrRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(PatternKind::kCausal, PatternKind::kSlidingWindow,
+                          PatternKind::kDilated, PatternKind::kGlobal,
+                          PatternKind::kLongformer, PatternKind::kBigBird),
+        ::testing::Values<std::int64_t>(16, 32),
+        ::testing::Values<std::int64_t>(16, 32)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "x" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Row-wise format --------------------------------------------------------
+
+TEST(RowwiseMask, CsrMatchesDense) {
+  const Mask m = masks::longformer(64, 4, 4);
+  const RowwiseMask r = RowwiseMask::build(m);
+  EXPECT_EQ(r.to_dense(), m);
+  EXPECT_EQ(r.valid_count(), m.valid_count());
+}
+
+TEST(RowwiseMask, SegmentsMatchContiguity) {
+  const Mask sw = masks::sliding_window(64, 4);
+  const RowwiseMask r = RowwiseMask::build(sw);
+  // Sliding window rows are single contiguous runs.
+  EXPECT_DOUBLE_EQ(r.mean_segments_per_row(), 1.0);
+
+  const Mask d = masks::dilated(64, 4, 1);
+  const RowwiseMask rd = RowwiseMask::build(d);
+  // Dilated rows are punched: many segments per row.
+  EXPECT_GT(rd.mean_segments_per_row(), 2.0);
+}
+
+TEST(RowwiseMask, RowNnzAndMax) {
+  const Mask m = masks::global(32, 2);
+  const RowwiseMask r = RowwiseMask::build(m);
+  EXPECT_EQ(r.row_nnz(0), 32);  // global row
+  EXPECT_EQ(r.row_nnz(10), 2);  // only global columns
+  EXPECT_EQ(r.max_row_nnz(), 32);
+}
+
+TEST(RowwiseMask, EmptyMask) {
+  const RowwiseMask r = RowwiseMask::build(Mask(16));
+  EXPECT_EQ(r.valid_count(), 0);
+  EXPECT_EQ(r.max_row_nnz(), 0);
+  EXPECT_DOUBLE_EQ(r.mean_segments_per_row(), 0.0);
+}
+
+class RowwiseRoundTrip : public ::testing::TestWithParam<PatternKind> {};
+
+TEST_P(RowwiseRoundTrip, ToDenseReconstructsMask) {
+  MaskSpec spec{.kind = GetParam(), .seq_len = 80};
+  const Mask m = spec.build();
+  EXPECT_EQ(RowwiseMask::build(m).to_dense(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, RowwiseRoundTrip,
+    ::testing::Values(PatternKind::kDense, PatternKind::kCausal,
+                      PatternKind::kSlidingWindow, PatternKind::kDilated,
+                      PatternKind::kGlobal, PatternKind::kRandom,
+                      PatternKind::kLongformer, PatternKind::kBigBird,
+                      PatternKind::kStrided),
+    [](const auto& info) { return to_string(info.param); });
+
+// ---- FlashMask column-wise format ------------------------------------------
+
+TEST(FlashmaskFormat, RepresentsCausal) {
+  const Mask m = masks::causal(64);
+  ASSERT_TRUE(FlashmaskFormat::representable(m));
+  EXPECT_EQ(FlashmaskFormat::build(m).to_dense(), m);
+}
+
+TEST(FlashmaskFormat, RepresentsSlidingWindow) {
+  const Mask m = masks::sliding_window(64, 8);
+  ASSERT_TRUE(FlashmaskFormat::representable(m));
+  EXPECT_EQ(FlashmaskFormat::build(m).to_dense(), m);
+}
+
+TEST(FlashmaskFormat, CannotRepresentDilated) {
+  // Paper §3.1: "the discrete distribution of valid elements involves more
+  // skipped regions that cannot be represented".
+  EXPECT_FALSE(FlashmaskFormat::representable(masks::dilated(64, 4, 1)));
+}
+
+TEST(FlashmaskFormat, CannotRepresentBigbird) {
+  EXPECT_FALSE(
+      FlashmaskFormat::representable(masks::bigbird(128, 8, 8, 0.15, 16, 3)));
+}
+
+TEST(FlashmaskFormat, BuildRejectsUnrepresentable) {
+  EXPECT_THROW(FlashmaskFormat::build(masks::dilated(64, 4, 1)), Error);
+}
+
+TEST(FlashmaskFormat, StorageIsFourArrays) {
+  const Mask m = masks::causal(128);
+  const FlashmaskFormat f = FlashmaskFormat::build(m);
+  EXPECT_EQ(f.storage_bytes(), 4u * 128u * sizeof(std::int32_t));
+}
+
+TEST(FlashmaskFormat, DenseMaskRepresentable) {
+  const Mask m = masks::dense(32);
+  ASSERT_TRUE(FlashmaskFormat::representable(m));
+  EXPECT_EQ(FlashmaskFormat::build(m).to_dense(), m);
+}
+
+}  // namespace
+}  // namespace stof::sparse
