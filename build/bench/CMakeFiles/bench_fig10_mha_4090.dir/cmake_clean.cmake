@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mha_4090.dir/bench_fig10_mha_4090.cpp.o"
+  "CMakeFiles/bench_fig10_mha_4090.dir/bench_fig10_mha_4090.cpp.o.d"
+  "bench_fig10_mha_4090"
+  "bench_fig10_mha_4090.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mha_4090.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

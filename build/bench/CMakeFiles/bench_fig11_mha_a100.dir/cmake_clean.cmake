@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mha_a100.dir/bench_fig11_mha_a100.cpp.o"
+  "CMakeFiles/bench_fig11_mha_a100.dir/bench_fig11_mha_a100.cpp.o.d"
+  "bench_fig11_mha_a100"
+  "bench_fig11_mha_a100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mha_a100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_e2e.dir/bench_fig12_e2e.cpp.o"
+  "CMakeFiles/bench_fig12_e2e.dir/bench_fig12_e2e.cpp.o.d"
+  "bench_fig12_e2e"
+  "bench_fig12_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

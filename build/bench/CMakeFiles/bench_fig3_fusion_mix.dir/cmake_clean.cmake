@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fusion_mix.dir/bench_fig3_fusion_mix.cpp.o"
+  "CMakeFiles/bench_fig3_fusion_mix.dir/bench_fig3_fusion_mix.cpp.o.d"
+  "bench_fig3_fusion_mix"
+  "bench_fig3_fusion_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fusion_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tuning_gap.dir/bench_fig4_tuning_gap.cpp.o"
+  "CMakeFiles/bench_fig4_tuning_gap.dir/bench_fig4_tuning_gap.cpp.o.d"
+  "bench_fig4_tuning_gap"
+  "bench_fig4_tuning_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tuning_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_micro.dir/bench_kernels_micro.cpp.o"
+  "CMakeFiles/bench_kernels_micro.dir/bench_kernels_micro.cpp.o.d"
+  "bench_kernels_micro"
+  "bench_kernels_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

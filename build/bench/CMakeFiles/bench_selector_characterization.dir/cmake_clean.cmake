@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selector_characterization.dir/bench_selector_characterization.cpp.o"
+  "CMakeFiles/bench_selector_characterization.dir/bench_selector_characterization.cpp.o.d"
+  "bench_selector_characterization"
+  "bench_selector_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selector_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_masks.dir/bench_table2_masks.cpp.o"
+  "CMakeFiles/bench_table2_masks.dir/bench_table2_masks.cpp.o.d"
+  "bench_table2_masks"
+  "bench_table2_masks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tuning_cost.dir/bench_table4_tuning_cost.cpp.o"
+  "CMakeFiles/bench_table4_tuning_cost.dir/bench_table4_tuning_cost.cpp.o.d"
+  "bench_table4_tuning_cost"
+  "bench_table4_tuning_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tuning_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autoregressive_generation.dir/autoregressive_generation.cpp.o"
+  "CMakeFiles/example_autoregressive_generation.dir/autoregressive_generation.cpp.o.d"
+  "example_autoregressive_generation"
+  "example_autoregressive_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autoregressive_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

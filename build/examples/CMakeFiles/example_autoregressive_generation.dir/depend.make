@@ -1,0 +1,2 @@
+# Empty dependencies file for example_autoregressive_generation.
+# This may be replaced when dependencies are built.

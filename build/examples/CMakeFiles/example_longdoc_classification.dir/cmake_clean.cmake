@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_longdoc_classification.dir/longdoc_classification.cpp.o"
+  "CMakeFiles/example_longdoc_classification.dir/longdoc_classification.cpp.o.d"
+  "example_longdoc_classification"
+  "example_longdoc_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_longdoc_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

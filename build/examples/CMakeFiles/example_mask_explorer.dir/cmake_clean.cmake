@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mask_explorer.dir/mask_explorer.cpp.o"
+  "CMakeFiles/example_mask_explorer.dir/mask_explorer.cpp.o.d"
+  "example_mask_explorer"
+  "example_mask_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mask_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tune_and_deploy.dir/tune_and_deploy.cpp.o"
+  "CMakeFiles/example_tune_and_deploy.dir/tune_and_deploy.cpp.o.d"
+  "example_tune_and_deploy"
+  "example_tune_and_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tune_and_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

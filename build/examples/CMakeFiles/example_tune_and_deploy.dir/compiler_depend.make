@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_tune_and_deploy.
+# This may be replaced when dependencies are built.

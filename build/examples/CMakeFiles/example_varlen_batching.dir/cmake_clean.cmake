@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_varlen_batching.dir/varlen_batching.cpp.o"
+  "CMakeFiles/example_varlen_batching.dir/varlen_batching.cpp.o.d"
+  "example_varlen_batching"
+  "example_varlen_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_varlen_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

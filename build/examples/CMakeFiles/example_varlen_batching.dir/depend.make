@@ -1,0 +1,2 @@
+# Empty dependencies file for example_varlen_batching.
+# This may be replaced when dependencies are built.

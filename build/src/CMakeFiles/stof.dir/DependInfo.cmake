@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stof/baselines/e2e_plans.cpp" "src/CMakeFiles/stof.dir/stof/baselines/e2e_plans.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/baselines/e2e_plans.cpp.o.d"
+  "/root/repo/src/stof/baselines/mha_methods.cpp" "src/CMakeFiles/stof.dir/stof/baselines/mha_methods.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/baselines/mha_methods.cpp.o.d"
+  "/root/repo/src/stof/fusion/scheme.cpp" "src/CMakeFiles/stof.dir/stof/fusion/scheme.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/fusion/scheme.cpp.o.d"
+  "/root/repo/src/stof/fusion/templates.cpp" "src/CMakeFiles/stof.dir/stof/fusion/templates.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/fusion/templates.cpp.o.d"
+  "/root/repo/src/stof/gpusim/device.cpp" "src/CMakeFiles/stof.dir/stof/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/gpusim/device.cpp.o.d"
+  "/root/repo/src/stof/gpusim/trace.cpp" "src/CMakeFiles/stof.dir/stof/gpusim/trace.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/gpusim/trace.cpp.o.d"
+  "/root/repo/src/stof/graph/builders.cpp" "src/CMakeFiles/stof.dir/stof/graph/builders.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/graph/builders.cpp.o.d"
+  "/root/repo/src/stof/graph/graph.cpp" "src/CMakeFiles/stof.dir/stof/graph/graph.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/graph/graph.cpp.o.d"
+  "/root/repo/src/stof/graph/rewrite.cpp" "src/CMakeFiles/stof.dir/stof/graph/rewrite.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/graph/rewrite.cpp.o.d"
+  "/root/repo/src/stof/masks/mask.cpp" "src/CMakeFiles/stof.dir/stof/masks/mask.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/masks/mask.cpp.o.d"
+  "/root/repo/src/stof/masks/serialize.cpp" "src/CMakeFiles/stof.dir/stof/masks/serialize.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/masks/serialize.cpp.o.d"
+  "/root/repo/src/stof/mha/blockwise_kernel.cpp" "src/CMakeFiles/stof.dir/stof/mha/blockwise_kernel.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/mha/blockwise_kernel.cpp.o.d"
+  "/root/repo/src/stof/mha/decode.cpp" "src/CMakeFiles/stof.dir/stof/mha/decode.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/mha/decode.cpp.o.d"
+  "/root/repo/src/stof/mha/reference.cpp" "src/CMakeFiles/stof.dir/stof/mha/reference.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/mha/reference.cpp.o.d"
+  "/root/repo/src/stof/mha/rowwise_kernel.cpp" "src/CMakeFiles/stof.dir/stof/mha/rowwise_kernel.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/mha/rowwise_kernel.cpp.o.d"
+  "/root/repo/src/stof/mha/selector.cpp" "src/CMakeFiles/stof.dir/stof/mha/selector.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/mha/selector.cpp.o.d"
+  "/root/repo/src/stof/mha/unified.cpp" "src/CMakeFiles/stof.dir/stof/mha/unified.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/mha/unified.cpp.o.d"
+  "/root/repo/src/stof/mha/varlen.cpp" "src/CMakeFiles/stof.dir/stof/mha/varlen.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/mha/varlen.cpp.o.d"
+  "/root/repo/src/stof/models/config.cpp" "src/CMakeFiles/stof.dir/stof/models/config.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/models/config.cpp.o.d"
+  "/root/repo/src/stof/models/e2e.cpp" "src/CMakeFiles/stof.dir/stof/models/e2e.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/models/e2e.cpp.o.d"
+  "/root/repo/src/stof/models/executor.cpp" "src/CMakeFiles/stof.dir/stof/models/executor.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/models/executor.cpp.o.d"
+  "/root/repo/src/stof/models/functional.cpp" "src/CMakeFiles/stof.dir/stof/models/functional.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/models/functional.cpp.o.d"
+  "/root/repo/src/stof/models/plan_io.cpp" "src/CMakeFiles/stof.dir/stof/models/plan_io.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/models/plan_io.cpp.o.d"
+  "/root/repo/src/stof/ops/elementwise.cpp" "src/CMakeFiles/stof.dir/stof/ops/elementwise.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/ops/elementwise.cpp.o.d"
+  "/root/repo/src/stof/ops/fused.cpp" "src/CMakeFiles/stof.dir/stof/ops/fused.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/ops/fused.cpp.o.d"
+  "/root/repo/src/stof/ops/gemm.cpp" "src/CMakeFiles/stof.dir/stof/ops/gemm.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/ops/gemm.cpp.o.d"
+  "/root/repo/src/stof/ops/normalize.cpp" "src/CMakeFiles/stof.dir/stof/ops/normalize.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/ops/normalize.cpp.o.d"
+  "/root/repo/src/stof/sparse/bsr_mask.cpp" "src/CMakeFiles/stof.dir/stof/sparse/bsr_mask.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/sparse/bsr_mask.cpp.o.d"
+  "/root/repo/src/stof/sparse/flashmask_format.cpp" "src/CMakeFiles/stof.dir/stof/sparse/flashmask_format.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/sparse/flashmask_format.cpp.o.d"
+  "/root/repo/src/stof/sparse/rowwise_mask.cpp" "src/CMakeFiles/stof.dir/stof/sparse/rowwise_mask.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/sparse/rowwise_mask.cpp.o.d"
+  "/root/repo/src/stof/tuner/search_engine.cpp" "src/CMakeFiles/stof.dir/stof/tuner/search_engine.cpp.o" "gcc" "src/CMakeFiles/stof.dir/stof/tuner/search_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_mha_test.dir/baselines_mha_test.cpp.o"
+  "CMakeFiles/baselines_mha_test.dir/baselines_mha_test.cpp.o.d"
+  "baselines_mha_test"
+  "baselines_mha_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_mha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

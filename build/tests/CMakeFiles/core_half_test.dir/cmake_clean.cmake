@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_half_test.dir/core_half_test.cpp.o"
+  "CMakeFiles/core_half_test.dir/core_half_test.cpp.o.d"
+  "core_half_test"
+  "core_half_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_half_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

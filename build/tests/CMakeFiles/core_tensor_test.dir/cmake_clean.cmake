@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tensor_test.dir/core_tensor_test.cpp.o"
+  "CMakeFiles/core_tensor_test.dir/core_tensor_test.cpp.o.d"
+  "core_tensor_test"
+  "core_tensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costmodel_property_test.dir/costmodel_property_test.cpp.o"
+  "CMakeFiles/costmodel_property_test.dir/costmodel_property_test.cpp.o.d"
+  "costmodel_property_test"
+  "costmodel_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costmodel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

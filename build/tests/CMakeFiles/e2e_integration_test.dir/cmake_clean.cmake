@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_integration_test.dir/e2e_integration_test.cpp.o"
+  "CMakeFiles/e2e_integration_test.dir/e2e_integration_test.cpp.o.d"
+  "e2e_integration_test"
+  "e2e_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_detail_test.dir/executor_detail_test.cpp.o"
+  "CMakeFiles/executor_detail_test.dir/executor_detail_test.cpp.o.d"
+  "executor_detail_test"
+  "executor_detail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for executor_detail_test.
+# This may be replaced when dependencies are built.

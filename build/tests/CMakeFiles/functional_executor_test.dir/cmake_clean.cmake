@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_executor_test.dir/functional_executor_test.cpp.o"
+  "CMakeFiles/functional_executor_test.dir/functional_executor_test.cpp.o.d"
+  "functional_executor_test"
+  "functional_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_rewrite_test.dir/graph_rewrite_test.cpp.o"
+  "CMakeFiles/graph_rewrite_test.dir/graph_rewrite_test.cpp.o.d"
+  "graph_rewrite_test"
+  "graph_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masks_test.dir/masks_test.cpp.o"
+  "CMakeFiles/masks_test.dir/masks_test.cpp.o.d"
+  "masks_test"
+  "masks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

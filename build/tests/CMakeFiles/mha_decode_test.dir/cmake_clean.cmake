@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_decode_test.dir/mha_decode_test.cpp.o"
+  "CMakeFiles/mha_decode_test.dir/mha_decode_test.cpp.o.d"
+  "mha_decode_test"
+  "mha_decode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_decode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_gqa_test.dir/mha_gqa_test.cpp.o"
+  "CMakeFiles/mha_gqa_test.dir/mha_gqa_test.cpp.o.d"
+  "mha_gqa_test"
+  "mha_gqa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_gqa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

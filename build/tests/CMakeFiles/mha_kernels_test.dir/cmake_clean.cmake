@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_kernels_test.dir/mha_kernels_test.cpp.o"
+  "CMakeFiles/mha_kernels_test.dir/mha_kernels_test.cpp.o.d"
+  "mha_kernels_test"
+  "mha_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

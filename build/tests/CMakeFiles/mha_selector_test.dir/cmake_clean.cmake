@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_selector_test.dir/mha_selector_test.cpp.o"
+  "CMakeFiles/mha_selector_test.dir/mha_selector_test.cpp.o.d"
+  "mha_selector_test"
+  "mha_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

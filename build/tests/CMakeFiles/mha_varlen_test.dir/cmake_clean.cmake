@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_varlen_test.dir/mha_varlen_test.cpp.o"
+  "CMakeFiles/mha_varlen_test.dir/mha_varlen_test.cpp.o.d"
+  "mha_varlen_test"
+  "mha_varlen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_varlen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_executor_test.dir/models_executor_test.cpp.o"
+  "CMakeFiles/models_executor_test.dir/models_executor_test.cpp.o.d"
+  "models_executor_test"
+  "models_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_param_feasibility_test.dir/ops_param_feasibility_test.cpp.o"
+  "CMakeFiles/ops_param_feasibility_test.dir/ops_param_feasibility_test.cpp.o.d"
+  "ops_param_feasibility_test"
+  "ops_param_feasibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_param_feasibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_io_test.dir/plan_io_test.cpp.o"
+  "CMakeFiles/plan_io_test.dir/plan_io_test.cpp.o.d"
+  "plan_io_test"
+  "plan_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

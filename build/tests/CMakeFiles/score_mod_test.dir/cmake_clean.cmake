@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_mod_test.dir/score_mod_test.cpp.o"
+  "CMakeFiles/score_mod_test.dir/score_mod_test.cpp.o.d"
+  "score_mod_test"
+  "score_mod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_mod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

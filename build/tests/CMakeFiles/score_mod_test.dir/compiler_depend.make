@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for score_mod_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_sensitivity_test.dir/selector_sensitivity_test.cpp.o"
+  "CMakeFiles/selector_sensitivity_test.dir/selector_sensitivity_test.cpp.o.d"
+  "selector_sensitivity_test"
+  "selector_sensitivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_fuzz_test.dir/sparse_fuzz_test.cpp.o"
+  "CMakeFiles/sparse_fuzz_test.dir/sparse_fuzz_test.cpp.o.d"
+  "sparse_fuzz_test"
+  "sparse_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
