@@ -1,0 +1,214 @@
+// Tier-1 perf-regression harness: times the packed-FP32 execution engine
+// against the scalar reference on fixed functional shapes and writes a
+// machine-readable trajectory file (BENCH_tier1.json) for future PRs to
+// compare against.
+//
+// Shapes (full mode):
+//   * GEMM  (batch 8, m 512, hidden 1024): the paper's (8, 512) config at
+//     hidden size 1024, bias epilogue — the FFN projection shape.
+//   * MHA   BERT-Base (12 heads, head size 64) at seq 512, batch 8, on the
+//     BigBird and sliding-window masks via the block-wise kernel.
+//
+// Usage: bench_tier1 [--quick] [--out PATH]
+//   --quick   small shapes for CI smoke runs (not a trajectory record)
+//   --out     output JSON path (default: BENCH_tier1.json in the cwd)
+//
+// Exit status is non-zero if any packed result is not bit-identical to the
+// scalar reference — the harness doubles as an end-to-end regression gate.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stof/core/packed.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/ops/gemm.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+
+namespace {
+
+using stof::Shape;
+using stof::TensorH;
+
+struct Entry {
+  std::string name;
+  std::string shape;
+  double scalar_ms = 0;
+  double packed_ms = 0;
+  bool bit_identical = false;
+  [[nodiscard]] double speedup() const { return scalar_ms / packed_ms; }
+};
+
+double time_ms(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+bool bits_equal(const TensorH& a, const TensorH& b) {
+  if (a.shape() != b.shape()) return false;
+  const auto sa = a.data();
+  const auto sb = b.data();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].bits() != sb[i].bits()) return false;
+  }
+  return true;
+}
+
+TensorH random_tensor(Shape shape, std::uint64_t seed) {
+  TensorH t(shape);
+  stof::Rng rng(seed);
+  t.fill_random(rng);
+  return t;
+}
+
+Entry bench_gemm(std::int64_t batch, std::int64_t m, std::int64_t k,
+                 std::int64_t n, int packed_reps) {
+  const TensorH a = random_tensor(Shape{batch, m, k}, 1);
+  const TensorH b = random_tensor(Shape{k, n}, 2);
+  const TensorH bias = random_tensor(Shape{n}, 3);
+  TensorH c_scalar(Shape{batch, m, n});
+  TensorH c_packed(Shape{batch, m, n});
+
+  Entry e;
+  e.name = "gemm_b" + std::to_string(batch) + "_m" + std::to_string(m) +
+           "_h" + std::to_string(n);
+  e.shape = "(" + std::to_string(batch) + ", " + std::to_string(m) + ", " +
+            std::to_string(k) + ") x (" + std::to_string(k) + ", " +
+            std::to_string(n) + "), bias epilogue";
+  e.scalar_ms = time_ms(
+      [&] {
+        stof::ops::gemm_scalar(a, b, c_scalar, stof::ops::Epilogue::kBias,
+                               &bias);
+      },
+      1);
+  e.packed_ms = time_ms(
+      [&] {
+        stof::ops::gemm_packed(a, b, c_packed, stof::ops::Epilogue::kBias,
+                               &bias);
+      },
+      packed_reps);
+  e.bit_identical = bits_equal(c_scalar, c_packed);
+  return e;
+}
+
+Entry bench_mha(const stof::mha::MhaDims& dims, stof::masks::PatternKind kind,
+                const std::string& mask_name, int block, int packed_reps) {
+  const TensorH q = random_tensor(dims.qkv_shape(), 4);
+  const TensorH k = random_tensor(dims.kv_shape(), 5);
+  const TensorH v = random_tensor(dims.kv_shape(), 6);
+  const stof::masks::Mask mask =
+      stof::masks::MaskSpec{.kind = kind, .seq_len = dims.seq_len}.build();
+  const auto bsr = stof::sparse::BsrMask::build(mask, block, block);
+  const stof::mha::BlockwiseParams params{block, block};
+
+  Entry e;
+  e.name = "mha_h" + std::to_string(dims.heads) + "d" +
+           std::to_string(dims.head_size) + "_b" + std::to_string(dims.batch) +
+           "_s" + std::to_string(dims.seq_len) + "_" + mask_name;
+  e.shape = "batch " + std::to_string(dims.batch) + ", heads " +
+            std::to_string(dims.heads) + ", seq " +
+            std::to_string(dims.seq_len) + ", head_size " +
+            std::to_string(dims.head_size) + ", " + mask_name +
+            " mask, block " + std::to_string(block);
+
+  TensorH out_scalar, out_packed;
+  e.scalar_ms = time_ms(
+      [&] {
+        stof::ScopedPackedExecution scalar_mode(false);
+        out_scalar = stof::mha::blockwise_attention(dims, q, k, v, bsr, params);
+      },
+      1);
+  e.packed_ms = time_ms(
+      [&] {
+        out_packed = stof::mha::blockwise_attention(dims, q, k, v, bsr, params);
+      },
+      packed_reps);
+  e.bit_identical = bits_equal(out_scalar, out_packed);
+  return e;
+}
+
+bool write_json(const std::string& path, const std::vector<Entry>& entries,
+                bool quick) {
+  std::ofstream os(path);
+  os << "{\n";
+  os << "  \"schema\": \"stof-bench-tier1-v1\",\n";
+  os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  os << "  \"unit\": \"ms\",\n";
+  os << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    os << "    {\"name\": \"" << e.name << "\", \"shape\": \"" << e.shape
+       << "\", \"scalar_ms\": " << e.scalar_ms
+       << ", \"packed_ms\": " << e.packed_ms
+       << ", \"speedup\": " << e.speedup()
+       << ", \"bit_identical\": " << (e.bit_identical ? "true" : "false")
+       << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_tier1.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_tier1 [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Entry> entries;
+  if (quick) {
+    entries.push_back(bench_gemm(1, 64, 128, 128, 3));
+    entries.push_back(bench_mha({1, 4, 128, 64},
+                                stof::masks::PatternKind::kBigBird, "bigbird",
+                                32, 3));
+  } else {
+    entries.push_back(bench_gemm(8, 512, 1024, 1024, 3));
+    const stof::mha::MhaDims bert_base{8, 12, 512, 64};
+    entries.push_back(bench_mha(bert_base, stof::masks::PatternKind::kBigBird,
+                                "bigbird", 64, 3));
+    entries.push_back(bench_mha(bert_base,
+                                stof::masks::PatternKind::kSlidingWindow,
+                                "sliding_window", 64, 3));
+  }
+
+  bool all_identical = true;
+  for (const auto& e : entries) {
+    std::cout << e.name << ": scalar " << e.scalar_ms << " ms, packed "
+              << e.packed_ms << " ms, speedup " << e.speedup() << "x"
+              << (e.bit_identical ? "" : "  [BIT MISMATCH]") << "\n";
+    all_identical = all_identical && e.bit_identical;
+  }
+  if (!write_json(out_path, entries, quick)) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  if (!all_identical) {
+    std::cerr << "FAIL: packed path diverged from the scalar reference\n";
+    return 1;
+  }
+  return 0;
+}

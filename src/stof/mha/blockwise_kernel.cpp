@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/parallel/parallel_for.hpp"
 
@@ -66,6 +67,22 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
     std::vector<float> acc(static_cast<std::size_t>(rows * d), 0.0f);
     std::vector<float> s(static_cast<std::size_t>(rows * bn));
 
+    // Packed path: convert the Q tile once per task and each K/V tile once
+    // per valid block — the scalar path re-converts every element per
+    // dot-product term.  Tile instances are contiguous in memory, so the
+    // panels convert straight out of the tensors' row-major storage.
+    const bool use_packed = packed_execution_enabled();
+    std::vector<float> q_tile;
+    std::vector<float> k_tile;
+    std::vector<float> v_tile;
+    if (use_packed) {
+      q_tile.resize(static_cast<std::size_t>(rows * d));
+      packed::half_to_float(
+          q.data().subspan(static_cast<std::size_t>((bh * n + row_lo) * d),
+                           q_tile.size()),
+          q_tile);
+    }
+
     const auto& load_ptr = mask.load_row_ptr();
     const auto& load_idx = mask.load_col_idx();
 
@@ -80,13 +97,34 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
           kind == sparse::BlockKind::kPart ? &mask.part_bitmap(bi, bj)
                                            : nullptr;
 
+      if (use_packed) {
+        k_tile.resize(static_cast<std::size_t>(cols * d));
+        v_tile.resize(static_cast<std::size_t>(cols * d));
+        packed::half_to_float(
+            k.data().subspan(static_cast<std::size_t>((kv * n + col_lo) * d),
+                             k_tile.size()),
+            k_tile);
+        packed::half_to_float(
+            v.data().subspan(static_cast<std::size_t>((kv * n + col_lo) * d),
+                             v_tile.size()),
+            v_tile);
+      }
+
       // S = (Q_i K_j^T) * scale — the first wmma tile GEMM.
       for (std::int64_t r = 0; r < rows; ++r) {
+        const float* q_row = use_packed ? q_tile.data() + r * d : nullptr;
         for (std::int64_t c = 0; c < cols; ++c) {
           float dot = 0;
-          for (std::int64_t e = 0; e < d; ++e) {
-            dot += float(q.at(bh, row_lo + r, e)) *
-                   float(k.at(kv, col_lo + c, e));
+          if (use_packed) {
+            const float* k_row = k_tile.data() + c * d;
+            for (std::int64_t e = 0; e < d; ++e) {
+              dot += q_row[e] * k_row[e];
+            }
+          } else {
+            for (std::int64_t e = 0; e < d; ++e) {
+              dot += float(q.at(bh, row_lo + r, e)) *
+                     float(k.at(kv, col_lo + c, e));
+            }
           }
           float sv = dot * scale;
           if (score_mod) {
@@ -125,26 +163,52 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
         }
         l[static_cast<std::size_t>(r)] =
             l[static_cast<std::size_t>(r)] * correction + block_sum;
-        for (std::int64_t e = 0; e < d; ++e) {
-          float pv = 0;
-          for (std::int64_t c = 0; c < cols; ++c) {
-            pv += s[static_cast<std::size_t>(r * bn + c)] *
-                  float(v.at(kv, col_lo + c, e));
+        if (use_packed) {
+          const float* s_row = s.data() + r * bn;
+          float* acc_row = acc.data() + r * d;
+          for (std::int64_t e = 0; e < d; ++e) {
+            float pv = 0;
+            const float* v_col = v_tile.data() + e;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              pv += s_row[c] * v_col[c * d];
+            }
+            acc_row[e] = acc_row[e] * correction + pv;
           }
-          acc[static_cast<std::size_t>(r * d + e)] =
-              acc[static_cast<std::size_t>(r * d + e)] * correction + pv;
+        } else {
+          for (std::int64_t e = 0; e < d; ++e) {
+            float pv = 0;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              pv += s[static_cast<std::size_t>(r * bn + c)] *
+                    float(v.at(kv, col_lo + c, e));
+            }
+            acc[static_cast<std::size_t>(r * d + e)] =
+                acc[static_cast<std::size_t>(r * d + e)] * correction + pv;
+          }
         }
         m[static_cast<std::size_t>(r)] = m_new;
       }
     }
 
     // Epilogue: normalize and store. Fully masked rows emit zeros.
-    for (std::int64_t r = 0; r < rows; ++r) {
-      const float denom = l[static_cast<std::size_t>(r)];
-      const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
-      for (std::int64_t e = 0; e < d; ++e) {
-        out.at(bh, row_lo + r, e) =
-            half(acc[static_cast<std::size_t>(r * d + e)] * inv);
+    if (use_packed) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float denom = l[static_cast<std::size_t>(r)];
+        const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
+        float* acc_row = acc.data() + r * d;
+        for (std::int64_t e = 0; e < d; ++e) acc_row[e] *= inv;
+      }
+      packed::float_to_half(
+          acc, out.data().subspan(
+                   static_cast<std::size_t>((bh * n + row_lo) * d),
+                   acc.size()));
+    } else {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float denom = l[static_cast<std::size_t>(r)];
+        const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
+        for (std::int64_t e = 0; e < d; ++e) {
+          out.at(bh, row_lo + r, e) =
+              half(acc[static_cast<std::size_t>(r * d + e)] * inv);
+        }
       }
     }
   });

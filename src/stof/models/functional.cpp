@@ -13,23 +13,10 @@
 namespace stof::models {
 namespace {
 
-/// y = x (r, k) * w (k, n), FP32 accumulate.
+/// y = x (r, k) * w (k, n), FP32 accumulate, on the packed-FP32 engine.
 TensorH matmul_2d(const TensorH& x, const TensorH& w) {
-  STOF_EXPECTS(x.shape().rank() == 2 && w.shape().rank() == 2);
-  const std::int64_t r = x.shape()[0];
-  const std::int64_t k = x.shape()[1];
-  const std::int64_t n = w.shape()[1];
-  STOF_EXPECTS(w.shape()[0] == k, "matmul inner dimension mismatch");
-  TensorH y(Shape{r, n});
-  parallel_for(0, r, [&](std::int64_t i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      float acc = 0;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        acc += float(x.at(i, kk)) * float(w.at(kk, j));
-      }
-      y.at(i, j) = half(acc);
-    }
-  });
+  TensorH y(Shape{x.shape()[0], w.shape()[1]});
+  ops::matmul2d(x, w, y);
   return y;
 }
 

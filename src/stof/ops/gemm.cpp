@@ -1,8 +1,12 @@
 #include "stof/ops/gemm.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "stof/core/check.hpp"
+#include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/parallel/parallel_for.hpp"
 
@@ -25,44 +29,151 @@ float apply_epilogue(float acc, Epilogue ep, float bias) {
   return acc;
 }
 
+/// Validated raw-pointer view of one GEMM problem (shapes checked by the
+/// public entry points; the kernels below index with plain offsets).
+struct GemmView {
+  const half* a = nullptr;     ///< (batch, m, k) row-major
+  const half* b = nullptr;     ///< (k, n) or (batch, k, n) row-major
+  half* c = nullptr;           ///< (batch, m, n) row-major
+  const half* bias = nullptr;  ///< (n) when the epilogue uses it
+  std::int64_t batch = 1;
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  bool batched_b = false;
+  Epilogue epilogue = Epilogue::kNone;
+};
+
+/// Scalar reference: one FP32 accumulator per output element, k ascending.
+/// Row pointers hoist the per-element stride arithmetic (and the division
+/// that recovers (batch, row) from the flat task index) out of the k-loop.
+void run_scalar(const GemmView& v) {
+  parallel_for(0, v.batch * v.m, [&](std::int64_t bm) {
+    const std::int64_t bi = bm / v.m;
+    const std::int64_t mi = bm % v.m;
+    assert(bi < v.batch && mi < v.m);
+    const half* a_row = v.a + (bi * v.m + mi) * v.k;
+    const half* b_base = v.b + (v.batched_b ? bi * v.k * v.n : 0);
+    half* c_row = v.c + (bi * v.m + mi) * v.n;
+    for (std::int64_t ni = 0; ni < v.n; ++ni) {
+      float acc = 0.0f;  // FP32 accumulate, as on tensor cores
+      for (std::int64_t ki = 0; ki < v.k; ++ki) {
+        acc += float(a_row[ki]) * float(b_base[ki * v.n + ni]);
+      }
+      const float bv =
+          v.epilogue == Epilogue::kNone ? 0.0f : float(v.bias[ni]);
+      c_row[ni] = half(apply_epilogue(acc, v.epilogue, bv));
+    }
+  });
+}
+
+/// Packed path: convert A/B panels to FP32 once, run the cache-blocked
+/// accumulation microkernel per row block, apply the epilogue in FP32 and
+/// convert the output panel back to half.  Accumulation order and final
+/// rounding match run_scalar bit for bit.
+void run_packed(const GemmView& v) {
+  std::vector<float> a_pack(static_cast<std::size_t>(v.batch * v.m * v.k));
+  std::vector<float> b_pack(static_cast<std::size_t>(
+      (v.batched_b ? v.batch : 1) * v.k * v.n));
+  packed::half_to_float({v.a, a_pack.size()}, a_pack);
+  packed::half_to_float({v.b, b_pack.size()}, b_pack);
+  std::vector<float> bias_pack;
+  if (v.epilogue != Epilogue::kNone) {
+    bias_pack.resize(static_cast<std::size_t>(v.n));
+    packed::half_to_float({v.bias, bias_pack.size()}, bias_pack);
+  }
+
+  constexpr std::int64_t kRowBlock = 64;
+  const std::int64_t m_blocks = (v.m + kRowBlock - 1) / kRowBlock;
+  parallel_for(0, v.batch * m_blocks, [&](std::int64_t task) {
+    const std::int64_t bi = task / m_blocks;
+    const std::int64_t row_lo = (task % m_blocks) * kRowBlock;
+    const std::int64_t rows = std::min(kRowBlock, v.m - row_lo);
+
+    std::vector<float> acc(static_cast<std::size_t>(rows * v.n), 0.0f);
+    const float* a_panel = a_pack.data() + (bi * v.m + row_lo) * v.k;
+    const float* b_panel = b_pack.data() + (v.batched_b ? bi * v.k * v.n : 0);
+    packed::sgemm_accumulate(a_panel, b_panel, acc.data(), rows, v.k, v.n);
+
+    if (v.epilogue != Epilogue::kNone) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        float* acc_row = acc.data() + r * v.n;
+        for (std::int64_t ni = 0; ni < v.n; ++ni) {
+          acc_row[ni] = apply_epilogue(acc_row[ni], v.epilogue,
+                                       bias_pack[static_cast<std::size_t>(ni)]);
+        }
+      }
+    }
+    packed::float_to_half(acc, {v.c + (bi * v.m + row_lo) * v.n, acc.size()});
+  });
+}
+
+GemmView validate(const TensorH& a, const TensorH& b, TensorH& c,
+                  Epilogue epilogue, const TensorH* bias) {
+  STOF_EXPECTS(a.shape().rank() == 3, "A must be (batch, m, k)");
+  GemmView v;
+  v.batch = a.shape()[0];
+  v.m = a.shape()[1];
+  v.k = a.shape()[2];
+
+  v.batched_b = b.shape().rank() == 3;
+  STOF_EXPECTS(v.batched_b || b.shape().rank() == 2,
+               "B must be (k, n) or (batch, k, n)");
+  v.n = v.batched_b ? b.shape()[2] : b.shape()[1];
+  STOF_EXPECTS((v.batched_b ? b.shape()[1] : b.shape()[0]) == v.k,
+               "inner dimensions must agree");
+  if (v.batched_b) STOF_EXPECTS(b.shape()[0] == v.batch);
+  STOF_EXPECTS(c.shape() == (Shape{v.batch, v.m, v.n}), "C shape mismatch");
+  if (epilogue != Epilogue::kNone) {
+    STOF_EXPECTS(bias != nullptr && bias->shape() == (Shape{v.n}),
+                 "epilogue requires a (n) bias vector");
+    v.bias = bias->data().data();
+  }
+  v.a = a.data().data();
+  v.b = b.data().data();
+  v.c = c.data().data();
+  v.epilogue = epilogue;
+  return v;
+}
+
 }  // namespace
 
 void gemm(const TensorH& a, const TensorH& b, TensorH& c, Epilogue epilogue,
           const TensorH* bias) {
-  STOF_EXPECTS(a.shape().rank() == 3, "A must be (batch, m, k)");
-  const std::int64_t batch = a.shape()[0];
-  const std::int64_t m = a.shape()[1];
-  const std::int64_t k = a.shape()[2];
-
-  const bool batched_b = b.shape().rank() == 3;
-  STOF_EXPECTS(batched_b || b.shape().rank() == 2,
-               "B must be (k, n) or (batch, k, n)");
-  const std::int64_t n = batched_b ? b.shape()[2] : b.shape()[1];
-  STOF_EXPECTS((batched_b ? b.shape()[1] : b.shape()[0]) == k,
-               "inner dimensions must agree");
-  if (batched_b) STOF_EXPECTS(b.shape()[0] == batch);
-  STOF_EXPECTS(c.shape() == (Shape{batch, m, n}), "C shape mismatch");
-  if (epilogue != Epilogue::kNone) {
-    STOF_EXPECTS(bias != nullptr && bias->shape() == (Shape{n}),
-                 "epilogue requires a (n) bias vector");
+  const GemmView v = validate(a, b, c, epilogue, bias);
+  if (packed_execution_enabled()) {
+    run_packed(v);
+  } else {
+    run_scalar(v);
   }
+}
 
-  parallel_for(0, batch * m, [&](std::int64_t bm) {
-    const std::int64_t bi = bm / m;
-    const std::int64_t mi = bm % m;
-    for (std::int64_t ni = 0; ni < n; ++ni) {
-      float acc = 0.0f;  // FP32 accumulate, as on tensor cores
-      for (std::int64_t ki = 0; ki < k; ++ki) {
-        const float av = float(a.at(bi, mi, ki));
-        const float bv = batched_b ? float(b.at(bi, ki, ni))
-                                   : float(b.at(ki, ni));
-        acc += av * bv;
-      }
-      const float bv =
-          epilogue == Epilogue::kNone ? 0.0f : float(bias->at(ni));
-      c.at(bi, mi, ni) = half(apply_epilogue(acc, epilogue, bv));
-    }
-  });
+void gemm_scalar(const TensorH& a, const TensorH& b, TensorH& c,
+                 Epilogue epilogue, const TensorH* bias) {
+  run_scalar(validate(a, b, c, epilogue, bias));
+}
+
+void gemm_packed(const TensorH& a, const TensorH& b, TensorH& c,
+                 Epilogue epilogue, const TensorH* bias) {
+  run_packed(validate(a, b, c, epilogue, bias));
+}
+
+void matmul2d(const TensorH& x, const TensorH& w, TensorH& y) {
+  STOF_EXPECTS(x.shape().rank() == 2 && w.shape().rank() == 2);
+  GemmView v;
+  v.m = x.shape()[0];
+  v.k = x.shape()[1];
+  v.n = w.shape()[1];
+  STOF_EXPECTS(w.shape()[0] == v.k, "matmul inner dimension mismatch");
+  STOF_EXPECTS(y.shape() == (Shape{v.m, v.n}), "output shape mismatch");
+  v.a = x.data().data();
+  v.b = w.data().data();
+  v.c = y.data().data();
+  if (packed_execution_enabled()) {
+    run_packed(v);
+  } else {
+    run_scalar(v);
+  }
 }
 
 gpusim::KernelCost gemm_cost(const GemmDims& dims, const GemmParams& p,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "stof/fusion/templates.hpp"
+#include "stof/parallel/parallel_for.hpp"
 
 namespace stof::tuner {
 namespace {
@@ -35,6 +37,66 @@ class Evaluator {
   /// the tuning cost then covers just the affected kernel.
   double evaluate(const ExecutionPlan& plan,
                   std::int64_t changed_segment = -1) {
+    const std::string key = plan_key(plan);
+    if (options_.use_cache) {
+      if (const auto it = cache_.find(key); it != cache_.end()) {
+        ++report_.cache_hits;
+        return it->second;
+      }
+    }
+    return account(key, plan, changed_segment, executor_.simulate(plan));
+  }
+
+  /// Evaluate a batch of independent candidate plans.  The simulations of
+  /// uncached plans run concurrently on the stof::parallel thread pool;
+  /// cache lookups and cost accounting then replay serially in submission
+  /// order, so results, cache state, and the tuning-cost ledger are
+  /// bit-identical to calling evaluate() on each plan in sequence.
+  std::vector<double> evaluate_batch(const std::vector<ExecutionPlan>& plans,
+                                     std::int64_t changed_segment = -1) {
+    std::vector<std::string> keys;
+    keys.reserve(plans.size());
+    for (const auto& plan : plans) keys.push_back(plan_key(plan));
+
+    // Simulate each plan whose key is not yet cached, once per unique key.
+    std::unordered_map<std::string, std::size_t> to_run;  // key -> plan idx
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      if (options_.use_cache && cache_.contains(keys[i])) continue;
+      to_run.try_emplace(keys[i], i);
+    }
+    std::vector<std::size_t> run_idx;
+    run_idx.reserve(to_run.size());
+    for (const auto& [key, idx] : to_run) run_idx.push_back(idx);
+    std::vector<models::ExecResult> results(run_idx.size());
+    parallel_for(0, static_cast<std::int64_t>(run_idx.size()),
+                 [&](std::int64_t i) {
+                   results[static_cast<std::size_t>(i)] = executor_.simulate(
+                       plans[run_idx[static_cast<std::size_t>(i)]]);
+                 });
+    std::unordered_map<std::string, models::ExecResult> simulated;
+    for (std::size_t i = 0; i < run_idx.size(); ++i) {
+      simulated.emplace(keys[run_idx[i]], results[i]);
+    }
+
+    std::vector<double> times;
+    times.reserve(plans.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      if (options_.use_cache) {
+        if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
+          ++report_.cache_hits;
+          times.push_back(it->second);
+          continue;
+        }
+      }
+      times.push_back(
+          account(keys[i], plans[i], changed_segment, simulated.at(keys[i])));
+    }
+    return times;
+  }
+
+ private:
+  /// Cache key of a plan: scheme hash + per-segment parameter keys.
+  std::string plan_key(const ExecutionPlan& plan) {
     const auto conv_start = Clock::now();
     std::string key = plan.scheme.to_hex();
     for (const auto& p : plan.segment_params) {
@@ -42,17 +104,16 @@ class Evaluator {
       key += p.key();
     }
     report_.breakdown.conversion_us += elapsed_us(conv_start);
+    return key;
+  }
 
-    if (options_.use_cache) {
-      if (const auto it = cache_.find(key); it != cache_.end()) {
-        ++report_.cache_hits;
-        return it->second;
-      }
-    }
-
-    const auto r = executor_.simulate(plan);
+  /// Record one executed (uncached) evaluation: cache the result and charge
+  /// the Table 4 tuning cost (compiles for unseen configurations plus
+  /// `runs_per_eval` timed runs of the measured kernel).
+  double account(const std::string& key, const ExecutionPlan& plan,
+                 std::int64_t changed_segment, const models::ExecResult& r) {
     const double time_us = r.supported ? r.time_us : 1e300;
-    cache_.emplace(std::move(key), time_us);
+    cache_.emplace(key, time_us);
     ++report_.evaluations;
 
     // Table 4 cost model: compile each unseen configuration, then run it.
@@ -81,21 +142,38 @@ class Evaluator {
                             ? TemplateParams{}
                             : plan.segment_params[static_cast<std::size_t>(
                                   changed_segment)];
-        measured_us = gpusim::estimate_time_us(
-            fusion::segment_cost(executor_.graph(), seg, kind, p,
-                                 executor_.device()),
-            executor_.device());
+        measured_us = measured_kernel_us(seg, kind, p);
       }
     }
     report_.tuning_cost_s += options_.runs_per_eval * measured_us * 1e-6;
     return time_us;
   }
 
- private:
+  /// Memoized cost-model evaluation of one segment kernel.  The estimate is
+  /// a pure function of (segment, kind, params) for a fixed graph/device,
+  /// so repeated parameter samples hit the memo instead of re-walking the
+  /// analytical cost model.
+  double measured_kernel_us(const Segment& seg, TemplateKind kind,
+                            const TemplateParams& p) {
+    std::string key = std::to_string(seg.begin) + '-' +
+                      std::to_string(seg.end) + ':' + p.key();
+    if (const auto it = cost_memo_.find(key); it != cost_memo_.end()) {
+      ++report_.cost_memo_hits;
+      return it->second;
+    }
+    const double us = gpusim::estimate_time_us(
+        fusion::segment_cost(executor_.graph(), seg, kind, p,
+                             executor_.device()),
+        executor_.device());
+    cost_memo_.emplace(std::move(key), us);
+    return us;
+  }
+
   const models::Executor& executor_;
   const TuningOptions& options_;
   TuningReport& report_;
   std::unordered_map<std::string, double> cache_;
+  std::unordered_map<std::string, double> cost_memo_;
   std::unordered_set<std::string> compiled_;
 };
 
@@ -257,8 +335,10 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
         const auto kind = fusion::classify_segment(g, segs[changed]);
         const auto space = fusion::template_param_space(kind);
 
-        double best_time = 1e300;
-        TemplateParams best_params;
+        // Draw the sample set first (same RNG sequence as sequential
+        // sampling), then score all candidates as one parallel batch.
+        std::vector<TemplateParams> sampled;
+        std::vector<ExecutionPlan> cands;
         for (int t = 0; t <= options_.samples_per_candidate; ++t) {
           TemplateParams p;  // t == 0 probes the default setting
           if (t > 0) p = space[move_rng.next_below(space.size())];
@@ -267,11 +347,18 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
           auto by_begin = params_by_begin;
           by_begin[move.changed_begin] = p;
           cand.segment_params = materialize(cand.scheme, by_begin);
-          const double t_us =
-              eval.evaluate(cand, static_cast<std::int64_t>(changed));
-          if (t_us < best_time) {
-            best_time = t_us;
-            best_params = p;
+          sampled.push_back(p);
+          cands.push_back(std::move(cand));
+        }
+        const auto times =
+            eval.evaluate_batch(cands, static_cast<std::int64_t>(changed));
+
+        double best_time = 1e300;
+        TemplateParams best_params;
+        for (std::size_t t = 0; t < times.size(); ++t) {
+          if (times[t] < best_time) {
+            best_time = times[t];
+            best_params = sampled[t];
           }
         }
 
@@ -314,17 +401,27 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
       const auto kind = fusion::classify_segment(g, segs[k]);
       if (kind == TemplateKind::kUnifiedMha) continue;  // analytical model
       const auto space = fusion::template_param_space(kind);
+      // Candidates within a segment differ from the incumbent plan only in
+      // slot k, so they are mutually independent: draw the whole budget,
+      // evaluate as one parallel batch, then adopt serially in draw order
+      // (identical results to sampling one at a time).
+      std::vector<TemplateParams> drawn;
+      std::vector<ExecutionPlan> cands;
       for (int t = 0; t < allocation[k]; ++t) {
         const TemplateParams p = space[rng.next_below(space.size())];
         ExecutionPlan cand = current;
         cand.segment_params[k] = p;
-        const double t_us =
-            eval.evaluate(cand, static_cast<std::int64_t>(k));
-        if (t_us < current_time) {
-          const double gain = current_time - t_us;
-          current = cand;
-          params_by_begin[segs[k].begin] = p;
-          current_time = t_us;
+        drawn.push_back(p);
+        cands.push_back(std::move(cand));
+      }
+      const auto times =
+          eval.evaluate_batch(cands, static_cast<std::int64_t>(k));
+      for (std::size_t t = 0; t < times.size(); ++t) {
+        if (times[t] < current_time) {
+          const double gain = current_time - times[t];
+          current = cands[t];
+          params_by_begin[segs[k].begin] = drawn[t];
+          current_time = times[t];
           if (gain > best_gain) {
             best_gain = gain;
             best_segment = static_cast<std::int64_t>(k);
@@ -449,15 +546,22 @@ TuningReport enumerate_tuner(const models::Executor& executor,
         return p.gemm.num_stages > 3 || p.gemm.block_k < 32;
       });
     }
-    TemplateParams best_params;
+    // The enumeration only ever rewrites slot k, so the whole space scores
+    // as one parallel batch; adoption replays serially in space order.
+    std::vector<ExecutionPlan> cands;
+    cands.reserve(space.size());
     for (const auto& p : space) {
       ExecutionPlan cand = current;
       cand.segment_params[k] = p;
-      const double t_us = eval.evaluate(cand, static_cast<std::int64_t>(k));
-      if (t_us < current_time) {
-        current = cand;
-        current_time = t_us;
-        best_params = p;
+      cands.push_back(std::move(cand));
+    }
+    const auto times = eval.evaluate_batch(cands, static_cast<std::int64_t>(k));
+    TemplateParams best_params;
+    for (std::size_t t = 0; t < times.size(); ++t) {
+      if (times[t] < current_time) {
+        current = cands[t];
+        current_time = times[t];
+        best_params = space[t];
       }
     }
     best_by_shape.emplace(sig, best_params);

@@ -21,6 +21,13 @@
 // simulated Triton compilation for each previously unseen template
 // configuration plus `runs_per_eval` timed inferences.  Cache hits cost
 // nothing — the mechanism the paper credits for STOF's tuning speed.
+//
+// Execution: independent candidate batches (stage-1 samples per move,
+// stage-2 samples per segment, baseline-tuner enumerations) simulate
+// concurrently on the stof::parallel thread pool, with cache lookups and
+// cost accounting replayed serially in draw order — results are
+// bit-identical to fully sequential evaluation.  Per-segment analytical
+// kernel-cost estimates are additionally memoized (`cost_memo_hits`).
 #pragma once
 
 #include <cstdint>
@@ -69,6 +76,7 @@ struct TuningReport {
   int schemes_explored = 0;
   int evaluations = 0;  ///< executed (uncached) evaluations
   int cache_hits = 0;
+  int cost_memo_hits = 0;  ///< memoized kernel cost-model evaluations
   double tuning_cost_s = 0;  ///< simulated tuning time (Table 4)
   PhaseBreakdown breakdown;
 };
