@@ -2,12 +2,35 @@
 // model, scheme conversion, reward algorithm) normalized to the tuning
 // process, on A100.  Overheads are measured host wall time; the tuning
 // process is the simulated tuning cost of Table 4.
+//
+// The phase breakdown is read from the telemetry registry: the tuner
+// records its phases as `wall.tuner.*` scoped timers and merges them into
+// the global registry when telemetry is enabled, so this bench takes timer
+// deltas around each tuning run instead of consuming ad-hoc report fields.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "stof/models/e2e.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 using namespace stof;
+
+namespace {
+
+struct Phases {
+  double analysis_us = 0;
+  double conversion_us = 0;
+  double reward_us = 0;
+};
+
+Phases snapshot() {
+  const auto& reg = telemetry::global_registry();
+  return {reg.timer("wall.tuner.analysis_us").total_us,
+          reg.timer("wall.tuner.conversion_us").total_us,
+          reg.timer("wall.tuner.reward_us").total_us};
+}
+
+}  // namespace
 
 int main() {
   bench::banner(
@@ -22,19 +45,27 @@ int main() {
   const auto dev = gpusim::a100();
   tuner::TuningOptions opt;
 
+  // The tuner merges its per-run phase timers into the global registry only
+  // while telemetry is enabled; timers accumulate, so each row is a delta.
+  telemetry::ScopedTelemetry telemetry_on(true);
+
   std::printf("%-11s %-10s %12s %12s %12s %12s\n", "Model", "(bs,seq)",
               "analysis", "conversion", "reward", "total ovh");
   for (const auto& model : models::all_models()) {
     for (const auto& [bs, seq] : settings) {
+      const Phases before = snapshot();
       const auto r =
           models::simulate_e2e(baselines::Method::kStof, model, bs, seq,
                                masks::PatternKind::kBigBird, dev, opt);
       if (!r.tuning.has_value()) continue;
-      const auto& b = r.tuning->breakdown;
+      const Phases after = snapshot();
       const double tuning_s = r.tuning->tuning_cost_s;
-      const double analysis = b.analysis_us * 1e-6 / tuning_s * 100.0;
-      const double conversion = b.conversion_us * 1e-6 / tuning_s * 100.0;
-      const double reward = b.reward_us * 1e-6 / tuning_s * 100.0;
+      const double analysis =
+          (after.analysis_us - before.analysis_us) * 1e-6 / tuning_s * 100.0;
+      const double conversion = (after.conversion_us - before.conversion_us) *
+                                1e-6 / tuning_s * 100.0;
+      const double reward =
+          (after.reward_us - before.reward_us) * 1e-6 / tuning_s * 100.0;
       std::printf("%-11s %-10s %11.4f%% %11.4f%% %11.4f%% %11.4f%%\n",
                   model.name.c_str(), bench::cfg_label(bs, seq).c_str(),
                   analysis, conversion, reward,

@@ -9,9 +9,16 @@
 //   * MHA   BERT-Base (12 heads, head size 64) at seq 512, batch 8, on the
 //     BigBird and sliding-window masks via the block-wise kernel.
 //
-// Usage: bench_tier1 [--quick] [--out PATH]
+// Usage: bench_tier1 [--quick] [--out PATH] [--trace PATH]
 //   --quick   small shapes for CI smoke runs (not a trajectory record)
 //   --out     output JSON path (default: BENCH_tier1.json in the cwd)
+//   --trace   also write a Chrome trace of the simulated kernel launches
+//             with the telemetry registry attached as trace metadata
+//
+// Timing runs keep telemetry disabled so the measured packed/scalar times
+// are unperturbed; a separate instrumented pass per entry (telemetry on,
+// registry reset) replays the workload once and embeds the deterministic
+// counter snapshot as the entry's "counters" object.
 //
 // Exit status is non-zero if any packed result is not bit-identical to the
 // scalar reference — the harness doubles as an end-to-end regression gate.
@@ -21,15 +28,22 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stof/core/packed.hpp"
 #include "stof/core/rng.hpp"
+#include "stof/gpusim/device.hpp"
+#include "stof/gpusim/timeline.hpp"
+#include "stof/gpusim/trace.hpp"
 #include "stof/masks/mask.hpp"
 #include "stof/mha/blockwise_kernel.hpp"
 #include "stof/ops/gemm.hpp"
+#include "stof/sparse/bsr_cache.hpp"
 #include "stof/sparse/bsr_mask.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace {
 
@@ -42,6 +56,10 @@ struct Entry {
   double scalar_ms = 0;
   double packed_ms = 0;
   bool bit_identical = false;
+  /// Deterministic counter snapshot from the instrumented pass.
+  std::map<std::string, std::int64_t> counters;
+  /// Simulated kernel launches of this entry, replayed for --trace.
+  std::vector<std::pair<std::string, stof::gpusim::KernelCost>> sim_launches;
   [[nodiscard]] double speedup() const { return scalar_ms / packed_ms; }
 };
 
@@ -102,6 +120,22 @@ Entry bench_gemm(std::int64_t batch, std::int64_t m, std::int64_t k,
       },
       packed_reps);
   e.bit_identical = bits_equal(c_scalar, c_packed);
+
+  // Instrumented pass: replay the workload once with telemetry enabled and
+  // snapshot the deterministic counters (simulated cycles / gmem bytes come
+  // from launching the entry's cost model on a simulated stream).
+  {
+    stof::telemetry::ScopedTelemetry on(true);
+    stof::telemetry::global_registry().reset();
+    stof::ops::gemm(a, b, c_packed, stof::ops::Epilogue::kBias, &bias);
+    const auto dev = stof::gpusim::rtx4090();
+    const auto cost = stof::ops::gemm_cost(
+        stof::ops::GemmDims{batch, m, n, k}, stof::ops::GemmParams{}, dev);
+    stof::gpusim::Stream stream(dev);
+    stream.launch(e.name, cost);
+    e.sim_launches.emplace_back(e.name, cost);
+    e.counters = stof::telemetry::global_registry().counters();
+  }
   return e;
 }
 
@@ -138,6 +172,24 @@ Entry bench_mha(const stof::mha::MhaDims& dims, stof::masks::PatternKind kind,
       },
       packed_reps);
   e.bit_identical = bits_equal(out_scalar, out_packed);
+
+  // Instrumented pass: BSR cache hit/miss accounting, block-skip counters
+  // from one functional run, and the simulated block-wise kernel launch.
+  {
+    stof::telemetry::ScopedTelemetry on(true);
+    stof::telemetry::global_registry().reset();
+    stof::sparse::BsrCache cache(
+        stof::masks::MaskSpec{.kind = kind, .seq_len = dims.seq_len}.build());
+    const auto& cached = cache.at(block, block);  // miss: builds the BSR
+    (void)cache.at(block, block);                 // hit
+    out_packed = stof::mha::blockwise_attention(dims, q, k, v, cached, params);
+    const auto dev = stof::gpusim::rtx4090();
+    const auto cost = stof::mha::blockwise_cost(dims, cached, params, dev);
+    stof::gpusim::Stream stream(dev);
+    stream.launch(e.name, cost);
+    e.sim_launches.emplace_back(e.name, cost);
+    e.counters = stof::telemetry::global_registry().counters();
+  }
   return e;
 }
 
@@ -156,9 +208,30 @@ bool write_json(const std::string& path, const std::vector<Entry>& entries,
        << ", \"packed_ms\": " << e.packed_ms
        << ", \"speedup\": " << e.speedup()
        << ", \"bit_identical\": " << (e.bit_identical ? "true" : "false")
-       << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+       << ",\n     \"counters\": {";
+    std::size_t ci = 0;
+    for (const auto& [name, value] : e.counters) {
+      os << (ci++ ? ", " : "") << "\"" << name << "\": " << value;
+    }
+    os << "}}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+  return os.good();
+}
+
+// Replay every entry's simulated kernel launches on one stream with
+// telemetry enabled, then write a Chrome trace carrying the registry
+// snapshot as trace metadata.
+bool write_trace(const std::string& path, const std::vector<Entry>& entries) {
+  stof::telemetry::ScopedTelemetry on(true);
+  stof::telemetry::global_registry().reset();
+  stof::gpusim::Stream stream(stof::gpusim::rtx4090());
+  for (const auto& e : entries) {
+    for (const auto& [name, cost] : e.sim_launches) stream.launch(name, cost);
+  }
+  std::ofstream os(path);
+  stof::gpusim::write_chrome_trace(stream, os, "bench_tier1",
+                                   /*attach_telemetry=*/true);
   return os.good();
 }
 
@@ -167,13 +240,16 @@ bool write_json(const std::string& path, const std::vector<Entry>& entries,
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_tier1.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_tier1 [--quick] [--out PATH]\n";
+      std::cerr << "usage: bench_tier1 [--quick] [--out PATH] [--trace PATH]\n";
       return 2;
     }
   }
@@ -206,6 +282,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::cout << "wrote " << out_path << "\n";
+  if (!trace_path.empty()) {
+    if (!write_trace(trace_path, entries)) {
+      std::cerr << "error: could not write " << trace_path << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << trace_path << "\n";
+  }
   if (!all_identical) {
     std::cerr << "FAIL: packed path diverged from the scalar reference\n";
     return 1;

@@ -6,6 +6,7 @@
 // report both end-to-end time and per-phase breakdowns (Fig. 14).
 #pragma once
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <utility>
@@ -13,6 +14,7 @@
 
 #include "stof/gpusim/cost.hpp"
 #include "stof/gpusim/device.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof::gpusim {
 
@@ -32,6 +34,7 @@ class Stream {
   /// Record a kernel launch; returns its simulated time in microseconds.
   double launch(std::string name, const KernelCost& cost) {
     KernelRecord rec{std::move(name), cost, estimate_time_us(cost, device_)};
+    if (telemetry::enabled()) record_telemetry(rec);
     total_us_ += rec.time_us;
     records_.push_back(std::move(rec));
     return records_.back().time_us;
@@ -60,6 +63,34 @@ class Stream {
   }
 
  private:
+  /// Per-launch accounting under the sim.gpusim.* namespace.  Every metric
+  /// is a sum or a histogram bucket count, so recording from concurrent
+  /// tuner simulations stays deterministic; simulated cycles are a pure
+  /// function of (cost, device) and identical across packed/scalar modes.
+  void record_telemetry(const KernelRecord& rec) const {
+    const double gmem =
+        rec.cost.gmem_read_bytes + rec.cost.gmem_write_bytes;
+    const std::int64_t cycles =
+        std::llround(rec.time_us * device_.clock_ghz * 1e3);
+    telemetry::count("sim.gpusim.launches", rec.cost.launches);
+    telemetry::count("sim.gpusim.cycles", cycles);
+    telemetry::count("sim.gpusim.gmem_bytes", std::llround(gmem));
+    const std::string prefix = "sim.gpusim.kernel." + rec.name;
+    telemetry::count(prefix + ".launches", rec.cost.launches);
+    telemetry::count(prefix + ".cycles", cycles);
+    telemetry::count(prefix + ".gmem_bytes", std::llround(gmem));
+    // Bank-conflict penalty: the extra SMEM bytes the conflict multiplier
+    // costs this launch (0 when padding removed conflicts).
+    telemetry::count(
+        prefix + ".bank_conflict_excess_bytes",
+        std::llround(rec.cost.smem_bytes *
+                     (rec.cost.bank_conflict_factor - 1.0)));
+    // Occupancy as a percent histogram: commutative across threads, unlike
+    // a last-write-wins gauge.
+    telemetry::observe(prefix + ".occupancy_pct", rec.cost.occupancy * 100.0);
+    telemetry::observe("sim.gpusim.kernel_us", rec.time_us);
+  }
+
   DeviceSpec device_;
   std::vector<KernelRecord> records_;
   double total_us_ = 0;

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "stof/telemetry/telemetry.hpp"
+
 namespace stof::gpusim {
 namespace {
 
@@ -22,7 +24,8 @@ void write_escaped(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void write_chrome_trace(const Stream& stream, std::ostream& os,
-                        const std::string& process_name) {
+                        const std::string& process_name,
+                        bool attach_telemetry) {
   os << "{\"traceEvents\":[";
   // Process metadata record.
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
@@ -48,13 +51,18 @@ void write_chrome_trace(const Stream& stream, std::ostream& os,
     os << "}}";
     t += rec.time_us;
   }
-  os << "]}";
+  os << "]";
+  if (attach_telemetry) {
+    os << ",\"metadata\":" << telemetry::dump_json();
+  }
+  os << "}";
 }
 
 std::string chrome_trace_json(const Stream& stream,
-                              const std::string& process_name) {
+                              const std::string& process_name,
+                              bool attach_telemetry) {
   std::ostringstream os;
-  write_chrome_trace(stream, os, process_name);
+  write_chrome_trace(stream, os, process_name, attach_telemetry);
   return os.str();
 }
 

@@ -15,11 +15,17 @@ namespace stof::gpusim {
 
 /// Serialize `stream` as a Trace Event Format JSON document.
 /// `process_name` labels the trace row (e.g. the method name).
+/// With `attach_telemetry` the current global telemetry registry snapshot
+/// is embedded as a top-level `"metadata"` object (the `dump_json` payload),
+/// so a trace carries the counters of the run that produced it.  Perfetto
+/// and chrome://tracing ignore unknown top-level keys.
 void write_chrome_trace(const Stream& stream, std::ostream& os,
-                        const std::string& process_name = "gpusim");
+                        const std::string& process_name = "gpusim",
+                        bool attach_telemetry = false);
 
 /// Convenience: the trace as a string.
 std::string chrome_trace_json(const Stream& stream,
-                              const std::string& process_name = "gpusim");
+                              const std::string& process_name = "gpusim",
+                              bool attach_telemetry = false);
 
 }  // namespace stof::gpusim

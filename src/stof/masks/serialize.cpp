@@ -5,11 +5,25 @@
 #include <fstream>
 #include <vector>
 
+#include "stof/core/checksum.hpp"
+
 namespace stof::masks {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'T', 'O', 'F'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends a trailing FNV-1a checksum over seq_len + payload so bit flips
+// and truncation error on load instead of silently deserializing.
+constexpr std::uint32_t kVersion = 2;
+
+std::uint64_t payload_checksum(std::uint64_t n,
+                               const std::vector<unsigned char>& packed) {
+  std::array<unsigned char, 8> nb;
+  for (int i = 0; i < 8; ++i) {
+    nb[static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>((n >> (8 * i)) & 0xff);
+  }
+  return fnv1a64(packed.data(), packed.size(), fnv1a64(nb.data(), nb.size()));
+}
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   std::array<unsigned char, 8> bytes;
@@ -54,6 +68,7 @@ void save_mask(const Mask& mask, std::ostream& os) {
   write_u64(os, static_cast<std::uint64_t>(packed.size()));
   os.write(reinterpret_cast<const char*>(packed.data()),
            static_cast<std::streamsize>(packed.size()));
+  write_u64(os, payload_checksum(static_cast<std::uint64_t>(n), packed));
   STOF_CHECK(os.good(), "failed to write mask stream");
 }
 
@@ -75,6 +90,9 @@ Mask load_mask(std::istream& is) {
   is.read(reinterpret_cast<char*>(packed.data()),
           static_cast<std::streamsize>(packed.size()));
   STOF_CHECK(is.good(), "truncated mask payload");
+  const std::uint64_t stored = read_u64(is);
+  STOF_CHECK(stored == payload_checksum(n64, packed),
+             "mask checksum mismatch (corrupted stream)");
 
   Mask mask(n);
   for (std::int64_t i = 0; i < n; ++i) {

@@ -7,6 +7,7 @@
 #include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/parallel/parallel_for.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof::mha {
 
@@ -51,6 +52,24 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
   const std::int64_t bn = params.block_n;
   const float scale = dims.scale();
   const std::int64_t q_blocks = mask.rows();
+
+  // Block skip/load accounting is a property of the BSR mask, so it is
+  // recorded once per call (not per task) and is identical whichever
+  // execution path runs below.
+  if (telemetry::enabled()) {
+    const std::int64_t instances = dims.instances();
+    const std::int64_t total = mask.rows() * mask.cols();
+    telemetry::count("sim.mha.blockwise_calls");
+    telemetry::count("sim.mha.blocks_loaded", mask.valid_count() * instances);
+    telemetry::count("sim.mha.blocks_skipped",
+                     (total - mask.valid_count()) * instances);
+    telemetry::count("sim.mha.blocks_full", mask.full_count() * instances);
+    telemetry::count("sim.mha.blocks_part", mask.part_count() * instances);
+    telemetry::count(packed_execution_enabled()
+                         ? "exec.mha.blockwise.packed_calls"
+                         : "exec.mha.blockwise.scalar_calls");
+  }
+  telemetry::ScopedTimer timer("wall.mha.blockwise_us");
 
   parallel_for(0, dims.instances() * q_blocks, [&](std::int64_t task) {
     const std::int64_t bh = task / q_blocks;

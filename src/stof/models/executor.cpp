@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "stof/telemetry/telemetry.hpp"
+
 namespace stof::models {
 
 Executor::Executor(graph::Graph g, mha::MhaDims attn_dims,
@@ -31,6 +33,8 @@ Executor::Executor(graph::Graph g, mha::MhaDims attn_dims,
   setup_wall_us_ = std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - setup_start)
                        .count();
+  telemetry::count("sim.exec.executors_built");
+  telemetry::duration_us("wall.exec.setup_us", setup_wall_us_);
 }
 
 ExecResult Executor::simulate(const ExecutionPlan& plan,
@@ -42,6 +46,7 @@ ExecResult Executor::simulate(const ExecutionPlan& plan,
                    plan.segment_params.size() == segments.size(),
                "segment_params must match segment count");
 
+  telemetry::count("sim.exec.simulations");
   gpusim::Stream local(device_);
   gpusim::Stream& s = stream != nullptr ? *stream : local;
   const double before_us = s.total_us();
@@ -55,6 +60,7 @@ ExecResult Executor::simulate(const ExecutionPlan& plan,
     const auto kind = fusion::classify_segment(graph_, seg);
     if (kind == fusion::TemplateKind::kUnifiedMha) {
       if (!mha_supported_) {
+        telemetry::count("sim.exec.unsupported_plans");
         result.supported = false;
         result.unsupported_reason = mha_unsupported_reason_;
         return result;
@@ -69,6 +75,7 @@ ExecResult Executor::simulate(const ExecutionPlan& plan,
     if (cost.occupancy <= 0 && cost.launches > 0) {
       // The requested tiling cannot launch (SMEM or warp budget exceeded)
       // — the Triton compile would fail, so the plan is rejected.
+      telemetry::count("sim.exec.unsupported_plans");
       result.supported = false;
       result.unsupported_reason = "infeasible launch configuration";
       return result;

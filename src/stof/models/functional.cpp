@@ -3,12 +3,15 @@
 #include <cmath>
 #include <limits>
 
+#include <optional>
+
 #include "stof/core/rng.hpp"
 #include "stof/mha/blockwise_kernel.hpp"
 #include "stof/ops/elementwise.hpp"
 #include "stof/ops/gemm.hpp"
 #include "stof/ops/normalize.hpp"
 #include "stof/parallel/parallel_for.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof::models {
 namespace {
@@ -121,6 +124,14 @@ TensorH FunctionalExecutor::run_fused_mha(const TensorH& qkv) {
 void FunctionalExecutor::run_op(std::int64_t id,
                                 std::vector<TensorH>& values) {
   const auto& node = graph_.node(id);
+  // Per-op accounting: one deterministic counter plus a wall-clock timer
+  // keyed by operator kind.  The name is only built when telemetry is on.
+  std::optional<telemetry::ScopedTimer> op_timer;
+  if (telemetry::enabled()) {
+    telemetry::count("sim.exec.ops_run");
+    telemetry::count("sim.exec.op." + graph::to_string(node.kind) + ".calls");
+    op_timer.emplace("wall.exec.op." + graph::to_string(node.kind) + "_us");
+  }
   const auto& nw = weights_.at(id);
   const auto prev = [&]() -> const TensorH& {
     STOF_EXPECTS(id > 0, "operator needs an input value");
@@ -284,6 +295,8 @@ TensorH FunctionalExecutor::run(const TensorH& input,
   STOF_EXPECTS(input.shape() == (Shape{in_node.rows, in_node.cols}),
                "input must match the graph's input node");
 
+  telemetry::count("sim.exec.forward_calls");
+  telemetry::ScopedTimer timer("wall.exec.forward_us");
   std::vector<TensorH> values(graph_.size());
   values[0] = input;
   for (const auto& seg : plan.scheme.segments()) run_segment(seg, values);

@@ -1,36 +1,76 @@
 #include "stof/models/plan_io.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <iterator>
 #include <sstream>
+
+#include "stof/core/checksum.hpp"
 
 namespace stof::models {
 
+// STOFPLAN v2 is the v1 human-auditable text format plus a trailing
+// `check <hex>` line: an FNV-1a checksum over every byte that precedes it,
+// so a bit-flipped or truncated plan file errors on load instead of
+// silently deserializing into a different plan.
 void save_plan(const ExecutionPlan& plan, std::ostream& os) {
   const auto segments = plan.scheme.segments();
   STOF_EXPECTS(plan.segment_params.empty() ||
                    plan.segment_params.size() == segments.size(),
                "segment_params must match segment count");
-  os << "STOFPLAN v1\n";
-  os << "ops " << plan.scheme.n_ops() << " eager " << (plan.eager ? 1 : 0)
-     << "\n";
-  os << "scheme " << plan.scheme.to_hex() << "\n";
+  std::ostringstream body;
+  body << "STOFPLAN v2\n";
+  body << "ops " << plan.scheme.n_ops() << " eager " << (plan.eager ? 1 : 0)
+       << "\n";
+  body << "scheme " << plan.scheme.to_hex() << "\n";
   for (std::size_t i = 0; i < plan.segment_params.size(); ++i) {
     const auto& p = plan.segment_params[i];
-    os << "seg " << i << " gemm " << p.gemm.block_m << ' ' << p.gemm.block_n
-       << ' ' << p.gemm.block_k << ' ' << p.gemm.num_warps << ' '
-       << p.gemm.num_stages << " ew " << p.ew.block_size << ' '
-       << p.ew.items_per_thread << " norm " << p.norm.block_size << ' '
-       << p.norm.rows_per_block << "\n";
+    body << "seg " << i << " gemm " << p.gemm.block_m << ' ' << p.gemm.block_n
+         << ' ' << p.gemm.block_k << ' ' << p.gemm.num_warps << ' '
+         << p.gemm.num_stages << " ew " << p.ew.block_size << ' '
+         << p.ew.items_per_thread << " norm " << p.norm.block_size << ' '
+         << p.norm.rows_per_block << "\n";
   }
+  const std::string text = body.str();
+  os << text << "check " << std::hex << std::setfill('0') << std::setw(16)
+     << fnv1a64(text.data(), text.size()) << "\n";
   STOF_CHECK(os.good(), "failed to write plan stream");
 }
 
-ExecutionPlan load_plan(std::istream& is) {
+ExecutionPlan load_plan(std::istream& stream) {
+  const std::string all(std::istreambuf_iterator<char>(stream),
+                        std::istreambuf_iterator<char>{});
+
+  std::istringstream is(all);
   std::string word;
   std::string version;
   is >> word >> version;
   STOF_CHECK(is.good() && word == "STOFPLAN", "not a STOFPLAN stream");
-  STOF_CHECK(version == "v1", "unsupported plan version " + version);
+  STOF_CHECK(version == "v2", "unsupported plan version " + version);
+
+  // Locate the trailing check line (must start a line) and verify the
+  // checksum over everything before it prior to parsing further.
+  std::size_t check_pos = all.rfind("check ");
+  while (check_pos != std::string::npos && check_pos != 0 &&
+         all[check_pos - 1] != '\n') {
+    check_pos = check_pos == 0 ? std::string::npos
+                               : all.rfind("check ", check_pos - 1);
+  }
+  STOF_CHECK(check_pos != std::string::npos && check_pos != 0,
+             "plan stream missing checksum line");
+  std::uint64_t stored = 0;
+  {
+    std::istringstream cs(all.substr(check_pos + 6));
+    cs >> std::hex >> stored;
+    STOF_CHECK(!cs.fail(), "malformed plan checksum line");
+  }
+  STOF_CHECK(fnv1a64(all.data(), check_pos) == stored,
+             "plan checksum mismatch (corrupted stream)");
+  // Re-parse only the verified prefix so the check line itself is not
+  // consumed as plan content.
+  is.str(all.substr(0, check_pos));
+  is.clear();
+  is >> word >> version;  // skip the already-validated header
 
   std::int64_t n_ops = 0;
   int eager = 0;

@@ -9,6 +9,7 @@
 #include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/parallel/parallel_for.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof::ops {
 
@@ -138,10 +139,29 @@ GemmView validate(const TensorH& a, const TensorH& b, TensorH& c,
 
 }  // namespace
 
+namespace {
+
+/// Path-taken + simulated-work accounting of one dispatched GEMM call.
+/// MAC counts depend only on the problem shape, so `sim.ops.gemm_macs` is
+/// identical whichever implementation runs; the `exec.ops.*` counters say
+/// which one did.
+void record_gemm_dispatch(const GemmView& v, bool packed) {
+  if (!telemetry::enabled()) return;
+  telemetry::count("sim.ops.gemm_calls");
+  telemetry::count("sim.ops.gemm_macs", v.batch * v.m * v.n * v.k);
+  telemetry::count(packed ? "exec.ops.gemm.packed_calls"
+                          : "exec.ops.gemm.scalar_calls");
+}
+
+}  // namespace
+
 void gemm(const TensorH& a, const TensorH& b, TensorH& c, Epilogue epilogue,
           const TensorH* bias) {
   const GemmView v = validate(a, b, c, epilogue, bias);
-  if (packed_execution_enabled()) {
+  const bool packed = packed_execution_enabled();
+  record_gemm_dispatch(v, packed);
+  telemetry::ScopedTimer timer("wall.ops.gemm_us");
+  if (packed) {
     run_packed(v);
   } else {
     run_scalar(v);
@@ -169,7 +189,10 @@ void matmul2d(const TensorH& x, const TensorH& w, TensorH& y) {
   v.a = x.data().data();
   v.b = w.data().data();
   v.c = y.data().data();
-  if (packed_execution_enabled()) {
+  const bool packed = packed_execution_enabled();
+  record_gemm_dispatch(v, packed);
+  telemetry::ScopedTimer timer("wall.ops.gemm_us");
+  if (packed) {
     run_packed(v);
   } else {
     run_scalar(v);

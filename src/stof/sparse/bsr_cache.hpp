@@ -11,6 +11,7 @@
 
 #include "stof/masks/mask.hpp"
 #include "stof/sparse/bsr_mask.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof::sparse {
 
@@ -25,10 +26,13 @@ class BsrCache {
     const auto key = std::make_pair(block_m, block_n);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
+      telemetry::count("sim.sparse.bsr_cache_misses");
       it = cache_
                .emplace(key, std::make_unique<BsrMask>(
                                  BsrMask::build(mask_, block_m, block_n)))
                .first;
+    } else {
+      telemetry::count("sim.sparse.bsr_cache_hits");
     }
     return *it->second;
   }

@@ -1,0 +1,37 @@
+#include "stof/telemetry/telemetry.hpp"
+
+#include <atomic>
+
+namespace stof::telemetry {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> on{false};
+  return on;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+ScopedTelemetry::ScopedTelemetry(bool on) : previous_(enabled()) {
+  set_enabled(on);
+}
+
+ScopedTelemetry::~ScopedTelemetry() { set_enabled(previous_); }
+
+Registry& global_registry() {
+  static Registry registry;
+  return registry;
+}
+
+std::string dump_json(const DumpOptions& opts) {
+  return global_registry().dump_json(opts);
+}
+
+}  // namespace stof::telemetry

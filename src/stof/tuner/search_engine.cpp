@@ -1,25 +1,41 @@
 #include "stof/tuner/search_engine.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <vector>
 
 #include "stof/fusion/templates.hpp"
 #include "stof/parallel/parallel_for.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof::tuner {
 namespace {
 
-using Clock = std::chrono::steady_clock;
 using fusion::FusionScheme;
 using fusion::Segment;
 using fusion::TemplateKind;
 using fusion::TemplateParams;
 using models::ExecutionPlan;
 
-double elapsed_us(Clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - start)
-      .count();
+// Phase timer names (Fig. 14 overhead breakdown).  Phases are accounted
+// through a tuner-local telemetry::Registry that is *always* recording —
+// the breakdown must exist regardless of the global toggle — and is merged
+// into the global registry when telemetry is enabled, so exporters see the
+// same numbers the TuningReport carries.
+constexpr const char* kPhaseAnalysis = "wall.tuner.analysis_us";
+constexpr const char* kPhaseConversion = "wall.tuner.conversion_us";
+constexpr const char* kPhaseReward = "wall.tuner.reward_us";
+constexpr const char* kPhaseTotal = "wall.tuner.total_us";
+
+/// Fill report.breakdown from the phase registry's timers and publish the
+/// run's phases + counters to the global registry when telemetry is on.
+void finalize_report(TuningReport& report, const telemetry::Registry& phases) {
+  report.breakdown.analysis_us = phases.timer(kPhaseAnalysis).total_us;
+  report.breakdown.conversion_us = phases.timer(kPhaseConversion).total_us;
+  report.breakdown.reward_us = phases.timer(kPhaseReward).total_us;
+  report.breakdown.total_wall_us = phases.timer(kPhaseTotal).total_us;
+  if (telemetry::enabled()) {
+    phases.merge_into(telemetry::global_registry());
+  }
 }
 
 /// Shared evaluation harness: simulates plans, caches results by scheme
@@ -27,8 +43,11 @@ double elapsed_us(Clock::time_point start) {
 class Evaluator {
  public:
   Evaluator(const models::Executor& executor, const TuningOptions& options,
-            TuningReport& report)
-      : executor_(executor), options_(options), report_(report) {}
+            TuningReport& report, telemetry::Registry& phases)
+      : executor_(executor),
+        options_(options),
+        report_(report),
+        phases_(phases) {}
 
   /// Simulated e2e time of `plan`; +inf for unsupported configurations.
   /// `changed_segment` >= 0 means this evaluation re-measures only that
@@ -41,6 +60,7 @@ class Evaluator {
     if (options_.use_cache) {
       if (const auto it = cache_.find(key); it != cache_.end()) {
         ++report_.cache_hits;
+        telemetry::count("sim.tuner.cache_hits");
         return it->second;
       }
     }
@@ -84,6 +104,7 @@ class Evaluator {
       if (options_.use_cache) {
         if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
           ++report_.cache_hits;
+          telemetry::count("sim.tuner.cache_hits");
           times.push_back(it->second);
           continue;
         }
@@ -97,13 +118,12 @@ class Evaluator {
  private:
   /// Cache key of a plan: scheme hash + per-segment parameter keys.
   std::string plan_key(const ExecutionPlan& plan) {
-    const auto conv_start = Clock::now();
+    telemetry::ScopedTimer conv(&phases_, kPhaseConversion);
     std::string key = plan.scheme.to_hex();
     for (const auto& p : plan.segment_params) {
       key += '|';
       key += p.key();
     }
-    report_.breakdown.conversion_us += elapsed_us(conv_start);
     return key;
   }
 
@@ -115,6 +135,7 @@ class Evaluator {
     const double time_us = r.supported ? r.time_us : 1e300;
     cache_.emplace(key, time_us);
     ++report_.evaluations;
+    telemetry::count("sim.tuner.evaluations");
 
     // Table 4 cost model: compile each unseen configuration, then run it.
     // An infeasible configuration fails compilation fast and is charged a
@@ -159,6 +180,7 @@ class Evaluator {
                       std::to_string(seg.end) + ':' + p.key();
     if (const auto it = cost_memo_.find(key); it != cost_memo_.end()) {
       ++report_.cost_memo_hits;
+      telemetry::count("sim.tuner.cost_memo_hits");
       return it->second;
     }
     const double us = gpusim::estimate_time_us(
@@ -172,6 +194,7 @@ class Evaluator {
   const models::Executor& executor_;
   const TuningOptions& options_;
   TuningReport& report_;
+  telemetry::Registry& phases_;
   std::unordered_map<std::string, double> cache_;
   std::unordered_map<std::string, double> cost_memo_;
   std::unordered_set<std::string> compiled_;
@@ -273,8 +296,10 @@ SearchEngine::SearchEngine(const models::Executor& executor,
 
 TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
   TuningReport report;
-  const auto wall_start = Clock::now();
-  Evaluator eval(executor_, options_, report);
+  telemetry::Registry phases;
+  {
+  telemetry::ScopedTimer total_timer(&phases, kPhaseTotal);
+  Evaluator eval(executor_, options_, report, phases);
   Rng rng(options_.seed);
   const auto& g = executor_.graph();
 
@@ -284,15 +309,16 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
   // layout — the grow-only expansion cannot undo a bad seed, so a second
   // start point guards against rule-seeded local optima.  Both runs share
   // the evaluation cache, so the extra cost is small.
-  const auto init_start = Clock::now();
   std::vector<ExecutionPlan> starts;
-  if (initial.has_value()) {
-    starts.push_back(*initial);
-  } else {
-    starts.push_back(baselines::stof_initial_plan(g, &executor_.device()));
-    starts.push_back(baselines::mha_fused_detached_plan(g));
+  {
+    telemetry::ScopedTimer analysis(&phases, kPhaseAnalysis);
+    if (initial.has_value()) {
+      starts.push_back(*initial);
+    } else {
+      starts.push_back(baselines::stof_initial_plan(g, &executor_.device()));
+      starts.push_back(baselines::mha_fused_detached_plan(g));
+    }
   }
-  report.breakdown.analysis_us += elapsed_us(init_start);
 
   ExecutionPlan best_plan;
   double best_time = 1e300;
@@ -304,6 +330,7 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
   current.segment_params = materialize(current.scheme, params_by_begin);
   double current_time = eval.evaluate(current);
   ++report.schemes_explored;
+  telemetry::count("sim.tuner.schemes_explored");
 
   // ---- Stage 1: fusion expansion with feedback and rollback ----------------
   // Greedy depth-first boundary sweep: at each segment boundary the engine
@@ -321,6 +348,7 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
       bool adopted = false;
       for (auto& move : moves_at_boundary(g, current.scheme, boundary)) {
         ++report.schemes_explored;
+        telemetry::count("sim.tuner.schemes_explored");
         // Sample a few parameter settings for the changed segment; keep
         // the best (the paper samples a fixed number pre/post fusion).
         // The per-scheme RNG seed makes revisits reproduce the same
@@ -384,16 +412,17 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
   std::vector<int> allocation(segs.size(), 0);
   std::int64_t rewarded = -1;
   for (int iter = 0; iter < options_.stage2_iterations; ++iter) {
-    const auto reward_start = Clock::now();
-    const int base =
-        std::max(1, options_.stage2_budget / static_cast<int>(segs.size()));
-    for (std::size_t k = 0; k < segs.size(); ++k) {
-      allocation[k] = base;
-      if (static_cast<std::int64_t>(k) == rewarded) {
-        allocation[k] += options_.reward_bonus;
+    {
+      telemetry::ScopedTimer reward(&phases, kPhaseReward);
+      const int base =
+          std::max(1, options_.stage2_budget / static_cast<int>(segs.size()));
+      for (std::size_t k = 0; k < segs.size(); ++k) {
+        allocation[k] = base;
+        if (static_cast<std::int64_t>(k) == rewarded) {
+          allocation[k] += options_.reward_bonus;
+        }
       }
     }
-    report.breakdown.reward_us += elapsed_us(reward_start);
 
     double best_gain = 0;
     std::int64_t best_segment = -1;
@@ -429,9 +458,10 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
         }
       }
     }
-    const auto reward_pick = Clock::now();
-    rewarded = best_segment;
-    report.breakdown.reward_us += elapsed_us(reward_pick);
+    {
+      telemetry::ScopedTimer reward(&phases, kPhaseReward);
+      rewarded = best_segment;
+    }
   }
 
   if (current_time < best_time) {
@@ -442,7 +472,8 @@ TuningReport SearchEngine::tune(std::optional<models::ExecutionPlan> initial) {
 
   report.best_plan = best_plan;
   report.best_time_us = best_time;
-  report.breakdown.total_wall_us = elapsed_us(wall_start);
+  }  // total_timer scope
+  finalize_report(report, phases);
   return report;
 }
 
@@ -454,8 +485,10 @@ TuningReport enumerate_tuner(const models::Executor& executor,
                              baselines::Method method,
                              bool prune_rules) {
   TuningReport report;
-  const auto wall_start = Clock::now();
-  Evaluator eval(executor, options, report);
+  telemetry::Registry phases;
+  {
+  telemetry::ScopedTimer total_timer(&phases, kPhaseTotal);
+  Evaluator eval(executor, options, report, phases);
   const auto& g = executor.graph();
 
   ExecutionPlan current = baselines::e2e_plan(method, g);
@@ -471,6 +504,7 @@ TuningReport enumerate_tuner(const models::Executor& executor,
     return c.occupancy > 0 || c.launches == 0;
   };
   {
+    telemetry::ScopedTimer analysis(&phases, kPhaseAnalysis);
     std::vector<Segment> reworked;
     std::vector<TemplateParams> seeded;
     for (const auto& seg : current.scheme.segments()) {
@@ -510,6 +544,7 @@ TuningReport enumerate_tuner(const models::Executor& executor,
 
   double current_time = eval.evaluate(current);
   ++report.schemes_explored;
+  telemetry::count("sim.tuner.schemes_explored");
 
   // Transformer layers repeat, so both tuners enumerate one representative
   // per unique segment shape and broadcast its best setting to the clones.
@@ -569,7 +604,8 @@ TuningReport enumerate_tuner(const models::Executor& executor,
 
   report.best_plan = current;
   report.best_time_us = current_time;
-  report.breakdown.total_wall_us = elapsed_us(wall_start);
+  }  // total_timer scope
+  finalize_report(report, phases);
   return report;
 }
 

@@ -62,7 +62,11 @@ struct TuningOptions {
   double failed_compile_fraction = 0.25;
 };
 
-/// Host-side overhead breakdown (Fig. 14), all wall-clock.
+/// Host-side overhead breakdown (Fig. 14), all wall-clock.  Sourced from
+/// the telemetry phase timers (`wall.tuner.*`): the tuner records phases
+/// into a run-local telemetry::Registry and copies the totals here, so the
+/// same numbers are available from the global registry / JSON export when
+/// telemetry is enabled.
 struct PhaseBreakdown {
   double analysis_us = 0;    ///< rule-based init + analytical modeling
   double conversion_us = 0;  ///< scheme hash encoding/decoding + mapping

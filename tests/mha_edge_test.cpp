@@ -1,0 +1,165 @@
+// Satellite negative-path tests for the MHA selector (Eq. 1) and the
+// block-wise kernel on degenerate masks: empty (fully masked), single-row,
+// and sequences shorter than the block size.  Every kernel output is
+// validated against the dense masked reference oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stof/core/rng.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/mha/reference.hpp"
+#include "stof/mha/rowwise_kernel.hpp"
+#include "stof/mha/selector.hpp"
+#include "stof/sparse/bsr_cache.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+#include "stof/sparse/rowwise_mask.hpp"
+
+namespace stof::mha {
+namespace {
+
+constexpr double kTol = 4e-3;
+
+struct Inputs {
+  TensorH q, k, v;
+};
+
+Inputs make_inputs(const MhaDims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  Inputs in{TensorH(dims.qkv_shape()), TensorH(dims.qkv_shape()),
+            TensorH(dims.qkv_shape())};
+  in.q.fill_random(rng);
+  in.k.fill_random(rng);
+  in.v.fill_random(rng);
+  return in;
+}
+
+void expect_matches_reference(const MhaDims& dims, const TensorH& out,
+                              const TensorH& ref) {
+  ASSERT_EQ(out.shape(), ref.shape());
+  for (std::int64_t bh = 0; bh < dims.instances(); ++bh) {
+    for (std::int64_t i = 0; i < dims.seq_len; ++i) {
+      for (std::int64_t e = 0; e < dims.head_size; ++e) {
+        EXPECT_NEAR(float(out.at(bh, i, e)), float(ref.at(bh, i, e)), kTol)
+            << "bh " << bh << " row " << i << " elem " << e;
+      }
+    }
+  }
+}
+
+// ---- Empty (fully masked) mask ----------------------------------------------
+
+TEST(MhaEdge, EmptyMaskBlockwiseIsAllZero) {
+  const MhaDims dims{1, 2, 32, 16};
+  const Inputs in = make_inputs(dims, 3);
+  const masks::Mask empty(32);  // no valid positions
+  const auto bsr = sparse::BsrMask::build(empty, 16, 16);
+  ASSERT_EQ(bsr.valid_count(), 0);
+
+  const TensorH out =
+      blockwise_attention(dims, in.q, in.k, in.v, bsr, {16, 16});
+  const TensorH ref = reference_attention(dims, in.q, in.k, in.v, empty);
+  expect_matches_reference(dims, out, ref);
+  for (std::int64_t bh = 0; bh < dims.instances(); ++bh) {
+    for (std::int64_t i = 0; i < dims.seq_len; ++i) {
+      for (std::int64_t e = 0; e < dims.head_size; ++e) {
+        EXPECT_EQ(float(out.at(bh, i, e)), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(MhaEdge, EmptyMaskRowwiseMatchesReference) {
+  const MhaDims dims{1, 2, 32, 16};
+  const Inputs in = make_inputs(dims, 4);
+  const masks::Mask empty(32);
+  const auto rw = sparse::RowwiseMask::build(empty);
+  const TensorH out = rowwise_attention(dims, in.q, in.k, in.v, rw);
+  const TensorH ref = reference_attention(dims, in.q, in.k, in.v, empty);
+  expect_matches_reference(dims, out, ref);
+}
+
+TEST(MhaEdge, EmptyMaskSelectorPicksRowwiseWithoutCrashing) {
+  const MhaDims dims{1, 2, 64, 16};
+  const masks::Mask empty(64);
+  sparse::BsrCache cache(empty);
+  const auto& mask16 = cache.at(16, 16);
+  // Zero valid-block ratio minus the sparsity penalty: strictly row-wise.
+  EXPECT_LT(eq1_threshold(mask16), 0.0);
+  const auto choice =
+      select_kernel(dims, empty, mask16, gpusim::a100(),
+                    [&](int bm, int bn) -> const sparse::BsrMask& {
+                      return cache.at(bm, bn);
+                    });
+  EXPECT_EQ(choice.kind, KernelKind::kRowwise);
+}
+
+// ---- Single-row mask --------------------------------------------------------
+
+TEST(MhaEdge, SingleRowMaskMatchesReference) {
+  const MhaDims dims{1, 2, 32, 16};
+  const Inputs in = make_inputs(dims, 5);
+  masks::Mask single(32);
+  for (std::int64_t j = 0; j < 8; ++j) single.set(0, j);  // only row 0 attends
+
+  const auto bsr = sparse::BsrMask::build(single, 16, 16);
+  const TensorH ref = reference_attention(dims, in.q, in.k, in.v, single);
+  const TensorH bw = blockwise_attention(dims, in.q, in.k, in.v, bsr, {16, 16});
+  expect_matches_reference(dims, bw, ref);
+
+  const auto rw_mask = sparse::RowwiseMask::build(single);
+  const TensorH rw = rowwise_attention(dims, in.q, in.k, in.v, rw_mask);
+  expect_matches_reference(dims, rw, ref);
+
+  // Rows 1.. are fully masked: exact zeros, not garbage.
+  for (std::int64_t i = 1; i < dims.seq_len; ++i) {
+    EXPECT_EQ(float(bw.at(0, i, 0)), 0.0f) << "row " << i;
+  }
+}
+
+TEST(MhaEdge, SingleRowMaskSelectorPicksRowwise) {
+  const MhaDims dims{1, 2, 64, 16};
+  masks::Mask single(64);
+  for (std::int64_t j = 0; j < 64; ++j) single.set(0, j);
+  sparse::BsrCache cache(single);
+  const auto& mask16 = cache.at(16, 16);
+  EXPECT_LT(eq1_threshold(mask16), 0.0);
+  const auto choice =
+      select_kernel(dims, single, mask16, gpusim::a100(),
+                    [&](int bm, int bn) -> const sparse::BsrMask& {
+                      return cache.at(bm, bn);
+                    });
+  EXPECT_EQ(choice.kind, KernelKind::kRowwise);
+  EXPECT_GT(choice.predicted_us, 0.0);
+}
+
+// ---- Sequence shorter than the block size -----------------------------------
+
+TEST(MhaEdge, SeqShorterThanBlockMatchesReference) {
+  // seq 24 under 32x32 blocks: a single edge block, partially out of range.
+  const MhaDims dims{2, 2, 24, 16};
+  const Inputs in = make_inputs(dims, 6);
+  const auto mask = masks::causal(24);
+  const auto bsr = sparse::BsrMask::build(mask, 32, 32);
+  ASSERT_EQ(bsr.rows(), 1);
+  ASSERT_EQ(bsr.cols(), 1);
+
+  const TensorH out =
+      blockwise_attention(dims, in.q, in.k, in.v, bsr, {32, 32});
+  const TensorH ref = reference_attention(dims, in.q, in.k, in.v, mask);
+  expect_matches_reference(dims, out, ref);
+}
+
+TEST(MhaEdge, SeqShorterThanBlockCostIsFiniteAndPositive) {
+  const MhaDims dims{1, 2, 24, 16};
+  const auto bsr = sparse::BsrMask::build(masks::causal(24), 32, 32);
+  const auto cost = blockwise_cost(dims, bsr, {32, 32}, gpusim::a100());
+  gpusim::Stream s(gpusim::a100());
+  s.launch("edge_blockwise", cost);
+  EXPECT_TRUE(std::isfinite(s.total_us()));
+  EXPECT_GT(s.total_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace stof::mha

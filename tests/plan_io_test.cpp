@@ -126,8 +126,9 @@ TEST(PlanIo, FormatIsHumanAuditable) {
   std::stringstream ss;
   save_plan(plan, ss);
   const std::string text = ss.str();
-  EXPECT_NE(text.find("STOFPLAN v1"), std::string::npos);
+  EXPECT_NE(text.find("STOFPLAN v2"), std::string::npos);
   EXPECT_NE(text.find("scheme "), std::string::npos);
+  EXPECT_NE(text.find("check "), std::string::npos);
 }
 
 }  // namespace

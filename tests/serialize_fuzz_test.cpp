@@ -1,0 +1,169 @@
+// Satellite fuzz/edge tests for the serialization formats: every truncated
+// or bit-flipped payload must either throw stof::Error or (for benign
+// mutations such as a stripped trailing newline) load content identical to
+// the original — never crash, never silently deserialize different data.
+//
+// Both formats carry an FNV-1a checksum (mask binary v2: trailing u64;
+// STOFPLAN v2: trailing `check <hex>` line), so any single bit flip in the
+// payload is detected even when the mutated bytes still parse.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/masks/mask.hpp"
+#include "stof/masks/serialize.hpp"
+#include "stof/models/config.hpp"
+#include "stof/models/plan_io.hpp"
+
+namespace stof {
+namespace {
+
+std::string saved_mask_bytes(const masks::Mask& mask) {
+  std::stringstream ss;
+  masks::save_mask(mask, ss);
+  return ss.str();
+}
+
+std::string saved_plan_text(const models::ExecutionPlan& plan) {
+  std::stringstream ss;
+  models::save_plan(plan, ss);
+  return ss.str();
+}
+
+models::ExecutionPlan tuned_like_plan() {
+  const auto g = models::bert_small().build_graph(1, 128);
+  auto plan = baselines::e2e_plan(baselines::Method::kStof, g);
+  // Give every segment explicit params so seg lines are exercised.
+  const auto n_segments = plan.scheme.segments().size();
+  plan.segment_params.assign(n_segments, fusion::TemplateParams{});
+  return plan;
+}
+
+// ---- Mask binary format ----------------------------------------------------
+
+TEST(MaskFuzz, EveryTruncationErrors) {
+  const auto mask = masks::causal(48);
+  const std::string full = saved_mask_bytes(mask);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::stringstream cut(full.substr(0, len));
+    EXPECT_THROW(masks::load_mask(cut), Error) << "prefix length " << len;
+  }
+}
+
+TEST(MaskFuzz, EveryBitFlipErrorsOrRoundTrips) {
+  const auto mask = masks::bigbird(64, 4, 4, 0.1, 8, 11);
+  const std::string full = saved_mask_bytes(mask);
+  Rng rng(99);
+  int detected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto pos = static_cast<std::size_t>(rng.next_u64() % full.size());
+    const int bit = static_cast<int>(rng.next_u64() % 8);
+    std::string mutated = full;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+    std::stringstream ss(mutated);
+    try {
+      const auto loaded = masks::load_mask(ss);
+      // A flip that loads must have produced the original mask (it cannot:
+      // every byte is covered by magic/version/size checks or the
+      // checksum) — accept only identity to keep the property explicit.
+      EXPECT_EQ(loaded, mask) << "silently loaded different mask";
+    } catch (const Error&) {
+      ++detected;
+    }
+  }
+  EXPECT_EQ(detected, 200);  // all single-bit flips detected
+}
+
+TEST(MaskFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.next_u64() % 257);
+    std::string junk(len, '\0');
+    for (auto& ch : junk) {
+      ch = static_cast<char>(rng.next_u64() & 0xff);
+    }
+    std::stringstream ss(junk);
+    EXPECT_THROW(masks::load_mask(ss), Error);
+  }
+}
+
+// ---- STOFPLAN text format --------------------------------------------------
+
+TEST(PlanFuzz, RoundTripSurvives) {
+  const auto plan = tuned_like_plan();
+  const std::string text = saved_plan_text(plan);
+  std::stringstream ss(text);
+  const auto loaded = models::load_plan(ss);
+  EXPECT_EQ(saved_plan_text(loaded), text);
+}
+
+TEST(PlanFuzz, EveryTruncationErrorsOrLoadsIdentical) {
+  const auto plan = tuned_like_plan();
+  const std::string full = saved_plan_text(plan);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::stringstream cut(full.substr(0, len));
+    try {
+      const auto loaded = models::load_plan(cut);
+      // Only a stripped trailing newline can load; content must match.
+      EXPECT_EQ(saved_plan_text(loaded), full) << "prefix length " << len;
+      EXPECT_GE(len, full.size() - 1);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(PlanFuzz, EveryBitFlipErrorsOrLoadsIdentical) {
+  const auto plan = tuned_like_plan();
+  const std::string full = saved_plan_text(plan);
+  Rng rng(123);
+  int detected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto pos = static_cast<std::size_t>(rng.next_u64() % full.size());
+    const int bit = static_cast<int>(rng.next_u64() % 8);
+    std::string mutated = full;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+    std::stringstream ss(mutated);
+    try {
+      const auto loaded = models::load_plan(ss);
+      EXPECT_EQ(saved_plan_text(loaded), full) << "silently loaded a "
+                                                  "different plan";
+    } catch (const Error&) {
+      ++detected;
+    }
+  }
+  EXPECT_GT(detected, 0);
+}
+
+TEST(PlanFuzz, MissingOrForgedChecksumErrors) {
+  const auto plan = tuned_like_plan();
+  const std::string full = saved_plan_text(plan);
+  const auto check_pos = full.rfind("check ");
+  ASSERT_NE(check_pos, std::string::npos);
+  {
+    // Strip the check line entirely.
+    std::stringstream ss(full.substr(0, check_pos));
+    EXPECT_THROW(models::load_plan(ss), Error);
+  }
+  {
+    // Tamper with the body but keep the (now stale) checksum.
+    std::string forged = full;
+    const auto ops_pos = forged.find("eager 0");
+    if (ops_pos != std::string::npos) {
+      forged.replace(ops_pos, 7, "eager 1");
+      std::stringstream ss(forged);
+      EXPECT_THROW(models::load_plan(ss), Error);
+    }
+  }
+  {
+    // Garbage hex in the check line.
+    std::string forged = full.substr(0, check_pos) + "check zzzz\n";
+    std::stringstream ss(forged);
+    EXPECT_THROW(models::load_plan(ss), Error);
+  }
+}
+
+}  // namespace
+}  // namespace stof

@@ -1,0 +1,123 @@
+// Satellite property tests: telemetry content is a pure function of the
+// seeded workload.
+//
+//  * Two identical seeded runs (tuner search + functional forward) produce
+//    byte-identical dump_json snapshots once wall-clock timers (the only
+//    nondeterministic section) are excluded.
+//  * Packed and scalar execution modes report identical *simulated*
+//    counters (`sim.*`): what the simulation did cannot depend on which
+//    bit-identical arithmetic engine computed the numerics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "stof/baselines/e2e_plans.hpp"
+#include "stof/core/packed.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/models/config.hpp"
+#include "stof/models/functional.hpp"
+#include "stof/telemetry/telemetry.hpp"
+#include "stof/tuner/search_engine.hpp"
+
+namespace stof::telemetry {
+namespace {
+
+using baselines::Method;
+
+models::ModelConfig tiny_model() {
+  models::ModelConfig c = models::bert_small();
+  c.layers = 2;
+  c.hidden = 64;
+  c.heads = 4;
+  c.ffn_dim = 128;
+  return c;
+}
+
+// One seeded workload: tune a small executor, then run one functional
+// forward pass under the tuned plan.  Records into the global registry.
+void run_workload() {
+  const auto model = tiny_model();
+  const std::int64_t bs = 1, seq = 64;
+  graph::Graph g = model.build_graph(bs, seq);
+  const mha::MhaDims dims{bs, model.heads, seq, model.head_size()};
+  const masks::MaskSpec spec{.kind = masks::PatternKind::kBigBird,
+                             .seq_len = seq};
+
+  models::Executor exec(model.build_graph(bs, seq), dims, spec,
+                        gpusim::a100(), Method::kStof);
+  tuner::TuningOptions opt;
+  opt.samples_per_candidate = 2;
+  opt.stage2_iterations = 2;
+  opt.stage2_budget = 8;
+  const auto report = tuner::SearchEngine(exec, opt).tune();
+
+  models::FunctionalExecutor fn(std::move(g), dims, spec, /*seed=*/7);
+  TensorH input(Shape{bs * seq, model.hidden});
+  Rng rng(8);
+  input.fill_random(rng, -0.5f, 0.5f);
+  (void)fn.run(input, report.best_plan);
+}
+
+std::string snapshot_without_timers() {
+  return dump_json({.include_timers = false});
+}
+
+TEST(TelemetryDeterminism, SeededRunsDumpIdenticalJson) {
+  ScopedTelemetry on(true);
+
+  global_registry().reset();
+  run_workload();
+  const std::string first = snapshot_without_timers();
+
+  global_registry().reset();
+  run_workload();
+  const std::string second = snapshot_without_timers();
+
+  // The workload actually recorded something across all three layers.
+  EXPECT_NE(first.find("sim.tuner."), std::string::npos);
+  EXPECT_NE(first.find("sim.gpusim."), std::string::npos);
+  EXPECT_NE(first.find("sim.exec."), std::string::npos);
+  EXPECT_EQ(first, second);  // byte-identical
+  global_registry().reset();
+}
+
+std::map<std::string, std::int64_t> sim_counters() {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, value] : global_registry().counters()) {
+    if (name.rfind("sim.", 0) == 0) out.emplace(name, value);
+  }
+  return out;
+}
+
+TEST(TelemetryDeterminism, PackedAndScalarModesAgreeOnSimCounters) {
+  ScopedTelemetry on(true);
+
+  global_registry().reset();
+  {
+    ScopedPackedExecution packed(true);
+    run_workload();
+  }
+  const auto packed_sim = sim_counters();
+  const std::int64_t packed_calls =
+      global_registry().counter("exec.ops.gemm.packed_calls");
+
+  global_registry().reset();
+  {
+    ScopedPackedExecution scalar(false);
+    run_workload();
+  }
+  const auto scalar_sim = sim_counters();
+  const std::int64_t scalar_calls =
+      global_registry().counter("exec.ops.gemm.scalar_calls");
+
+  ASSERT_FALSE(packed_sim.empty());
+  EXPECT_EQ(packed_sim, scalar_sim);
+  // The exec.* path accounting, by contrast, must reflect the mode.
+  EXPECT_GT(packed_calls, 0);
+  EXPECT_GT(scalar_calls, 0);
+  global_registry().reset();
+}
+
+}  // namespace
+}  // namespace stof::telemetry

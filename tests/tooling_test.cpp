@@ -135,8 +135,8 @@ TEST(MaskSerializationSize, BitPackedCompactness) {
   const auto mask = masks::dense(256);
   std::stringstream ss;
   masks::save_mask(mask, ss);
-  // Header (28 bytes) + 256*256/8 payload.
-  EXPECT_LE(ss.str().size(), 28u + 256u * 256u / 8u);
+  // Header (28 bytes) + 256*256/8 payload + 8-byte trailing checksum.
+  EXPECT_LE(ss.str().size(), 36u + 256u * 256u / 8u);
 }
 
 }  // namespace
