@@ -10,10 +10,18 @@
 //     BigBird and sliding-window masks via the block-wise kernel.
 //
 // Usage: bench_tier1 [--quick] [--out PATH] [--trace PATH]
-//   --quick   small shapes for CI smoke runs (not a trajectory record)
-//   --out     output JSON path (default: BENCH_tier1.json in the cwd)
-//   --trace   also write a Chrome trace of the simulated kernel launches
-//             with the telemetry registry attached as trace metadata
+//                    [--baseline PATH] [--regress-threshold PCT]
+//   --quick     small shapes for CI smoke runs (not a trajectory record)
+//   --out       output JSON path (default: BENCH_tier1.json in the cwd)
+//   --trace     also write a Chrome trace of the simulated kernel launches
+//               with the telemetry registry attached as trace metadata
+//   --baseline  compare against a committed BENCH_tier1.json: prints a
+//               per-entry delta table and exits 3 if any entry's packed_ms
+//               regresses more than the threshold (default 20%) after
+//               calibrating for machine speed (the baseline packed time is
+//               scaled by current_scalar_ms / baseline_scalar_ms, so a
+//               slower CI machine does not read as a regression)
+//   --regress-threshold  regression tolerance in percent (default 20)
 //
 // Timing runs keep telemetry disabled so the measured packed/scalar times
 // are unperturbed; a separate instrumented pass per entry (telemetry on,
@@ -24,10 +32,13 @@
 // scalar reference — the harness doubles as an end-to-end regression gate.
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <utility>
@@ -235,12 +246,92 @@ bool write_trace(const std::string& path, const std::vector<Entry>& entries) {
   return os.good();
 }
 
+// ---- Baseline regression gate ----------------------------------------------
+
+struct BaselineEntry {
+  double scalar_ms = 0;
+  double packed_ms = 0;
+};
+
+/// Minimal scanner for the flat JSON write_json emits: pulls each entry's
+/// "name", "scalar_ms", and "packed_ms".  Not a general JSON parser — it
+/// only needs to read files this harness wrote (and committed baselines).
+std::map<std::string, BaselineEntry> read_baseline(const std::string& path,
+                                                   bool& ok) {
+  std::map<std::string, BaselineEntry> out;
+  std::ifstream is(path);
+  if (!is) {
+    ok = false;
+    return out;
+  }
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  const auto number_after = [&text](std::size_t from, const std::string& key,
+                                    std::size_t limit) -> double {
+    const auto at = text.find(key, from);
+    if (at == std::string::npos || at >= limit) return -1.0;
+    return std::strtod(text.c_str() + at + key.size(), nullptr);
+  };
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"name\": \"", pos)) != std::string::npos) {
+    const std::size_t name_lo = pos + 10;
+    const std::size_t name_hi = text.find('"', name_lo);
+    if (name_hi == std::string::npos) break;
+    const std::size_t next = text.find("{\"name\": \"", name_hi);
+    const std::size_t limit = next == std::string::npos ? text.size() : next;
+    BaselineEntry b;
+    b.scalar_ms = number_after(name_hi, "\"scalar_ms\": ", limit);
+    b.packed_ms = number_after(name_hi, "\"packed_ms\": ", limit);
+    if (b.scalar_ms > 0 && b.packed_ms > 0) {
+      out.emplace(text.substr(name_lo, name_hi - name_lo), b);
+    }
+    pos = name_hi;
+  }
+  ok = !out.empty();
+  return out;
+}
+
+/// Compare against the committed baseline; returns false on regression.
+/// Machines differ, so the gate is calibrated: the baseline packed time is
+/// rescaled by this run's scalar/baseline-scalar ratio before comparing.
+bool check_baseline(const std::vector<Entry>& entries,
+                    const std::map<std::string, BaselineEntry>& baseline,
+                    double threshold_pct) {
+  bool pass = true;
+  std::cout << "\nbaseline comparison (threshold " << threshold_pct
+            << "% on calibrated packed_ms):\n";
+  std::cout << "  entry                          packed_ms   baseline"
+               "   calibrated      delta\n";
+  for (const auto& e : entries) {
+    const auto it = baseline.find(e.name);
+    std::cout << "  " << e.name;
+    for (std::size_t pad = e.name.size(); pad < 31; ++pad) std::cout << ' ';
+    if (it == baseline.end()) {
+      std::cout << "(new entry, no baseline)\n";
+      continue;
+    }
+    const BaselineEntry& b = it->second;
+    const double machine_scale = e.scalar_ms / b.scalar_ms;
+    const double calibrated = b.packed_ms * machine_scale;
+    const double delta_pct = 100.0 * (e.packed_ms - calibrated) / calibrated;
+    const bool regressed = delta_pct > threshold_pct;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%9.2f  %9.2f  %11.2f  %+8.1f%%",
+                  e.packed_ms, b.packed_ms, calibrated, delta_pct);
+    std::cout << buf << (regressed ? "  REGRESSION" : "") << "\n";
+    pass = pass && !regressed;
+  }
+  return pass;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_tier1.json";
   std::string trace_path;
+  std::string baseline_path;
+  double threshold_pct = 20.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -248,8 +339,14 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--regress-threshold") == 0 &&
+               i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
     } else {
-      std::cerr << "usage: bench_tier1 [--quick] [--out PATH] [--trace PATH]\n";
+      std::cerr << "usage: bench_tier1 [--quick] [--out PATH] [--trace PATH]"
+                   " [--baseline PATH] [--regress-threshold PCT]\n";
       return 2;
     }
   }
@@ -292,6 +389,19 @@ int main(int argc, char** argv) {
   if (!all_identical) {
     std::cerr << "FAIL: packed path diverged from the scalar reference\n";
     return 1;
+  }
+  if (!baseline_path.empty()) {
+    bool read_ok = true;
+    const auto baseline = read_baseline(baseline_path, read_ok);
+    if (!read_ok) {
+      std::cerr << "error: could not read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    if (!check_baseline(entries, baseline, threshold_pct)) {
+      std::cerr << "FAIL: packed_ms regressed more than " << threshold_pct
+                << "% vs " << baseline_path << "\n";
+      return 3;
+    }
   }
   return 0;
 }

@@ -1,0 +1,31 @@
+// FNV-1a 64-bit checksum.
+//
+// Used by the serialization formats (masks/serialize, models/plan_io) to
+// detect bit flips and truncation: a corrupted payload must error on load,
+// never silently deserialize.  FNV-1a is not cryptographic — it guards
+// against accidental corruption, which is all an on-disk artifact cache
+// needs — but it is deterministic across platforms, byte-order independent
+// (we feed it explicit byte sequences), and one multiply per byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stof {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// FNV-1a over `len` bytes, continuing from `h` (chain calls to hash a
+/// logical record spread over several buffers).
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                           std::uint64_t h = kFnv1aOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace stof

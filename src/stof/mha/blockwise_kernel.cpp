@@ -1,11 +1,14 @@
 #include "stof/mha/blockwise_kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
+#include "stof/mha/panel_cache.hpp"
 #include "stof/parallel/parallel_for.hpp"
 #include "stof/telemetry/telemetry.hpp"
 
@@ -33,6 +36,27 @@ std::int64_t blockwise_req_smem_bytes(const BlockwiseParams& p,
       static_cast<std::int64_t>(p.block_m) * (p.block_n + p.padding);
   return elems * 2;
 }
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/// Per-task state shared by the packed and scalar task bodies, allocated
+/// from the worker chunk's scratch arena (zero steady-state heap traffic).
+struct TaskState {
+  std::span<float> m;    ///< running row maxima
+  std::span<float> l;    ///< running softmax denominators
+  std::span<float> acc;  ///< output accumulator, rows x d
+  std::span<float> s;    ///< score / weight tile, rows x block_n
+};
+
+TaskState make_state(ScratchArena& arena, std::int64_t rows, std::int64_t d,
+                     std::int64_t bn) {
+  return TaskState{arena.alloc_filled(rows, kNegInf), arena.alloc_zeroed(rows),
+                   arena.alloc_zeroed(rows * d), arena.alloc(rows * bn)};
+}
+
+}  // namespace
 
 TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
                             const TensorH& k, const TensorH& v,
@@ -71,40 +95,179 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
   }
   telemetry::ScopedTimer timer("wall.mha.blockwise_us");
 
-  parallel_for(0, dims.instances() * q_blocks, [&](std::int64_t task) {
+  const bool use_packed = packed_execution_enabled();
+  // Panel-conversion cache: every K/V instance is converted half->float
+  // exactly once per call — instead of once per (Q-block row, valid block)
+  // visit.  K is transposed (d x seq) so the QK^T saxpy streams key
+  // columns unit-stride; V stays row-major so PV streams V rows
+  // unit-stride.
+  std::optional<KvPanelCache> panels;
+  if (use_packed) {
+    panels.emplace(k, v, dims.kv_instances(), n, d, /*transpose_k=*/true);
+  }
+
+  const auto& load_ptr = mask.load_row_ptr();
+  const auto& load_idx = mask.load_col_idx();
+
+  parallel_for_scratch(0, dims.instances() * q_blocks, [&](std::int64_t task,
+                                                           ScratchArena&
+                                                               arena) {
     const std::int64_t bh = task / q_blocks;
     const std::int64_t kv = dims.kv_instance_of(bh);
     const std::int64_t bi = task % q_blocks;
     const std::int64_t row_lo = bi * bm;
     const std::int64_t row_hi = std::min(n, row_lo + bm);
     const std::int64_t rows = row_hi - row_lo;
+    TaskState st = make_state(arena, rows, d, bn);
 
-    // Per-row streaming softmax state (registers in the CUDA kernel).
-    std::vector<float> m(static_cast<std::size_t>(rows),
-                         -std::numeric_limits<float>::infinity());
-    std::vector<float> l(static_cast<std::size_t>(rows), 0.0f);
-    std::vector<float> acc(static_cast<std::size_t>(rows * d), 0.0f);
-    std::vector<float> s(static_cast<std::size_t>(rows * bn));
-
-    // Packed path: convert the Q tile once per task and each K/V tile once
-    // per valid block — the scalar path re-converts every element per
-    // dot-product term.  Tile instances are contiguous in memory, so the
-    // panels convert straight out of the tensors' row-major storage.
-    const bool use_packed = packed_execution_enabled();
-    std::vector<float> q_tile;
-    std::vector<float> k_tile;
-    std::vector<float> v_tile;
     if (use_packed) {
-      q_tile.resize(static_cast<std::size_t>(rows * d));
+      // ---- Packed fast path: micro-kernels over cached FP32 panels. ----
+      const float* kt = panels->kt_panel(kv);
+      const float* vf = panels->v_panel(kv);
+      auto q_tile = arena.alloc(rows * d);
       packed::half_to_float(
           q.data().subspan(static_cast<std::size_t>((bh * n + row_lo) * d),
                            q_tile.size()),
           q_tile);
+      auto pv = arena.alloc(rows * d);
+      auto corr = arena.alloc(rows);
+      std::int64_t full_fast_blocks = 0;
+
+      for (std::int64_t it = load_ptr[static_cast<std::size_t>(bi)];
+           it < load_ptr[static_cast<std::size_t>(bi) + 1]; ++it) {
+        const std::int64_t bj = load_idx[static_cast<std::size_t>(it)];
+        const std::int64_t col_lo = bj * bn;
+        const std::int64_t col_hi = std::min(n, col_lo + bn);
+        const std::int64_t cols = col_hi - col_lo;
+        const sparse::BlockKind kind = mask.block_kind(bi, bj);
+        const std::vector<std::uint8_t>* bitmap =
+            kind == sparse::BlockKind::kPart ? &mask.part_bitmap(bi, bj)
+                                             : nullptr;
+
+        // S = (Q_i K_j^T): zero the score window, then accumulate with the
+        // register-tiled saxpy micro-kernel over the transposed K panel —
+        // the inner loop runs unit-stride over this block's key columns.
+        // A dot that starts at 0.0f and adds its d terms ascending rounds
+        // exactly like the scalar `dot += q*k` loop.
+        for (std::int64_t r = 0; r < rows; ++r) {
+          std::fill_n(st.s.data() + r * bn, cols, 0.0f);
+        }
+        packed::sgemm_accumulate_ld(q_tile.data(), d, kt + col_lo, n,
+                                    st.s.data(), bn, rows, d, cols);
+        const bool full_fast = bitmap == nullptr && !score_mod;
+        if (full_fast) {
+          // Full-block fast path: plain unit-stride scaling, no per-element
+          // bitmap or score-mod branches, and no -inf handling below (a
+          // full block's scores are all finite).
+          ++full_fast_blocks;
+          for (std::int64_t r = 0; r < rows; ++r) {
+            float* s_row = st.s.data() + r * bn;
+            for (std::int64_t c = 0; c < cols; ++c) s_row[c] *= scale;
+          }
+        } else if (!score_mod) {
+          // Part block without a score-mod (the common sparse case): the
+          // bitmap apply is a branch-free select, vectorizable.
+          const std::uint8_t* bits = bitmap->data();
+          for (std::int64_t r = 0; r < rows; ++r) {
+            float* s_row = st.s.data() + r * bn;
+            const std::uint8_t* b_row = bits + r * bn;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              s_row[c] = b_row[c] ? s_row[c] * scale : kNegInf;
+            }
+          }
+        } else {
+          for (std::int64_t r = 0; r < rows; ++r) {
+            float* s_row = st.s.data() + r * bn;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              float sv = score_mod(bh, row_lo + r, col_lo + c,
+                                   s_row[c] * scale);
+              if (bitmap != nullptr &&
+                  !(*bitmap)[static_cast<std::size_t>(r * bn + c)]) {
+                sv = kNegInf;
+              }
+              s_row[c] = sv;
+            }
+          }
+        }
+
+        // Online softmax: update per-row state and turn scores into
+        // weights in place.  Rows are independent, so splitting the weight
+        // pass from the PV tile GEMM below reorders nothing within any
+        // output element's accumulation chain.
+        for (std::int64_t r = 0; r < rows; ++r) {
+          float* s_row = st.s.data() + r * bn;
+          float row_max = kNegInf;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            row_max = std::max(row_max, s_row[c]);
+          }
+          if (row_max == kNegInf) {
+            corr[static_cast<std::size_t>(r)] = -1.0f;  // fully masked row
+            continue;
+          }
+          const float m_old = st.m[static_cast<std::size_t>(r)];
+          const float m_new = std::max(m_old, row_max);
+          const float correction =
+              (st.l[static_cast<std::size_t>(r)] == 0.0f)
+                  ? 0.0f
+                  : std::exp(m_old - m_new);
+          float block_sum = 0;
+          if (full_fast) {
+            for (std::int64_t c = 0; c < cols; ++c) {
+              const float w = std::exp(s_row[c] - m_new);
+              s_row[c] = w;
+              block_sum += w;
+            }
+          } else {
+            for (std::int64_t c = 0; c < cols; ++c) {
+              const float sv = s_row[c];
+              const float w = sv == kNegInf ? 0.0f : std::exp(sv - m_new);
+              s_row[c] = w;
+              block_sum += w;
+            }
+          }
+          st.l[static_cast<std::size_t>(r)] =
+              st.l[static_cast<std::size_t>(r)] * correction + block_sum;
+          corr[static_cast<std::size_t>(r)] = correction;
+          st.m[static_cast<std::size_t>(r)] = m_new;
+        }
+
+        // PV tile GEMM: weights x the block's V rows, saxpy over the head
+        // dimension (unit-stride V rows), key index ascending per output.
+        // Fully masked rows still hold raw -inf scores; their products are
+        // computed and discarded at the merge below.
+        std::fill_n(pv.data(), rows * d, 0.0f);
+        packed::sgemm_accumulate_ld(st.s.data(), bn, vf + col_lo * d, d,
+                                    pv.data(), d, rows, cols, d);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float c_r = corr[static_cast<std::size_t>(r)];
+          if (c_r < 0.0f) continue;
+          const float* pv_row = pv.data() + r * d;
+          float* acc_row = st.acc.data() + r * d;
+          for (std::int64_t e = 0; e < d; ++e) {
+            acc_row[e] = acc_row[e] * c_r + pv_row[e];
+          }
+        }
+      }
+      if (full_fast_blocks > 0) {
+        telemetry::count("exec.mha.blockwise.full_fast_blocks",
+                         full_fast_blocks);
+      }
+
+      // Epilogue: normalize and store (one rounding per output element).
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float denom = st.l[static_cast<std::size_t>(r)];
+        const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
+        float* acc_row = st.acc.data() + r * d;
+        for (std::int64_t e = 0; e < d; ++e) acc_row[e] *= inv;
+      }
+      packed::float_to_half(
+          st.acc,
+          out.data().subspan(static_cast<std::size_t>((bh * n + row_lo) * d),
+                             st.acc.size()));
+      return;
     }
 
-    const auto& load_ptr = mask.load_row_ptr();
-    const auto& load_idx = mask.load_col_idx();
-
+    // ---- Scalar reference path: per-element conversions via at(). ----
     for (std::int64_t it = load_ptr[static_cast<std::size_t>(bi)];
          it < load_ptr[static_cast<std::size_t>(bi) + 1]; ++it) {
       const std::int64_t bj = load_idx[static_cast<std::size_t>(it)];
@@ -116,34 +279,13 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
           kind == sparse::BlockKind::kPart ? &mask.part_bitmap(bi, bj)
                                            : nullptr;
 
-      if (use_packed) {
-        k_tile.resize(static_cast<std::size_t>(cols * d));
-        v_tile.resize(static_cast<std::size_t>(cols * d));
-        packed::half_to_float(
-            k.data().subspan(static_cast<std::size_t>((kv * n + col_lo) * d),
-                             k_tile.size()),
-            k_tile);
-        packed::half_to_float(
-            v.data().subspan(static_cast<std::size_t>((kv * n + col_lo) * d),
-                             v_tile.size()),
-            v_tile);
-      }
-
       // S = (Q_i K_j^T) * scale — the first wmma tile GEMM.
       for (std::int64_t r = 0; r < rows; ++r) {
-        const float* q_row = use_packed ? q_tile.data() + r * d : nullptr;
         for (std::int64_t c = 0; c < cols; ++c) {
           float dot = 0;
-          if (use_packed) {
-            const float* k_row = k_tile.data() + c * d;
-            for (std::int64_t e = 0; e < d; ++e) {
-              dot += q_row[e] * k_row[e];
-            }
-          } else {
-            for (std::int64_t e = 0; e < d; ++e) {
-              dot += float(q.at(bh, row_lo + r, e)) *
-                     float(k.at(kv, col_lo + c, e));
-            }
+          for (std::int64_t e = 0; e < d; ++e) {
+            dot += float(q.at(bh, row_lo + r, e)) *
+                   float(k.at(kv, col_lo + c, e));
           }
           float sv = dot * scale;
           if (score_mod) {
@@ -152,82 +294,55 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
           // Part blocks load their broadcast bitmap; full blocks skip it.
           if (bitmap != nullptr &&
               !(*bitmap)[static_cast<std::size_t>(r * bn + c)]) {
-            sv = -std::numeric_limits<float>::infinity();
+            sv = kNegInf;
           }
-          s[static_cast<std::size_t>(r * bn + c)] = sv;
+          st.s[static_cast<std::size_t>(r * bn + c)] = sv;
         }
       }
 
       // Online softmax update + PV accumulation (second tile GEMM).
       for (std::int64_t r = 0; r < rows; ++r) {
-        float row_max = -std::numeric_limits<float>::infinity();
+        float row_max = kNegInf;
         for (std::int64_t c = 0; c < cols; ++c) {
-          row_max = std::max(row_max, s[static_cast<std::size_t>(r * bn + c)]);
+          row_max =
+              std::max(row_max, st.s[static_cast<std::size_t>(r * bn + c)]);
         }
-        if (row_max == -std::numeric_limits<float>::infinity()) continue;
-        const float m_old = m[static_cast<std::size_t>(r)];
+        if (row_max == kNegInf) continue;
+        const float m_old = st.m[static_cast<std::size_t>(r)];
         const float m_new = std::max(m_old, row_max);
         const float correction =
-            (l[static_cast<std::size_t>(r)] == 0.0f) ? 0.0f
-                                                     : std::exp(m_old - m_new);
+            (st.l[static_cast<std::size_t>(r)] == 0.0f)
+                ? 0.0f
+                : std::exp(m_old - m_new);
         float block_sum = 0;
         for (std::int64_t c = 0; c < cols; ++c) {
-          const float sv = s[static_cast<std::size_t>(r * bn + c)];
-          const float w =
-              sv == -std::numeric_limits<float>::infinity()
-                  ? 0.0f
-                  : std::exp(sv - m_new);
-          s[static_cast<std::size_t>(r * bn + c)] = w;
+          const float sv = st.s[static_cast<std::size_t>(r * bn + c)];
+          const float w = sv == kNegInf ? 0.0f : std::exp(sv - m_new);
+          st.s[static_cast<std::size_t>(r * bn + c)] = w;
           block_sum += w;
         }
-        l[static_cast<std::size_t>(r)] =
-            l[static_cast<std::size_t>(r)] * correction + block_sum;
-        if (use_packed) {
-          const float* s_row = s.data() + r * bn;
-          float* acc_row = acc.data() + r * d;
-          for (std::int64_t e = 0; e < d; ++e) {
-            float pv = 0;
-            const float* v_col = v_tile.data() + e;
-            for (std::int64_t c = 0; c < cols; ++c) {
-              pv += s_row[c] * v_col[c * d];
-            }
-            acc_row[e] = acc_row[e] * correction + pv;
+        st.l[static_cast<std::size_t>(r)] =
+            st.l[static_cast<std::size_t>(r)] * correction + block_sum;
+        for (std::int64_t e = 0; e < d; ++e) {
+          float pv = 0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            pv += st.s[static_cast<std::size_t>(r * bn + c)] *
+                  float(v.at(kv, col_lo + c, e));
           }
-        } else {
-          for (std::int64_t e = 0; e < d; ++e) {
-            float pv = 0;
-            for (std::int64_t c = 0; c < cols; ++c) {
-              pv += s[static_cast<std::size_t>(r * bn + c)] *
-                    float(v.at(kv, col_lo + c, e));
-            }
-            acc[static_cast<std::size_t>(r * d + e)] =
-                acc[static_cast<std::size_t>(r * d + e)] * correction + pv;
-          }
+          st.acc[static_cast<std::size_t>(r * d + e)] =
+              st.acc[static_cast<std::size_t>(r * d + e)] * correction + pv;
         }
-        m[static_cast<std::size_t>(r)] = m_new;
+        st.m[static_cast<std::size_t>(r)] = m_new;
       }
     }
 
     // Epilogue: normalize and store. Fully masked rows emit zeros.
-    if (use_packed) {
-      for (std::int64_t r = 0; r < rows; ++r) {
-        const float denom = l[static_cast<std::size_t>(r)];
-        const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
-        float* acc_row = acc.data() + r * d;
-        for (std::int64_t e = 0; e < d; ++e) acc_row[e] *= inv;
-      }
-      packed::float_to_half(
-          acc, out.data().subspan(
-                   static_cast<std::size_t>((bh * n + row_lo) * d),
-                   acc.size()));
-    } else {
-      for (std::int64_t r = 0; r < rows; ++r) {
-        const float denom = l[static_cast<std::size_t>(r)];
-        const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
-        for (std::int64_t e = 0; e < d; ++e) {
-          out.at(bh, row_lo + r, e) =
-              half(acc[static_cast<std::size_t>(r * d + e)] * inv);
-        }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float denom = st.l[static_cast<std::size_t>(r)];
+      const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
+      for (std::int64_t e = 0; e < d; ++e) {
+        out.at(bh, row_lo + r, e) =
+            half(st.acc[static_cast<std::size_t>(r * d + e)] * inv);
       }
     }
   });
@@ -245,6 +360,9 @@ gpusim::KernelCost blockwise_cost(const MhaDims& dims,
   const double bm = p.block_m;
   const double bn = p.block_n;
   const double valid = static_cast<double>(mask.valid_count());
+  // Only part blocks pay the bitmap apply; full blocks take the mask-free
+  // fast path (BsrMask classifies a block kFull iff every in-range element
+  // is valid, so `part_count` is exactly the bitmap-loading population).
   const double part = p.treat_full_as_part
                           ? valid
                           : static_cast<double>(mask.part_count());

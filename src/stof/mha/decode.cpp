@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/parallel/parallel_for.hpp"
 
@@ -37,24 +38,75 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
   const std::int64_t d = dims.head_size;
   const float scale = dims.scale();
 
-  parallel_for(0, dims.instances(), [&](std::int64_t bh) {
+  // Packed path: bulk-convert the query row and the *gathered* K/V cache
+  // rows into scratch FP32 panels.  Decode touches each cache row at most
+  // once per call (one query row per instance), so the whole-instance
+  // KvPanelCache would convert context rows the sparse column list never
+  // reads — gathering exactly the attended rows converts the same element
+  // set the scalar loop reads, with table lookups instead of per-element
+  // `at()` round trips.  The streaming-softmax order is unchanged, so both
+  // paths are bit-identical.
+  const bool use_packed = packed_execution_enabled();
+  const std::int64_t gathered = static_cast<std::int64_t>(cols.size());
+  const std::int64_t ctx = dims.context_len;
+
+  parallel_for_scratch(0, dims.instances(), [&](std::int64_t bh,
+                                                ScratchArena& arena) {
     float m = -std::numeric_limits<float>::infinity();
     float l = 0;
-    std::vector<float> acc(static_cast<std::size_t>(d), 0.0f);
-    for (const auto j : cols) {
+    auto acc = arena.alloc_zeroed(d);
+
+    std::span<float> q_row, k_rows, v_rows;
+    if (use_packed) {
+      q_row = arena.alloc(d);
+      packed::half_to_float(
+          q.data().subspan(static_cast<std::size_t>(bh * d), q_row.size()),
+          q_row);
+      k_rows = arena.alloc(gathered * d);
+      v_rows = arena.alloc(gathered * d);
+      for (std::int64_t g = 0; g < gathered; ++g) {
+        const auto src =
+            static_cast<std::size_t>((bh * ctx + cols[static_cast<std::size_t>(
+                                                     g)]) *
+                                     d);
+        const auto dst = static_cast<std::size_t>(g * d);
+        packed::half_to_float(
+            k_cache.data().subspan(src, static_cast<std::size_t>(d)),
+            k_rows.subspan(dst, static_cast<std::size_t>(d)));
+        packed::half_to_float(
+            v_cache.data().subspan(src, static_cast<std::size_t>(d)),
+            v_rows.subspan(dst, static_cast<std::size_t>(d)));
+      }
+    }
+
+    for (std::int64_t g = 0; g < gathered; ++g) {
+      const std::int64_t j = cols[static_cast<std::size_t>(g)];
       float dot = 0;
-      for (std::int64_t e = 0; e < d; ++e) {
-        dot += float(q.at(bh, 0, e)) * float(k_cache.at(bh, j, e));
+      if (use_packed) {
+        const float* k_row = k_rows.data() + g * d;
+        for (std::int64_t e = 0; e < d; ++e) dot += q_row[e] * k_row[e];
+      } else {
+        for (std::int64_t e = 0; e < d; ++e) {
+          dot += float(q.at(bh, 0, e)) * float(k_cache.at(bh, j, e));
+        }
       }
       const float s = dot * scale;
       const float m_new = std::max(m, s);
       const float correction = (l == 0.0f) ? 0.0f : std::exp(m - m_new);
       const float w = std::exp(s - m_new);
       l = l * correction + w;
-      for (std::int64_t e = 0; e < d; ++e) {
-        acc[static_cast<std::size_t>(e)] =
-            acc[static_cast<std::size_t>(e)] * correction +
-            w * float(v_cache.at(bh, j, e));
+      if (use_packed) {
+        const float* v_row = v_rows.data() + g * d;
+        for (std::int64_t e = 0; e < d; ++e) {
+          acc[static_cast<std::size_t>(e)] =
+              acc[static_cast<std::size_t>(e)] * correction + w * v_row[e];
+        }
+      } else {
+        for (std::int64_t e = 0; e < d; ++e) {
+          acc[static_cast<std::size_t>(e)] =
+              acc[static_cast<std::size_t>(e)] * correction +
+              w * float(v_cache.at(bh, j, e));
+        }
       }
       m = m_new;
     }

@@ -1,0 +1,63 @@
+#include "stof/mha/panel_cache.hpp"
+
+#include "stof/core/packed.hpp"
+#include "stof/parallel/parallel_for.hpp"
+#include "stof/telemetry/telemetry.hpp"
+
+namespace stof::mha {
+
+KvPanelCache::KvPanelCache(const TensorH& k, const TensorH& v,
+                           std::int64_t kv_instances, std::int64_t seq,
+                           std::int64_t head_size, bool transpose_k)
+    : seq_(seq), d_(head_size), transposed_k_(transpose_k) {
+  const std::int64_t panel = seq_ * d_;
+  STOF_EXPECTS(static_cast<std::int64_t>(k.data().size()) ==
+                       kv_instances * panel &&
+                   k.data().size() == v.data().size(),
+               "K/V storage must be kv_instances contiguous (seq x d) panels");
+  k_f32_.resize(static_cast<std::size_t>(kv_instances * panel));
+  v_f32_.resize(static_cast<std::size_t>(kv_instances * panel));
+
+  const float* table = packed::h2f_table();
+  parallel_for(0, kv_instances, [&](std::int64_t kv) {
+    const std::size_t base = static_cast<std::size_t>(kv * panel);
+    packed::half_to_float(v.data().subspan(base, static_cast<std::size_t>(panel)),
+                          {v_f32_.data() + base,
+                           static_cast<std::size_t>(panel)});
+    const half* src = k.data().data() + base;
+    float* dst = k_f32_.data() + base;
+    if (!transposed_k_) {
+      packed::half_to_float({src, static_cast<std::size_t>(panel)},
+                            {dst, static_cast<std::size_t>(panel)});
+      return;
+    }
+    // Convert-and-transpose in (kT x kT) tiles so both the strided reads
+    // and the contiguous writes stay cache-resident.
+    constexpr std::int64_t kT = 32;
+    for (std::int64_t j0 = 0; j0 < seq_; j0 += kT) {
+      const std::int64_t j1 = std::min(seq_, j0 + kT);
+      for (std::int64_t e0 = 0; e0 < d_; e0 += kT) {
+        const std::int64_t e1 = std::min(d_, e0 + kT);
+        for (std::int64_t j = j0; j < j1; ++j) {
+          for (std::int64_t e = e0; e < e1; ++e) {
+            dst[e * seq_ + j] = table[src[j * d_ + e].bits()];
+          }
+        }
+      }
+    }
+  });
+  // One K and one V panel per instance, converted exactly once per call.
+  telemetry::count("exec.mha.panels_converted", 2 * kv_instances);
+}
+
+const float* KvPanelCache::k_panel(std::int64_t kv) const {
+  STOF_EXPECTS(!transposed_k_, "cache holds transposed K panels");
+  return k_f32_.data() + kv * seq_ * d_;
+}
+
+const float* KvPanelCache::kt_panel(std::int64_t kv) const {
+  STOF_EXPECTS(transposed_k_, "cache holds row-major K panels");
+  return k_f32_.data() + kv * seq_ * d_;
+}
+
+}  // namespace stof::mha

@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <limits>
-#include <vector>
+#include <optional>
 
+#include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
+#include "stof/mha/panel_cache.hpp"
 #include "stof/parallel/parallel_for.hpp"
 
 namespace stof::mha {
@@ -18,7 +20,21 @@ TensorH rowwise_attention(const MhaDims& dims, const TensorH& q,
   const std::int64_t d = dims.head_size;
   const float scale = dims.scale();
 
-  parallel_for(0, dims.instances() * n, [&](std::int64_t row) {
+  // Packed path: convert each K/V instance half->float once per call (K/V
+  // rows are gathered by every query row that attends to them, so the
+  // panels amortize across the whole instance).  Both panels stay
+  // row-major — each gathered column dots one whole K row and consumes one
+  // whole V row.  The streaming-softmax arithmetic below is identical in
+  // both paths, so the packed results are bit-identical to the scalar
+  // per-element `at()` reference.
+  const bool use_packed = packed_execution_enabled();
+  std::optional<KvPanelCache> panels;
+  if (use_packed) {
+    panels.emplace(k, v, dims.kv_instances(), n, d, /*transpose_k=*/false);
+  }
+
+  parallel_for_scratch(0, dims.instances() * n, [&](std::int64_t row,
+                                                    ScratchArena& arena) {
     const std::int64_t bh = row / n;
     const std::int64_t kv = dims.kv_instance_of(bh);
     const std::int64_t i = row % n;
@@ -30,23 +46,49 @@ TensorH rowwise_attention(const MhaDims& dims, const TensorH& q,
     // rescaling on every new maximum exactly like the CUDA kernel.
     float m = -std::numeric_limits<float>::infinity();
     float l = 0.0f;
-    std::vector<float> acc(static_cast<std::size_t>(d), 0.0f);
+    auto acc = arena.alloc_zeroed(d);
+
+    const float* kf = nullptr;
+    const float* vf = nullptr;
+    std::span<float> q_row;
+    if (use_packed) {
+      kf = panels->k_panel(kv);
+      vf = panels->v_panel(kv);
+      q_row = arena.alloc(d);
+      packed::half_to_float(
+          q.data().subspan(static_cast<std::size_t>((bh * n + i) * d),
+                           q_row.size()),
+          q_row);
+    }
 
     for (std::int64_t p = lo; p < hi; ++p) {
       const std::int64_t j = mask.col_idx()[static_cast<std::size_t>(p)];
       float dot = 0;
-      for (std::int64_t e = 0; e < d; ++e) {
-        dot += float(q.at(bh, i, e)) * float(k.at(kv, j, e));
+      if (use_packed) {
+        const float* k_row = kf + j * d;
+        for (std::int64_t e = 0; e < d; ++e) dot += q_row[e] * k_row[e];
+      } else {
+        for (std::int64_t e = 0; e < d; ++e) {
+          dot += float(q.at(bh, i, e)) * float(k.at(kv, j, e));
+        }
       }
       const float s = dot * scale;
       const float m_new = std::max(m, s);
       const float correction = (l == 0.0f) ? 0.0f : std::exp(m - m_new);
       const float w = std::exp(s - m_new);
       l = l * correction + w;
-      for (std::int64_t e = 0; e < d; ++e) {
-        acc[static_cast<std::size_t>(e)] =
-            acc[static_cast<std::size_t>(e)] * correction +
-            w * float(v.at(kv, j, e));
+      if (use_packed) {
+        const float* v_row = vf + j * d;
+        for (std::int64_t e = 0; e < d; ++e) {
+          acc[static_cast<std::size_t>(e)] =
+              acc[static_cast<std::size_t>(e)] * correction + w * v_row[e];
+        }
+      } else {
+        for (std::int64_t e = 0; e < d; ++e) {
+          acc[static_cast<std::size_t>(e)] =
+              acc[static_cast<std::size_t>(e)] * correction +
+              w * float(v.at(kv, j, e));
+        }
       }
       m = m_new;
     }

@@ -10,7 +10,9 @@
 #include <exception>
 #include <mutex>
 
+#include "stof/parallel/scratch.hpp"
 #include "stof/parallel/thread_pool.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof {
 
@@ -48,6 +50,59 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
         std::scoped_lock lock(err_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// parallel_for variant whose body receives a per-chunk ScratchArena:
+/// `body(i, ScratchArena&)`.  The arena is reset before every body call and
+/// its blocks are reused across all tasks of the chunk, so steady-state
+/// tasks allocate nothing on the heap.  One arena per *chunk* (not per
+/// thread) keeps the `exec.parallel.scratch_reuse_hits` telemetry counter
+/// deterministic: the chunk partition depends only on (range, pool size),
+/// never on which worker thread picks up which chunk.
+template <typename Body>
+void parallel_for_scratch(std::int64_t begin, std::int64_t end, Body&& body,
+                          ThreadPool& pool = ThreadPool::global()) {
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+  const std::int64_t workers =
+      static_cast<std::int64_t>(pool.thread_count());
+  if (workers <= 1 || n == 1) {
+    ScratchArena arena;
+    for (std::int64_t i = begin; i < end; ++i) {
+      arena.reset();
+      body(i, arena);
+    }
+    telemetry::count("exec.parallel.scratch_reuse_hits", arena.reuse_hits());
+    return;
+  }
+
+  const std::int64_t chunks = std::min(n, workers);
+  const std::int64_t per = (n + chunks - 1) / chunks;
+
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = begin + c * per;
+    const std::int64_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    pool.submit([lo, hi, &body, &err_mutex, &first_error] {
+      ScratchArena arena;
+      try {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          arena.reset();
+          body(i, arena);
+        }
+      } catch (...) {
+        std::scoped_lock lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      telemetry::count("exec.parallel.scratch_reuse_hits",
+                       arena.reuse_hits());
     });
   }
   pool.wait_idle();

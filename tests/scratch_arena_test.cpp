@@ -1,0 +1,140 @@
+// ScratchArena semantics (bump allocation, span stability, reuse
+// accounting) and the parallel_for_scratch wrapper, including the
+// determinism contract of the exec.parallel.scratch_reuse_hits counter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "stof/parallel/parallel_for.hpp"
+#include "stof/parallel/scratch.hpp"
+#include "stof/telemetry/telemetry.hpp"
+
+namespace stof {
+namespace {
+
+TEST(ScratchArena, FirstAllocGrowsLaterAllocsReuse) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.capacity(), 0);
+  EXPECT_EQ(arena.reuse_hits(), 0);
+
+  auto a = arena.alloc(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_GE(arena.capacity(), 100);
+  EXPECT_EQ(arena.reuse_hits(), 0);  // served by growing a fresh block
+
+  auto b = arena.alloc(100);  // fits in the same 1024-float block
+  EXPECT_EQ(arena.reuse_hits(), 1);
+  EXPECT_NE(a.data(), b.data());
+
+  const auto cap = arena.capacity();
+  arena.reset();
+  auto c = arena.alloc(200);
+  EXPECT_EQ(arena.reuse_hits(), 2);
+  EXPECT_EQ(arena.capacity(), cap);  // reset retains memory
+  EXPECT_EQ(c.data(), a.data());     // bump pointer rewound to block start
+}
+
+TEST(ScratchArena, SpansStayValidAcrossGrowth) {
+  ScratchArena arena;
+  auto small = arena.alloc(8);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    small[i] = static_cast<float>(i);
+  }
+  // Forces a new block (larger than anything owned): existing spans must
+  // not move.
+  auto big = arena.alloc(1 << 16);
+  big[0] = -1.0f;
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], static_cast<float>(i));
+  }
+}
+
+TEST(ScratchArena, AllocZeroedAndFilledScrubReusedMemory) {
+  ScratchArena arena;
+  auto dirty = arena.alloc(64);
+  for (auto& x : dirty) x = 42.0f;
+  arena.reset();
+
+  auto z = arena.alloc_zeroed(64);
+  EXPECT_EQ(z.data(), dirty.data());  // same memory...
+  for (const auto x : z) EXPECT_EQ(x, 0.0f);  // ...but scrubbed
+
+  arena.reset();
+  auto f = arena.alloc_filled(64, -3.5f);
+  for (const auto x : f) EXPECT_EQ(x, -3.5f);
+}
+
+TEST(ScratchArena, ZeroSizedAllocIsValid) {
+  ScratchArena arena;
+  auto s = arena.alloc(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ParallelForScratch, VisitsEveryIndexOnceWithResetArena) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for_scratch(
+      0, kN,
+      [&](std::int64_t i, ScratchArena& arena) {
+        // The arena is reset before every task: a fresh alloc must start
+        // at offset 0 of the first block, i.e. allocations from previous
+        // tasks on this chunk never accumulate.
+        auto a = arena.alloc(16);
+        auto b = arena.alloc(16);
+        EXPECT_EQ(b.data(), a.data() + 16);
+        a[0] = static_cast<float>(i);
+        visits[static_cast<std::size_t>(i)].fetch_add(1);
+      },
+      pool);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForScratch, ReuseHitsCounterIsDeterministic) {
+  // Per-chunk arenas make the reuse count a pure function of the range,
+  // the pool size, and the allocation pattern — NOT of which worker thread
+  // happens to execute which chunk.  Two identical runs must therefore
+  // report identical exec.parallel.scratch_reuse_hits, which is what keeps
+  // telemetry_determinism_test's byte-identical-dump assertion valid.
+  ThreadPool pool(4);
+  telemetry::ScopedTelemetry on(true);
+
+  const auto run = [&pool] {
+    telemetry::global_registry().reset();
+    parallel_for_scratch(
+        0, 257,
+        [](std::int64_t, ScratchArena& arena) {
+          auto s = arena.alloc_zeroed(96);
+          s[0] = 1.0f;
+        },
+        pool);
+    return telemetry::global_registry().counter(
+        "exec.parallel.scratch_reuse_hits");
+  };
+
+  const auto first = run();
+  // 257 tasks over 4 chunks of <=65: only the first task of each chunk
+  // grows a block, every later task is a reuse hit.
+  EXPECT_EQ(first, 257 - 4);
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(run(), first);
+  }
+}
+
+TEST(ParallelForScratch, SerialPathCountsReuseToo) {
+  ThreadPool pool(1);
+  telemetry::ScopedTelemetry on(true);
+  telemetry::global_registry().reset();
+  parallel_for_scratch(
+      0, 10, [](std::int64_t, ScratchArena& arena) { arena.alloc(8); }, pool);
+  EXPECT_EQ(
+      telemetry::global_registry().counter("exec.parallel.scratch_reuse_hits"),
+      9);
+}
+
+}  // namespace
+}  // namespace stof
