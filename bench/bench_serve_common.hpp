@@ -1,0 +1,154 @@
+// Shared harness for the serving benches: seeded open-loop trace
+// generation and a mode runner that replays one trace through a serve
+// Engine and reduces it to throughput/latency/occupancy statistics.
+//
+// All times are *simulated* microseconds (the engine clock advances by the
+// gpusim Stream's estimate of each step), so every number here — including
+// the continuous-vs-serial speedup the tier-1 gate tracks — is a
+// deterministic function of (trace seed, engine config, device model).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "stof/serve/engine.hpp"
+
+namespace stof::serve::bench {
+
+struct TraceConfig {
+  std::int64_t sessions = 64;
+  std::uint64_t seed = 20260806;
+  std::int64_t min_prompt = 16;
+  std::int64_t max_prompt = 96;
+  std::int64_t min_gen = 8;
+  std::int64_t max_gen = 32;
+  /// Small relative to the per-step kernel time on purpose: throughput is
+  /// measured at saturation (requests queue faster than a batch-1 serial
+  /// schedule can drain them).  An underloaded open-loop trace is arrival-
+  /// bound and every scheduler trivially ties on makespan.
+  double mean_interarrival_us = 10.0;
+};
+
+/// Seeded open-loop arrival trace over the four serving mask kinds.
+inline std::vector<Request> make_trace(const TraceConfig& t) {
+  Rng rng(t.seed);
+  const masks::PatternKind kinds[] = {
+      masks::PatternKind::kCausal, masks::PatternKind::kSlidingWindow,
+      masks::PatternKind::kStrided, masks::PatternKind::kBigBird};
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(t.sessions));
+  double clock = 0;
+  for (std::int64_t i = 0; i < t.sessions; ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_len =
+        t.min_prompt + static_cast<std::int64_t>(rng.next_below(
+                           static_cast<std::uint64_t>(t.max_prompt -
+                                                      t.min_prompt + 1)));
+    r.max_new_tokens =
+        t.min_gen + static_cast<std::int64_t>(rng.next_below(
+                        static_cast<std::uint64_t>(t.max_gen - t.min_gen +
+                                                   1)));
+    r.seed = rng.next_u64();
+    r.mask_kind = kinds[rng.next_below(std::size(kinds))];
+    clock += rng.next_double() * 2.0 * t.mean_interarrival_us;
+    r.arrival_us = clock;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+/// Engine sized for make_trace() workloads (max context 128 tokens).
+inline EngineConfig serve_config(SchedulerMode mode) {
+  EngineConfig cfg;
+  cfg.heads = 4;
+  cfg.head_size = 64;
+  cfg.max_seq_len = 128;
+  cfg.kv_blocks = 192;
+  cfg.block_tokens = 16;
+  cfg.prefill_params = mha::BlockwiseParams{16, 16};
+  cfg.scheduler.mode = mode;
+  cfg.scheduler.max_prefills_per_step = 8;
+  cfg.scheduler.prefill_token_budget = 1024;
+  cfg.scheduler.max_decode_batch = 64;
+  return cfg;
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in [0, 100]).
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      std::llround(p / 100.0 * static_cast<double>(v.size() - 1)));
+  return v[idx];
+}
+
+struct RunResult {
+  double sim_us = 0;
+  double tokens_per_s = 0;  ///< generated tokens per simulated second
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  double p50_first_token_us = 0;
+  double p99_first_token_us = 0;
+  double mean_decode_batch = 0;  ///< decode instances per decoding step
+  double kv_peak_utilization = 0;
+  EngineStats stats;
+  std::size_t sim_kernel_launches = 0;
+  std::map<SessionId, std::uint64_t> digests;
+};
+
+/// Replay `trace` open-loop through an engine with `cfg` and reduce.
+inline RunResult run_trace(const EngineConfig& cfg,
+                           const std::vector<Request>& trace) {
+  Engine engine(cfg);
+  std::int64_t decode_steps = 0;
+  engine.on_step = [&](const StepEvent& ev) {
+    if (!ev.decodes.empty()) ++decode_steps;
+  };
+  std::size_t next = 0;
+  while (next < trace.size() || !engine.idle()) {
+    while (next < trace.size() &&
+           trace[next].arrival_us <= engine.sim_time_us()) {
+      engine.submit(trace[next++]);
+    }
+    if (engine.idle()) {
+      engine.advance_to(trace[next].arrival_us);
+      continue;
+    }
+    engine.step();
+  }
+
+  RunResult r;
+  r.sim_us = engine.sim_time_us();
+  r.stats = engine.stats();
+  r.sim_kernel_launches = engine.stream().launch_count();
+  std::vector<double> latency, first_token;
+  for (const auto& [id, s] : engine.sessions()) {
+    latency.push_back(s.finish_us - s.request.arrival_us);
+    first_token.push_back(s.first_token_us - s.request.arrival_us);
+    r.digests.emplace(id, s.digest);
+  }
+  r.p50_latency_us = percentile(latency, 50);
+  r.p99_latency_us = percentile(latency, 99);
+  r.p50_first_token_us = percentile(first_token, 50);
+  r.p99_first_token_us = percentile(first_token, 99);
+  r.tokens_per_s = static_cast<double>(r.stats.decode_tokens) /
+                   (r.sim_us * 1e-6);
+  r.mean_decode_batch =
+      decode_steps == 0 ? 0
+                        : static_cast<double>(r.stats.decode_tokens) /
+                              static_cast<double>(decode_steps);
+  r.kv_peak_utilization =
+      static_cast<double>(engine.pool().peak_used_blocks()) /
+      static_cast<double>(engine.pool().total_blocks());
+  return r;
+}
+
+/// True when both runs produced byte-identical per-session outputs.
+inline bool digests_match(const RunResult& a, const RunResult& b) {
+  return a.digests == b.digests;
+}
+
+}  // namespace stof::serve::bench

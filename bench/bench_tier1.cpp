@@ -8,6 +8,9 @@
 //     hidden size 1024, bias epilogue — the FFN projection shape.
 //   * MHA   BERT-Base (12 heads, head size 64) at seq 512, batch 8, on the
 //     BigBird and sliding-window masks via the block-wise kernel.
+//   * SERVE 64-session seeded trace through stof::serve, comparing the
+//     continuous-batching schedule against the batch-1 serial baseline in
+//     simulated GPU time (scalar_ms = serial, packed_ms = continuous).
 //
 // Usage: bench_tier1 [--quick] [--out PATH] [--trace PATH]
 //                    [--baseline PATH] [--regress-threshold PCT]
@@ -32,6 +35,7 @@
 // scalar reference — the harness doubles as an end-to-end regression gate.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +59,8 @@
 #include "stof/sparse/bsr_cache.hpp"
 #include "stof/sparse/bsr_mask.hpp"
 #include "stof/telemetry/telemetry.hpp"
+
+#include "bench_serve_common.hpp"
 
 namespace {
 
@@ -200,6 +206,53 @@ Entry bench_mha(const stof::mha::MhaDims& dims, stof::masks::PatternKind kind,
     stream.launch(e.name, cost);
     e.sim_launches.emplace_back(e.name, cost);
     e.counters = stof::telemetry::global_registry().counters();
+  }
+  return e;
+}
+
+/// Serving-throughput entry: continuous batching vs the batch-1 serial
+/// baseline on one seeded trace.  Both "times" are *simulated* GPU
+/// milliseconds (scalar_ms = serial schedule, packed_ms = continuous), so
+/// the baseline gate's machine calibration resolves to exactly 1.0 and the
+/// tracked quantity is the scheduling speedup itself.  bit_identical means
+/// the per-session output digests agreed across the two schedules.
+Entry bench_serve_entry(bool quick) {
+  namespace sb = stof::serve::bench;
+  sb::TraceConfig tc;
+  if (quick) tc.sessions = 8;
+  const auto trace = sb::make_trace(tc);
+  const auto serial = sb::run_trace(
+      sb::serve_config(stof::serve::SchedulerMode::kSerial), trace);
+  const auto continuous = sb::run_trace(
+      sb::serve_config(stof::serve::SchedulerMode::kContinuous), trace);
+
+  Entry e;
+  e.name = "serve_continuous_batching";
+  e.shape = std::to_string(tc.sessions) +
+            " sessions, heads 4, head_size 64, max_seq 128, kv_blocks 192, "
+            "simulated ms (serial vs continuous schedule)";
+  e.scalar_ms = serial.sim_us / 1000.0;
+  e.packed_ms = continuous.sim_us / 1000.0;
+  e.bit_identical = sb::digests_match(serial, continuous);
+
+  // Instrumented pass: serve.* counters from one continuous replay, plus
+  // the derived serving stats folded in as integer counters.
+  {
+    stof::telemetry::ScopedTelemetry on(true);
+    stof::telemetry::global_registry().reset();
+    const auto r = sb::run_trace(
+        sb::serve_config(stof::serve::SchedulerMode::kContinuous), trace);
+    e.counters = stof::telemetry::global_registry().counters();
+    e.counters["serve.derived.tokens_per_s"] =
+        std::llround(r.tokens_per_s);
+    e.counters["serve.derived.p50_latency_us"] =
+        std::llround(r.p50_latency_us);
+    e.counters["serve.derived.p99_latency_us"] =
+        std::llround(r.p99_latency_us);
+    e.counters["serve.derived.mean_decode_batch_x100"] =
+        std::llround(100.0 * r.mean_decode_batch);
+    e.counters["serve.derived.kv_peak_util_pct"] =
+        std::llround(100.0 * r.kv_peak_utilization);
   }
   return e;
 }
@@ -357,6 +410,7 @@ int main(int argc, char** argv) {
     entries.push_back(bench_mha({1, 4, 128, 64},
                                 stof::masks::PatternKind::kBigBird, "bigbird",
                                 32, 3));
+    entries.push_back(bench_serve_entry(/*quick=*/true));
   } else {
     entries.push_back(bench_gemm(8, 512, 1024, 1024, 3));
     const stof::mha::MhaDims bert_base{8, 12, 512, 64};
@@ -365,6 +419,7 @@ int main(int argc, char** argv) {
     entries.push_back(bench_mha(bert_base,
                                 stof::masks::PatternKind::kSlidingWindow,
                                 "sliding_window", 64, 3));
+    entries.push_back(bench_serve_entry(/*quick=*/false));
   }
 
   bool all_identical = true;

@@ -118,6 +118,167 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
   return out;
 }
 
+void PagedSeq::validate(std::int64_t heads, std::int64_t head_size) const {
+  STOF_EXPECTS(heads > 0 && head_size > 0);
+  STOF_EXPECTS(context_len >= 0, "context_len must be non-negative");
+  STOF_EXPECTS(block_tokens >= 1 &&
+                   (block_tokens & (block_tokens - 1)) == 0,
+               "block_tokens must be a power of two");
+  const std::int64_t need =
+      (context_len + block_tokens - 1) / block_tokens;
+  STOF_EXPECTS(static_cast<std::int64_t>(k_blocks.size()) >= need &&
+                   static_cast<std::int64_t>(v_blocks.size()) >= need,
+               "not enough KV blocks for context_len");
+  std::int32_t prev = -1;
+  for (const auto c : cols) {
+    STOF_EXPECTS(c > prev, "cols must be strictly ascending");
+    STOF_EXPECTS(c < context_len, "column out of context");
+    prev = c;
+  }
+}
+
+TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
+                               std::span<const PagedSeq> seqs,
+                               const TensorH& q) {
+  const std::int64_t num_seqs = static_cast<std::int64_t>(seqs.size());
+  STOF_EXPECTS(num_seqs > 0, "empty decode batch");
+  for (const auto& s : seqs) s.validate(heads, head_size);
+  const Shape q_shape{num_seqs * heads, 1, head_size};
+  STOF_EXPECTS(q.shape() == q_shape, "q must be (seqs*heads, 1, d)");
+
+  TensorH out(q_shape);
+  const std::int64_t d = head_size;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const bool use_packed = packed_execution_enabled();
+
+  // One task per (sequence, head) instance — each is fully independent, so
+  // per-sequence outputs cannot depend on what else is in the batch.
+  parallel_for_scratch(0, num_seqs * heads, [&](std::int64_t inst,
+                                                ScratchArena& arena) {
+    const std::int64_t s = inst / heads;
+    const std::int64_t h = inst % heads;
+    const PagedSeq& seq = seqs[static_cast<std::size_t>(s)];
+    const std::int64_t bt = seq.block_tokens;
+
+    float m = -std::numeric_limits<float>::infinity();
+    float l = 0;
+    auto acc = arena.alloc_zeroed(d);
+    auto w_buf = arena.alloc(bt);
+    auto col_buf = arena.alloc(bt);  // local offsets of attended cols
+
+    std::span<float> q_row;
+    if (use_packed) {
+      // half->float conversion is exact, so reading through a converted
+      // FP32 panel rounds identically to per-element float(half) loads.
+      q_row = arena.alloc(d);
+      packed::half_to_float(
+          q.data().subspan(static_cast<std::size_t>(inst * d), q_row.size()),
+          q_row);
+    }
+
+    // Stream the attended columns one KV page at a time with the exact
+    // per-block update order of the block-wise kernel's scalar path:
+    // block row-max, max-merge, correction, ascending-column weight sum,
+    // then the PV accumulate with the column loop innermost-ascending.
+    // Masked columns inside a visited page contribute w == 0 there, which
+    // is an exact no-op on every reduction, so the chain of decode steps
+    // reproduces a full block-wise pass bit-for-bit (block_tokens must
+    // equal the kernel's BLOCK_N).
+    std::size_t g = 0;
+    const std::size_t n_cols = seq.cols.size();
+    while (g < n_cols) {
+      const std::int64_t bj = seq.cols[g] / bt;
+      const half* k_blk = seq.k_blocks[static_cast<std::size_t>(bj)];
+      const half* v_blk = seq.v_blocks[static_cast<std::size_t>(bj)];
+      const std::int64_t col_lo = bj * bt;
+
+      // Scores for this page's attended columns.
+      float row_max = -std::numeric_limits<float>::infinity();
+      std::int64_t nb = 0;
+      for (; g < n_cols && seq.cols[g] < col_lo + bt; ++g, ++nb) {
+        const std::int64_t local = seq.cols[g] - col_lo;
+        const half* k_row = k_blk + (local * heads + h) * d;
+        float dot = 0;
+        if (use_packed) {
+          for (std::int64_t e = 0; e < d; ++e) {
+            dot += q_row[static_cast<std::size_t>(e)] * float(k_row[e]);
+          }
+        } else {
+          for (std::int64_t e = 0; e < d; ++e) {
+            dot += float(q.at(inst, 0, e)) * float(k_row[e]);
+          }
+        }
+        w_buf[static_cast<std::size_t>(nb)] = dot * scale;
+        col_buf[static_cast<std::size_t>(nb)] = static_cast<float>(local);
+        row_max = std::max(row_max, dot * scale);
+      }
+
+      // Online-softmax merge, ascending-column weight sum (block-wise op
+      // order; a page with no attended columns is never visited, matching
+      // the kernel's row_max == -inf `continue`).
+      const float m_new = std::max(m, row_max);
+      const float correction = (l == 0.0f) ? 0.0f : std::exp(m - m_new);
+      float block_sum = 0;
+      for (std::int64_t c = 0; c < nb; ++c) {
+        const float w = std::exp(w_buf[static_cast<std::size_t>(c)] - m_new);
+        w_buf[static_cast<std::size_t>(c)] = w;
+        block_sum += w;
+      }
+      l = l * correction + block_sum;
+
+      // PV accumulate: head-dim outer, attended columns inner ascending.
+      for (std::int64_t e = 0; e < d; ++e) {
+        float pv = 0;
+        for (std::int64_t c = 0; c < nb; ++c) {
+          const auto local =
+              static_cast<std::int64_t>(col_buf[static_cast<std::size_t>(c)]);
+          pv += w_buf[static_cast<std::size_t>(c)] *
+                float(v_blk[(local * heads + h) * d + e]);
+        }
+        acc[static_cast<std::size_t>(e)] =
+            acc[static_cast<std::size_t>(e)] * correction + pv;
+      }
+      m = m_new;
+    }
+
+    const float inv = l == 0.0f ? 0.0f : 1.0f / l;
+    for (std::int64_t e = 0; e < d; ++e) {
+      out.at(inst, 0, e) = half(acc[static_cast<std::size_t>(e)] * inv);
+    }
+  });
+  return out;
+}
+
+gpusim::KernelCost decode_batched_cost(std::int64_t heads,
+                                       std::int64_t head_size,
+                                       std::span<const std::int64_t> valid_cols,
+                                       const gpusim::DeviceSpec& dev) {
+  STOF_EXPECTS(heads > 0 && head_size > 0 && !valid_cols.empty());
+  const double d = static_cast<double>(head_size);
+  const double h = static_cast<double>(heads);
+  constexpr double kElem = 2.0;
+  const std::int64_t instances =
+      static_cast<std::int64_t>(valid_cols.size()) * heads;
+
+  gpusim::KernelCost c;
+  // Same per-instance model as decode_cost, summed over the ragged batch:
+  // one warp per (sequence, head), packed half2 CUDA-core math.
+  for (const auto valid_i : valid_cols) {
+    STOF_EXPECTS(valid_i >= 0);
+    const double valid = static_cast<double>(valid_i);
+    c.cuda_flops += 0.5 * h * valid * (4.0 * d + 6.0);
+    c.gmem_read_bytes += h * (d * kElem + 2.0 * valid * d * kElem) +
+                         valid * sizeof(std::int32_t);
+    c.gmem_write_bytes += h * d * kElem;
+  }
+  const auto occ = gpusim::occupancy(dev, 0, /*num_warps=*/4);
+  c.occupancy = occ.fraction;
+  c.blocks_per_sm = std::max(1, occ.blocks_per_sm);
+  c.grid_blocks = (instances + 3) / 4;
+  c.overlap = 0.85;  // pure streaming
+  return c;
+}
+
 gpusim::KernelCost decode_cost(const DecodeDims& dims,
                                std::int64_t valid_cols,
                                const gpusim::DeviceSpec& dev) {

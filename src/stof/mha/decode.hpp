@@ -9,6 +9,7 @@
 // last row of the (ctx+1)-token mask.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "stof/gpusim/cost.hpp"
@@ -52,5 +53,46 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
 gpusim::KernelCost decode_cost(const DecodeDims& dims,
                                std::int64_t valid_cols,
                                const gpusim::DeviceSpec& dev);
+
+// ---- Batched ragged decode over a paged KV-cache (serving extension) ------
+
+/// One sequence's view of a paged KV-cache for a batched decode step.
+///
+/// Block i holds positions [i*block_tokens, (i+1)*block_tokens); each block
+/// is (block_tokens, heads, head_size) row-major half, so a serving KV pool
+/// can hand out non-contiguous fixed-size pages without gathering.
+struct PagedSeq {
+  std::int64_t context_len = 0;   ///< cached tokens this query may see
+  std::int64_t block_tokens = 0;  ///< positions per KV block (power of two)
+  std::span<const half* const> k_blocks;
+  std::span<const half* const> v_blocks;
+  /// Attendable positions, ascending, all in [0, context_len).
+  std::span<const std::int32_t> cols;
+
+  void validate(std::int64_t heads, std::int64_t head_size) const;
+};
+
+/// Batched ragged decode: q is (seqs.size()*heads, 1, head_size), sequence
+/// s owning query instances [s*heads, (s+1)*heads); returns the same shape.
+/// Every (sequence, head) instance is independent, so results do not depend
+/// on how sequences are batched together.
+///
+/// The context is streamed block-by-block with the block-wise kernel's
+/// streaming-softmax update order (block max, correction, ascending-column
+/// weight sum, then the PV accumulate).  Masked columns inside a visited
+/// block contribute exact zeros there, so a chain of single-token paged
+/// decode steps is bit-identical to one full-sequence blockwise pass over
+/// the same mask when block_tokens == BLOCK_N — the invariant the serving
+/// engine's preemption/recompute path relies on.
+TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
+                               std::span<const PagedSeq> seqs,
+                               const TensorH& q);
+
+/// Simulated cost of one batched paged-decode kernel launch over sequences
+/// with the given attended-column counts (one warp per (seq, head)).
+gpusim::KernelCost decode_batched_cost(std::int64_t heads,
+                                       std::int64_t head_size,
+                                       std::span<const std::int64_t> valid_cols,
+                                       const gpusim::DeviceSpec& dev);
 
 }  // namespace stof::mha

@@ -7,7 +7,7 @@
 namespace stof::mha {
 
 masks::Mask effective_mask(const masks::Mask& base, std::int64_t len) {
-  STOF_EXPECTS(len > 0 && len <= base.seq_len());
+  STOF_EXPECTS(len >= 0 && len <= base.seq_len());
   masks::Mask m(base.seq_len());
   for (std::int64_t i = 0; i < len; ++i) {
     for (std::int64_t j = 0; j < len; ++j) {

@@ -19,7 +19,9 @@
 
 namespace stof::mha {
 
-/// Per-element valid lengths of a padded batch.
+/// Per-element valid lengths of a padded batch.  A length of zero is a
+/// fully padded element (every output row zero) — serving schedulers pack
+/// ragged admission batches where an element can be empty.
 struct VarlenBatch {
   std::int64_t seq_len = 0;             ///< padded length
   std::vector<std::int64_t> lengths;    ///< valid tokens per batch element
@@ -40,14 +42,14 @@ struct VarlenBatch {
   void validate() const {
     STOF_EXPECTS(seq_len > 0 && !lengths.empty());
     for (const auto l : lengths) {
-      STOF_EXPECTS(l > 0 && l <= seq_len,
-                   "lengths must be in (0, seq_len]");
+      STOF_EXPECTS(l >= 0 && l <= seq_len,
+                   "lengths must be in [0, seq_len]");
     }
   }
 };
 
 /// The base pattern restricted to one element's valid square:
-/// mask(i, j) and i < len and j < len.
+/// mask(i, j) and i < len and j < len.  len == 0 yields the empty mask.
 masks::Mask effective_mask(const masks::Mask& base, std::int64_t len);
 
 /// Variable-length attention: Q/K/V are padded (batch*heads, seq, d);

@@ -5,14 +5,26 @@
 // over SMs.  The pool follows structured-parallelism discipline: work is
 // submitted as a batch and joined before the submitting call returns, so no
 // kernel ever leaks tasks past its launch scope.
+//
+// The serving runtime (stof::serve) keeps the global pool alive for the
+// whole process, which makes the shutdown and exception paths load-bearing:
+//   * a task that throws no longer terminates the process — the first
+//     exception is captured and rethrown from the next wait_idle() (the
+//     structured join point), and the outstanding-task accounting still
+//     runs so wait_idle() can never hang on a failed task;
+//   * shutdown() is an explicit, idempotent join usable before destruction;
+//     queued tasks are drained first, and submit() after shutdown fails
+//     with a checked error instead of racing the worker teardown.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "stof/core/check.hpp"
@@ -36,14 +48,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
-    {
-      std::scoped_lock lock(mutex_);
-      stopping_ = true;
-    }
-    cv_.notify_all();
-    for (auto& w : workers_) w.join();
-  }
+  ~ThreadPool() { shutdown(); }
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
@@ -58,10 +63,36 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Block until every submitted task has completed.
+  /// Block until every submitted task has completed.  If any task threw
+  /// since the last join, the first captured exception is rethrown here.
   void wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    std::exception_ptr error;
+    {
+      std::unique_lock lock(mutex_);
+      idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+      error = std::exchange(first_error_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  /// Drain queued tasks and join every worker.  Idempotent and safe to
+  /// race with submit(): late submitters fail the stopping check instead
+  /// of enqueueing into a dead pool.  Exceptions captured from tasks that
+  /// were never joined via wait_idle() are dropped (the batch owner is
+  /// gone).  The destructor calls this.
+  void shutdown() {
+    std::scoped_lock join_lock(join_mutex_);
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_ && joined_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    std::scoped_lock lock(mutex_);
+    joined_ = true;
   }
 
   /// Process-wide pool shared by kernels that do not get an explicit one.
@@ -81,7 +112,12 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      task();
+      try {
+        task();
+      } catch (...) {
+        std::scoped_lock lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
       {
         std::scoped_lock lock(mutex_);
         if (--outstanding_ == 0) idle_cv_.notify_all();
@@ -90,12 +126,15 @@ class ThreadPool {
   }
 
   std::mutex mutex_;
+  std::mutex join_mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::queue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
   std::size_t outstanding_ = 0;
+  std::exception_ptr first_error_;
   bool stopping_ = false;
+  bool joined_ = false;
 };
 
 }  // namespace stof

@@ -1,0 +1,288 @@
+#include "stof/serve/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "stof/core/checksum.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/mha/decode.hpp"
+#include "stof/mha/varlen.hpp"
+#include "stof/telemetry/telemetry.hpp"
+
+namespace stof::serve {
+
+void fill_token(std::uint64_t seed, std::int64_t pos, TokenChannel channel,
+                std::span<half> dst) {
+  // Hash (seed, pos, channel) into an Rng stream: the embedding depends on
+  // nothing else, which is what makes preemption recovery bit-exact.
+  const int which = static_cast<int>(channel);
+  std::uint64_t h = fnv1a64(&pos, sizeof(pos), seed ^ kFnv1aOffset);
+  h = fnv1a64(&which, sizeof(which), h);
+  Rng rng(h);
+  for (auto& v : dst) v = half(rng.uniform(-1.0f, 1.0f));
+}
+
+Engine::Engine(const EngineConfig& config)
+    : config_(config),
+      pool_(KvPoolConfig{config.kv_blocks, config.block_tokens, config.heads,
+                         config.head_size}),
+      scheduler_(config.scheduler),
+      stream_(config.device) {
+  config_.validate();
+  telemetry::gauge("serve.kv.total_blocks",
+                   static_cast<double>(config_.kv_blocks));
+}
+
+SessionId Engine::submit(const Request& request) {
+  request.validate(config_.max_seq_len);
+  table_.submit(request);
+  scheduler_.enqueue(request.id);
+  ++stats_.submitted;
+  telemetry::count("serve.requests.submitted");
+  return request.id;
+}
+
+bool Engine::idle() const {
+  return scheduler_.queue_empty() &&
+         table_.ids_in_phase(SessionPhase::kDecoding).empty();
+}
+
+const masks::Mask& Engine::mask_for(masks::PatternKind kind) {
+  auto it = mask_cache_.find(kind);
+  if (it == mask_cache_.end()) {
+    // Serving is autoregressive: every pattern is intersected with the
+    // causal triangle at the engine's fixed padded length, so a token's
+    // attendable set never depends on batch composition or scheduling.
+    const masks::Mask base =
+        masks::MaskSpec{.kind = kind, .seq_len = config_.max_seq_len}.build();
+    it = mask_cache_
+             .emplace(kind, base & masks::causal(config_.max_seq_len))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<std::int32_t>& Engine::cols_for(masks::PatternKind kind,
+                                                  std::int64_t row) {
+  auto& rows = cols_cache_[kind];
+  if (rows.empty()) {
+    rows.resize(static_cast<std::size_t>(config_.max_seq_len));
+  }
+  auto& entry = rows[static_cast<std::size_t>(row)];
+  if (!entry) {
+    const masks::Mask& mask = mask_for(kind);
+    std::vector<std::int32_t> cols;
+    for (std::int64_t j = 0; j <= row; ++j) {
+      if (mask.at(row, j)) cols.push_back(static_cast<std::int32_t>(j));
+    }
+    entry = std::move(cols);
+  }
+  return *entry;
+}
+
+void Engine::fold_digest(Session& s, std::span<const half> bytes) {
+  s.digest = fnv1a64(bytes.data(), bytes.size_bytes(), s.digest);
+}
+
+double Engine::run_prefills(const std::vector<SessionId>& ids) {
+  if (ids.empty()) return 0;
+  telemetry::count("serve.requests.admitted",
+                   static_cast<std::int64_t>(ids.size()));
+  // One ragged varlen launch per mask kind, preserving admission order.
+  std::vector<std::pair<masks::PatternKind, std::vector<SessionId>>> groups;
+  for (const auto id : ids) {
+    const auto kind = table_.at(id).request.mask_kind;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == kind; });
+    if (it == groups.end()) {
+      groups.emplace_back(kind, std::vector<SessionId>{id});
+    } else {
+      it->second.push_back(id);
+    }
+  }
+
+  const std::int64_t heads = config_.heads;
+  const std::int64_t d = config_.head_size;
+  const std::int64_t seq = config_.max_seq_len;
+  std::vector<half> tok(static_cast<std::size_t>(heads * d));
+  double us = 0;
+
+  for (const auto& [kind, group] : groups) {
+    const auto n = static_cast<std::int64_t>(group.size());
+    const mha::MhaDims dims{n, heads, seq, d};
+    TensorH q(dims.qkv_shape()), k(dims.qkv_shape()), v(dims.qkv_shape());
+    std::vector<std::int64_t> lengths;
+    lengths.reserve(group.size());
+    for (std::int64_t b = 0; b < n; ++b) {
+      const Session& s = table_.at(group[static_cast<std::size_t>(b)]);
+      const std::int64_t len = s.total_len();
+      lengths.push_back(len);
+      for (std::int64_t pos = 0; pos < len; ++pos) {
+        for (int ch = 0; ch < 3; ++ch) {
+          TensorH& dst = ch == 0 ? q : (ch == 1 ? k : v);
+          fill_token(s.request.seed, pos, static_cast<TokenChannel>(ch), tok);
+          for (std::int64_t h = 0; h < heads; ++h) {
+            std::memcpy(&dst.at(b * heads + h, pos, 0), &tok[static_cast<
+                            std::size_t>(h * d)],
+                        static_cast<std::size_t>(d) * sizeof(half));
+          }
+        }
+      }
+    }
+    const masks::Mask& mask = mask_for(kind);
+    const mha::VarlenBatch batch{seq, lengths};
+    const TensorH out = mha::varlen_attention(dims, q, k, v, mask, batch,
+                                              config_.prefill_params);
+    us += stream_.launch(
+        "serve.prefill",
+        mha::varlen_cost(dims, mask, batch, config_.prefill_params,
+                         config_.device));
+
+    for (std::int64_t b = 0; b < n; ++b) {
+      const SessionId id = group[static_cast<std::size_t>(b)];
+      Session& s = table_.at(id);
+      const std::int64_t len = s.total_len();
+      // Ingest the context into the KV pool (admission reserved blocks).
+      for (std::int64_t pos = 0; pos < len; ++pos) {
+        auto slot = pool_.append_token(id);
+        STOF_CHECK(slot.has_value(), "admission must reserve prefill blocks");
+        for (std::int64_t h = 0; h < heads; ++h) {
+          std::memcpy(slot->k + h * d, &k.at(b * heads + h, pos, 0),
+                      static_cast<std::size_t>(d) * sizeof(half));
+          std::memcpy(slot->v + h * d, &v.at(b * heads + h, pos, 0),
+                      static_cast<std::size_t>(d) * sizeof(half));
+        }
+      }
+      s.cached_tokens = len;
+      // Prompt outputs are digested exactly once; a resumed session's
+      // re-prefill recomputes the same bits but must not re-fold them.
+      if (!s.prompt_digested) {
+        for (std::int64_t pos = 0; pos < s.request.prompt_len; ++pos) {
+          for (std::int64_t h = 0; h < heads; ++h) {
+            fold_digest(
+                s, out.data().subspan(
+                       static_cast<std::size_t>(((b * heads + h) * seq + pos) *
+                                                d),
+                       static_cast<std::size_t>(d)));
+          }
+        }
+        s.prompt_digested = true;
+      }
+      s.phase = SessionPhase::kDecoding;
+      s.last_touch_step = step_count_;
+      stats_.prefill_tokens += len;
+      telemetry::count("serve.prefill.tokens", len);
+    }
+  }
+  return us;
+}
+
+double Engine::run_decodes(const std::vector<SessionId>& ids,
+                           std::vector<SessionId>& first_token,
+                           std::vector<SessionId>& finished) {
+  if (ids.empty()) return 0;
+  const std::int64_t heads = config_.heads;
+  const std::int64_t d = config_.head_size;
+  const auto n = static_cast<std::int64_t>(ids.size());
+
+  TensorH q(Shape{n * heads, 1, d});
+  std::vector<mha::PagedSeq> seqs(ids.size());
+  std::vector<std::int64_t> valid;
+  valid.reserve(ids.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const SessionId id = ids[static_cast<std::size_t>(i)];
+    Session& s = table_.at(id);
+    const std::int64_t pos = s.total_len();
+    auto slot = pool_.append_token(id);
+    STOF_CHECK(slot.has_value(), "scheduler must reserve decode blocks");
+    fill_token(s.request.seed, pos, TokenChannel::kKey,
+               {slot->k, static_cast<std::size_t>(heads * d)});
+    fill_token(s.request.seed, pos, TokenChannel::kValue,
+               {slot->v, static_cast<std::size_t>(heads * d)});
+    s.cached_tokens = pos + 1;
+    fill_token(s.request.seed, pos, TokenChannel::kQuery,
+               q.data().subspan(static_cast<std::size_t>(i * heads * d),
+                                static_cast<std::size_t>(heads * d)));
+    const auto& cols = cols_for(s.request.mask_kind, pos);
+    seqs[static_cast<std::size_t>(i)] =
+        mha::PagedSeq{pos + 1, config_.block_tokens, pool_.k_blocks(id),
+                      pool_.v_blocks(id), cols};
+    valid.push_back(static_cast<std::int64_t>(cols.size()));
+  }
+
+  const TensorH out = mha::decode_attention_paged(heads, d, seqs, q);
+  const double us = stream_.launch(
+      "serve.decode",
+      mha::decode_batched_cost(heads, d, valid, config_.device));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const SessionId id = ids[static_cast<std::size_t>(i)];
+    Session& s = table_.at(id);
+    fold_digest(s,
+                out.data().subspan(static_cast<std::size_t>(i * heads * d),
+                                   static_cast<std::size_t>(heads * d)));
+    ++s.generated;
+    s.last_touch_step = step_count_;
+    if (s.generated == 1) first_token.push_back(id);
+    if (s.done()) {
+      s.phase = SessionPhase::kFinished;
+      pool_.release(id);
+      finished.push_back(id);
+    }
+  }
+  stats_.decode_tokens += n;
+  telemetry::count("serve.decode.tokens", n);
+  return us;
+}
+
+bool Engine::step() {
+  StepPlan plan = scheduler_.plan_step(table_, pool_, step_count_);
+  if (plan.empty()) return false;
+  const double start = clock_us_;
+
+  stats_.preemptions += static_cast<std::int64_t>(plan.evicted.size());
+  if (!plan.evicted.empty()) {
+    telemetry::count("serve.requests.preempted",
+                     static_cast<std::int64_t>(plan.evicted.size()));
+  }
+
+  double us = run_prefills(plan.prefills);
+  std::vector<SessionId> first_token, finished;
+  us += run_decodes(plan.decodes, first_token, finished);
+  clock_us_ += us;
+
+  for (const auto id : first_token) table_.at(id).first_token_us = clock_us_;
+  for (const auto id : finished) {
+    table_.at(id).finish_us = clock_us_;
+    ++stats_.finished;
+  }
+  if (!finished.empty()) {
+    telemetry::count("serve.requests.finished",
+                     static_cast<std::int64_t>(finished.size()));
+  }
+
+  ++step_count_;
+  ++stats_.steps;
+  telemetry::count("serve.steps");
+  telemetry::observe("serve.batch.decode_size",
+                     static_cast<double>(plan.decodes.size()));
+  telemetry::observe("serve.batch.prefill_size",
+                     static_cast<double>(plan.prefills.size()));
+  telemetry::observe("serve.kv.used_blocks",
+                     static_cast<double>(pool_.used_blocks()));
+
+  if (on_step) {
+    StepEvent ev;
+    ev.step = step_count_ - 1;
+    ev.start_us = start;
+    ev.duration_us = us;
+    ev.evicted = std::move(plan.evicted);
+    ev.prefills = std::move(plan.prefills);
+    ev.decodes = std::move(plan.decodes);
+    ev.kv_used_blocks = pool_.used_blocks();
+    on_step(ev);
+  }
+  return true;
+}
+
+}  // namespace stof::serve

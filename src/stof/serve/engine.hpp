@@ -1,0 +1,152 @@
+// Serving engine: continuous batching over the simulated-GPU substrate.
+//
+// The engine owns the session table, the paged KV pool, a scheduler, and a
+// gpusim::Stream, and advances in discrete steps.  Each step executes the
+// scheduler's plan with the library's real kernels:
+//   * admitted prefills are packed per mask kind into one ragged
+//     mha::varlen_attention batch (one "serve.prefill" launch per kind);
+//   * every active session decodes one token through a single batched
+//     mha::decode_attention_paged call over the KV pool's pages (one
+//     "serve.decode" launch).
+// The engine clock is *simulated* time: it advances by the Stream's
+// estimate of each step's launches, so throughput and latency numbers are
+// deterministic functions of the trace and the device model — the repo's
+// standing substitution of simulated GPU time for wall time.
+//
+// Workload model: the q/k/v embedding of a token is a pure function of
+// (session seed, position, channel) — fill_token() below.  That makes
+// preemption recovery exact: a victim's KV pages are dropped and its full
+// context re-prefilled later from the token function, reproducing the
+// same bits.  Each position's attention output is folded into the
+// session's FNV-1a digest exactly once, in position order, so two runs
+// (e.g. serial vs continuous scheduling) produce equal digests iff every
+// per-session output byte matches.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "stof/gpusim/device.hpp"
+#include "stof/gpusim/timeline.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/serve/scheduler.hpp"
+
+namespace stof::serve {
+
+/// Channel selector for the synthetic token embedding.
+enum class TokenChannel : int { kQuery = 0, kKey = 1, kValue = 2 };
+
+/// Deterministic token embedding: fills `dst` (heads * head_size halfs,
+/// laid out (head, dim)) as a pure function of (seed, pos, channel).
+void fill_token(std::uint64_t seed, std::int64_t pos, TokenChannel channel,
+                std::span<half> dst);
+
+struct EngineConfig {
+  std::int64_t heads = 4;
+  std::int64_t head_size = 64;
+  std::int64_t max_seq_len = 256;
+  std::int64_t kv_blocks = 96;     ///< KV pool capacity in blocks
+  std::int64_t block_tokens = 16;  ///< KV page size, must equal BLOCK_N
+  mha::BlockwiseParams prefill_params{16, 16};
+  SchedulerConfig scheduler;
+  gpusim::DeviceSpec device = gpusim::a100();
+
+  void validate() const {
+    STOF_EXPECTS(heads > 0 && head_size > 0 && max_seq_len > 0);
+    // The paged-decode/blockwise bit-identity contract streams KV pages as
+    // kernel key blocks; unequal sizes would reorder the softmax updates.
+    STOF_EXPECTS(block_tokens == prefill_params.block_n,
+                 "KV page size must equal the prefill kernel's BLOCK_N");
+    STOF_EXPECTS(kv_blocks * block_tokens >= max_seq_len,
+                 "pool must hold at least one full context");
+    scheduler.validate(max_seq_len);
+  }
+};
+
+/// Per-step notification for observers (examples, debugging).
+struct StepEvent {
+  std::int64_t step = 0;
+  double start_us = 0;     ///< sim clock when the step began
+  double duration_us = 0;  ///< simulated time of the step's launches
+  std::vector<SessionId> evicted;
+  std::vector<SessionId> prefills;
+  std::vector<SessionId> decodes;
+  std::int64_t kv_used_blocks = 0;
+};
+
+struct EngineStats {
+  std::int64_t steps = 0;
+  std::int64_t submitted = 0;
+  std::int64_t finished = 0;
+  std::int64_t preemptions = 0;
+  std::int64_t prefill_tokens = 0;
+  std::int64_t decode_tokens = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config);
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// Register a request; it joins the scheduler's wait queue.
+  SessionId submit(const Request& request);
+
+  /// Execute one scheduler step.  Returns false (and does nothing) when
+  /// there is no admissible work — the driver then either stops or
+  /// advances the clock to the next arrival and submits it.
+  bool step();
+
+  /// Run steps until no work remains.
+  void run_until_drained() {
+    while (step()) {
+    }
+  }
+
+  /// Open-loop clock advance (to the next trace arrival while idle).
+  void advance_to(double us) { clock_us_ = std::max(clock_us_, us); }
+
+  [[nodiscard]] double sim_time_us() const { return clock_us_; }
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] const Session& session(SessionId id) const {
+    return table_.at(id);
+  }
+  [[nodiscard]] const SessionTable& sessions() const { return table_; }
+  [[nodiscard]] const KvPool& pool() const { return pool_; }
+  [[nodiscard]] const gpusim::Stream& stream() const { return stream_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  /// Invoked after every executed step (not for empty plans).
+  std::function<void(const StepEvent&)> on_step;
+
+ private:
+  [[nodiscard]] const masks::Mask& mask_for(masks::PatternKind kind);
+  [[nodiscard]] const std::vector<std::int32_t>& cols_for(
+      masks::PatternKind kind, std::int64_t row);
+
+  double run_prefills(const std::vector<SessionId>& ids);
+  double run_decodes(const std::vector<SessionId>& ids,
+                     std::vector<SessionId>& first_token,
+                     std::vector<SessionId>& finished);
+  void fold_digest(Session& s, std::span<const half> bytes);
+
+  EngineConfig config_;
+  SessionTable table_;
+  KvPool pool_;
+  Scheduler scheduler_;
+  gpusim::Stream stream_;
+  double clock_us_ = 0;
+  std::int64_t step_count_ = 0;
+  EngineStats stats_;
+  std::map<masks::PatternKind, masks::Mask> mask_cache_;
+  /// cols_cache_[kind][row]: attendable context positions for a token
+  /// decoded at `row` (empty-but-computed rows flagged separately).
+  std::map<masks::PatternKind,
+           std::vector<std::optional<std::vector<std::int32_t>>>>
+      cols_cache_;
+};
+
+}  // namespace stof::serve

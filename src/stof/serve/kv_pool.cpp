@@ -1,0 +1,74 @@
+#include "stof/serve/kv_pool.hpp"
+
+namespace stof::serve {
+
+KvPool::KvPool(const KvPoolConfig& config) : config_(config) {
+  config_.validate();
+  const auto elems = static_cast<std::size_t>(config_.num_blocks *
+                                              config_.block_elems());
+  k_arena_.assign(elems, half{});
+  v_arena_.assign(elems, half{});
+  free_.reserve(static_cast<std::size_t>(config_.num_blocks));
+  // Descending, so allocation hands out block 0, 1, 2, ... in order.
+  for (std::int64_t b = config_.num_blocks - 1; b >= 0; --b) {
+    free_.push_back(static_cast<std::int32_t>(b));
+  }
+}
+
+std::int64_t KvPool::tokens(SessionId id) const {
+  const auto it = by_session_.find(id);
+  return it == by_session_.end() ? 0 : it->second.tokens;
+}
+
+std::int64_t KvPool::blocks(SessionId id) const {
+  const auto it = by_session_.find(id);
+  return it == by_session_.end()
+             ? 0
+             : static_cast<std::int64_t>(it->second.block_ids.size());
+}
+
+std::optional<TokenSlot> KvPool::append_token(SessionId id) {
+  SessionBlocks& sb = by_session_[id];
+  const std::int64_t bt = config_.block_tokens;
+  if (sb.tokens % bt == 0) {  // tail block full (or no block yet)
+    if (free_.empty()) {
+      if (sb.block_ids.empty()) by_session_.erase(id);
+      return std::nullopt;
+    }
+    const std::int32_t block = free_.back();
+    free_.pop_back();
+    sb.block_ids.push_back(block);
+    sb.k_ptrs.push_back(k_base(block));
+    sb.v_ptrs.push_back(v_base(block));
+    peak_used_ = std::max(peak_used_, used_blocks());
+  }
+  const std::int64_t local = sb.tokens % bt;
+  const std::int32_t block = sb.block_ids.back();
+  const std::int64_t row = local * config_.heads * config_.head_size;
+  ++sb.tokens;
+  return TokenSlot{k_base(block) + row, v_base(block) + row};
+}
+
+std::span<const half* const> KvPool::k_blocks(SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.k_ptrs;
+}
+
+std::span<const half* const> KvPool::v_blocks(SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.v_ptrs;
+}
+
+void KvPool::release(SessionId id) {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return;
+  for (const auto block : it->second.block_ids) free_.push_back(block);
+  by_session_.erase(it);
+  // Keep the free list sorted descending: allocation order stays a pure
+  // function of the alloc/release sequence.
+  std::sort(free_.begin(), free_.end(), std::greater<>());
+}
+
+}  // namespace stof::serve

@@ -1,0 +1,127 @@
+// Paged KV-cache pool (vLLM-style) for the serving engine.
+//
+// The pool owns one bounded half-precision arena per side (K and V),
+// carved into fixed-size blocks of `block_tokens` positions; each block is
+// (block_tokens, heads, head_size) row-major, the layout mha::PagedSeq
+// consumes directly.  Sessions grow token by token: append_token() hands
+// back writable K/V slots for the next position, allocating a fresh block
+// from the free list when the session's last block fills, and fails
+// cleanly (std::nullopt) when the pool is exhausted — the scheduler then
+// decides whom to preempt.  Blocks are recycled via release(); the free
+// list is kept sorted so allocation order is a pure function of the
+// request sequence, never of pointer values.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stof/core/check.hpp"
+#include "stof/core/half.hpp"
+#include "stof/serve/request.hpp"
+
+namespace stof::serve {
+
+struct KvPoolConfig {
+  std::int64_t num_blocks = 0;    ///< pool capacity in blocks
+  std::int64_t block_tokens = 0;  ///< positions per block (power of two)
+  std::int64_t heads = 0;
+  std::int64_t head_size = 0;
+
+  void validate() const {
+    STOF_EXPECTS(num_blocks > 0 && heads > 0 && head_size > 0);
+    STOF_EXPECTS(block_tokens >= 1 &&
+                     (block_tokens & (block_tokens - 1)) == 0,
+                 "block_tokens must be a power of two");
+  }
+  /// Halfs per block per side.
+  [[nodiscard]] std::int64_t block_elems() const {
+    return block_tokens * heads * head_size;
+  }
+};
+
+/// Writable K/V destination for one appended token: `heads * head_size`
+/// halfs each, laid out (head, dim).
+struct TokenSlot {
+  half* k = nullptr;
+  half* v = nullptr;
+};
+
+/// Bounded paged KV-cache with per-session block lists.
+class KvPool {
+ public:
+  explicit KvPool(const KvPoolConfig& config);
+
+  [[nodiscard]] const KvPoolConfig& config() const { return config_; }
+  [[nodiscard]] std::int64_t total_blocks() const {
+    return config_.num_blocks;
+  }
+  [[nodiscard]] std::int64_t free_blocks() const {
+    return static_cast<std::int64_t>(free_.size());
+  }
+  [[nodiscard]] std::int64_t used_blocks() const {
+    return total_blocks() - free_blocks();
+  }
+  [[nodiscard]] std::int64_t peak_used_blocks() const { return peak_used_; }
+
+  /// Blocks needed to hold `tokens` positions.
+  [[nodiscard]] std::int64_t blocks_for(std::int64_t tokens) const {
+    return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+  }
+
+  /// Tokens currently cached for `id` (0 if the session holds nothing).
+  [[nodiscard]] std::int64_t tokens(SessionId id) const;
+  /// Blocks currently held by `id`.
+  [[nodiscard]] std::int64_t blocks(SessionId id) const;
+
+  /// Whether appending one token to `id` needs a fresh block.
+  [[nodiscard]] bool append_needs_block(SessionId id) const {
+    return tokens(id) % config_.block_tokens == 0;
+  }
+
+  /// Reserve the next position's K/V slot for `id`, allocating a block if
+  /// the session's tail block is full.  Returns std::nullopt when the pool
+  /// has no free block to give (session state unchanged).
+  std::optional<TokenSlot> append_token(SessionId id);
+
+  /// Base pointers of the session's blocks, oldest first — the views a
+  /// mha::PagedSeq wants.  Valid until the next release() for this id.
+  [[nodiscard]] std::span<const half* const> k_blocks(SessionId id) const;
+  [[nodiscard]] std::span<const half* const> v_blocks(SessionId id) const;
+
+  /// Return every block held by `id` to the free list (preemption or
+  /// completion).  No-op for sessions that hold nothing.
+  void release(SessionId id);
+
+ private:
+  struct SessionBlocks {
+    std::vector<std::int32_t> block_ids;
+    std::vector<const half*> k_ptrs;
+    std::vector<const half*> v_ptrs;
+    std::int64_t tokens = 0;
+  };
+
+  [[nodiscard]] half* k_base(std::int32_t block) {
+    return k_arena_.data() +
+           static_cast<std::size_t>(block) *
+               static_cast<std::size_t>(config_.block_elems());
+  }
+  [[nodiscard]] half* v_base(std::int32_t block) {
+    return v_arena_.data() +
+           static_cast<std::size_t>(block) *
+               static_cast<std::size_t>(config_.block_elems());
+  }
+
+  KvPoolConfig config_;
+  std::vector<half> k_arena_;
+  std::vector<half> v_arena_;
+  /// Free block ids, sorted descending so pop_back() yields the smallest.
+  std::vector<std::int32_t> free_;
+  std::map<SessionId, SessionBlocks> by_session_;
+  std::int64_t peak_used_ = 0;
+};
+
+}  // namespace stof::serve

@@ -1,0 +1,56 @@
+// Serving request and session lifecycle types (stof::serve).
+//
+// A Request describes one client of the serving engine: a synthetic prompt
+// of `prompt_len` tokens followed by `max_new_tokens` autoregressive decode
+// steps, attending under one of the library's sparse patterns intersected
+// with the causal triangle.  Token embeddings are a pure function of
+// (seed, position) — see engine.hpp — so a preempted session can be
+// recomputed bit-identically from its request alone, and the same trace
+// replayed under different scheduling modes must produce byte-identical
+// per-session outputs.
+#pragma once
+
+#include <cstdint>
+
+#include "stof/core/check.hpp"
+#include "stof/masks/mask.hpp"
+
+namespace stof::serve {
+
+using SessionId = std::int64_t;
+
+/// One serving request.  Arrival time is in *simulated* microseconds: the
+/// engine's clock advances by the simulated GPU time of each step, so an
+/// open-loop trace replay is deterministic end to end.
+struct Request {
+  SessionId id = 0;
+  std::int64_t prompt_len = 0;
+  std::int64_t max_new_tokens = 0;
+  std::uint64_t seed = 0;  ///< token-embedding seed, unique per session
+  masks::PatternKind mask_kind = masks::PatternKind::kCausal;
+  double arrival_us = 0;
+
+  /// Final context length once every token has been generated.
+  [[nodiscard]] std::int64_t target_len() const {
+    return prompt_len + max_new_tokens;
+  }
+
+  void validate(std::int64_t max_seq_len) const {
+    STOF_EXPECTS(id >= 0, "request id must be non-negative");
+    STOF_EXPECTS(prompt_len > 0, "prompt must be non-empty");
+    STOF_EXPECTS(max_new_tokens > 0, "must request at least one new token");
+    STOF_EXPECTS(target_len() <= max_seq_len,
+                 "prompt + generation exceeds engine max_seq_len");
+    STOF_EXPECTS(arrival_us >= 0);
+  }
+};
+
+/// Lifecycle of a session inside the engine.
+///
+///   kQueued ----admit----> kDecoding ----last token----> kFinished
+///      ^                       |
+///      +------- preempt -------+   (KV blocks released; context is
+///                                   re-prefilled on re-admission)
+enum class SessionPhase : std::uint8_t { kQueued, kDecoding, kFinished };
+
+}  // namespace stof::serve

@@ -1,0 +1,122 @@
+#include "stof/serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "stof/telemetry/telemetry.hpp"
+
+namespace stof::serve {
+
+StepPlan Scheduler::plan_step(SessionTable& table, KvPool& pool,
+                              std::int64_t step) {
+  return config_.mode == SchedulerMode::kContinuous
+             ? plan_continuous(table, pool, step)
+             : plan_serial(table, pool);
+}
+
+SessionId Scheduler::pick_victim(const SessionTable& table,
+                                 const std::vector<SessionId>& candidates) {
+  STOF_EXPECTS(!candidates.empty(), "no preemption candidate");
+  SessionId best = candidates.front();
+  for (const auto id : candidates) {
+    const auto& s = table.at(id);
+    const auto& b = table.at(best);
+    if (s.last_touch_step < b.last_touch_step ||
+        (s.last_touch_step == b.last_touch_step && id > best)) {
+      best = id;
+    }
+  }
+  return best;
+}
+
+StepPlan Scheduler::plan_continuous(SessionTable& table, KvPool& pool,
+                                    std::int64_t step) {
+  (void)step;
+  StepPlan plan;
+
+  // Decode set: every active session, least-recently-decoded first so the
+  // batch cap (when it binds) round-robins instead of starving high ids.
+  std::vector<SessionId> decoding = table.ids_in_phase(SessionPhase::kDecoding);
+  std::stable_sort(decoding.begin(), decoding.end(),
+                   [&](SessionId a, SessionId b) {
+                     return table.at(a).last_touch_step <
+                            table.at(b).last_touch_step;
+                   });
+  std::vector<SessionId> selected(
+      decoding.begin(),
+      decoding.begin() +
+          std::min<std::size_t>(decoding.size(),
+                                static_cast<std::size_t>(
+                                    config_.max_decode_batch)));
+
+  // KV pressure: every selected decoder whose tail block is full needs one
+  // fresh block this step.  Preempt LRU-idle sessions until the pool can
+  // back them all; a victim re-queues at the *front* (it keeps its FIFO
+  // seniority) and re-prefills its full context on re-admission.
+  const auto blocks_needed = [&] {
+    std::int64_t n = 0;
+    for (const auto id : selected) {
+      if (pool.append_needs_block(id)) ++n;
+    }
+    return n;
+  };
+  while (pool.free_blocks() < blocks_needed() && !decoding.empty()) {
+    const SessionId victim = pick_victim(table, decoding);
+    Session& s = table.at(victim);
+    telemetry::count("serve.kv.evictions");
+    telemetry::count("serve.kv.evicted_blocks", pool.blocks(victim));
+    pool.release(victim);
+    s.phase = SessionPhase::kQueued;
+    s.cached_tokens = 0;
+    ++s.preemptions;
+    waiting_.push_front(victim);
+    plan.evicted.push_back(victim);
+    std::erase(decoding, victim);
+    std::erase(selected, victim);
+  }
+  std::sort(selected.begin(), selected.end());
+
+  // Admission: strict FIFO from the wait queue, bounded by the per-step
+  // prefill count/token budgets and by whole-context KV reservations on
+  // top of the blocks the decode set will consume.  Head-of-line blocking
+  // is intentional — skipping ahead would reorder first-token latencies.
+  std::int64_t reserved = blocks_needed();
+  std::int64_t admitted_tokens = 0;
+  while (!waiting_.empty() &&
+         static_cast<std::int64_t>(plan.prefills.size()) <
+             config_.max_prefills_per_step) {
+    const SessionId id = waiting_.front();
+    const Session& s = table.at(id);
+    const std::int64_t need = pool.blocks_for(s.total_len());
+    if (admitted_tokens + s.total_len() > config_.prefill_token_budget) break;
+    if (need > pool.free_blocks() - reserved) break;
+    waiting_.pop_front();
+    plan.prefills.push_back(id);
+    reserved += need;
+    admitted_tokens += s.total_len();
+  }
+  plan.decodes = std::move(selected);
+  return plan;
+}
+
+StepPlan Scheduler::plan_serial(SessionTable& table, KvPool& pool) {
+  StepPlan plan;
+  const auto decoding = table.ids_in_phase(SessionPhase::kDecoding);
+  STOF_CHECK(decoding.size() <= 1, "serial mode runs one session at a time");
+  if (!decoding.empty()) {
+    // Serial never preempts: the pool is validated to hold one full
+    // context, and only one session ever holds blocks.
+    plan.decodes = decoding;
+    return plan;
+  }
+  if (!waiting_.empty()) {
+    const SessionId id = waiting_.front();
+    STOF_CHECK(pool.blocks_for(table.at(id).total_len()) <=
+                   pool.free_blocks(),
+               "pool too small for a single context");
+    waiting_.pop_front();
+    plan.prefills.push_back(id);
+  }
+  return plan;
+}
+
+}  // namespace stof::serve

@@ -1,0 +1,88 @@
+// Continuous-batching scheduler.
+//
+// Each engine step the scheduler turns the current session/pool state into
+// a StepPlan: which queued sessions to admit and prefill (packed into one
+// ragged varlen batch per mask kind), which active sessions decode one
+// token (all of them, batched into a single kernel), and which sessions to
+// preempt when the KV pool cannot back every decoder's next token.  The
+// plan is a pure function of (table, pool, queue) state, so a seeded trace
+// replays deterministically.
+//
+// Two modes share the engine:
+//   kContinuous — the real policy: admit up to a prefill budget per step,
+//     decode every active session together, evict LRU-idle sessions under
+//     KV pressure (released sessions re-queue at the front and re-prefill
+//     their full context on re-admission).
+//   kSerial — the baseline the bench compares against: strict FIFO, one
+//     session at a time, prefill then token-by-token decode to completion
+//     before the next request is admitted.  Same engine, same kernels,
+//     same per-session numerics — only the packing differs.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "stof/serve/kv_pool.hpp"
+#include "stof/serve/session.hpp"
+
+namespace stof::serve {
+
+enum class SchedulerMode : std::uint8_t { kContinuous, kSerial };
+
+struct SchedulerConfig {
+  SchedulerMode mode = SchedulerMode::kContinuous;
+  std::int64_t max_prefills_per_step = 8;  ///< sessions admitted per step
+  std::int64_t prefill_token_budget = 1024;  ///< prompt tokens per step
+  std::int64_t max_decode_batch = 256;  ///< decode sequences per step
+
+  void validate(std::int64_t max_seq_len) const {
+    STOF_EXPECTS(max_prefills_per_step >= 1 && max_decode_batch >= 1);
+    STOF_EXPECTS(prefill_token_budget >= max_seq_len,
+                 "prefill budget must admit the longest context");
+  }
+};
+
+/// One step's worth of scheduling decisions, in execution order.
+struct StepPlan {
+  std::vector<SessionId> evicted;   ///< preempted before this step's work
+  std::vector<SessionId> prefills;  ///< admitted this step, FIFO order
+  std::vector<SessionId> decodes;   ///< decode one token, ascending id
+
+  [[nodiscard]] bool empty() const {
+    return evicted.empty() && prefills.empty() && decodes.empty();
+  }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerConfig& config) : config_(config) {}
+
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+  /// Add a freshly submitted session to the back of the wait queue.
+  void enqueue(SessionId id) { waiting_.push_back(id); }
+
+  /// True when nothing is waiting (the engine also checks for decoders).
+  [[nodiscard]] bool queue_empty() const { return waiting_.empty(); }
+  [[nodiscard]] std::size_t queue_depth() const { return waiting_.size(); }
+
+  /// Compute this step's plan.  Mutates the wait queue (admissions pop,
+  /// evictions push front) and sets evicted sessions back to kQueued with
+  /// their KV released; the engine applies the rest of the plan.
+  StepPlan plan_step(SessionTable& table, KvPool& pool, std::int64_t step);
+
+ private:
+  StepPlan plan_continuous(SessionTable& table, KvPool& pool,
+                           std::int64_t step);
+  StepPlan plan_serial(SessionTable& table, KvPool& pool);
+
+  /// Pick the LRU-idle preemption victim among `candidates`: smallest
+  /// last_touch_step, ties broken toward the largest (youngest) id.
+  static SessionId pick_victim(const SessionTable& table,
+                               const std::vector<SessionId>& candidates);
+
+  SchedulerConfig config_;
+  std::deque<SessionId> waiting_;
+};
+
+}  // namespace stof::serve

@@ -1,0 +1,207 @@
+// Decode-continuation bit-identity: a chain of single-token paged decode
+// steps over a growing KV cache must reproduce one full-sequence blockwise
+// pass bit-for-bit (same mask, KV page size == BLOCK_N).  This is the
+// invariant the serving engine's preemption/recompute path relies on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "stof/core/packed.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/mha/blockwise_kernel.hpp"
+#include "stof/mha/decode.hpp"
+#include "stof/serve/kv_pool.hpp"
+#include "stof/sparse/bsr_mask.hpp"
+
+namespace stof::mha {
+namespace {
+
+constexpr std::int64_t kHeads = 2;
+constexpr std::int64_t kHeadSize = 32;
+constexpr std::int64_t kTotal = 48;
+constexpr std::int64_t kBlockTokens = 16;
+
+struct Fixture {
+  TensorH q, k, v;
+  masks::Mask mask{kTotal};
+
+  explicit Fixture(std::uint64_t seed, masks::PatternKind kind)
+      : q(Shape{kHeads, kTotal, kHeadSize}),
+        k(Shape{kHeads, kTotal, kHeadSize}),
+        v(Shape{kHeads, kTotal, kHeadSize}) {
+    Rng rng(seed);
+    q.fill_random(rng);
+    k.fill_random(rng);
+    v.fill_random(rng);
+    mask = masks::MaskSpec{.kind = kind, .seq_len = kTotal}.build() &
+           masks::causal(kTotal);
+  }
+};
+
+/// Runs the decode chain against the full blockwise pass and asserts every
+/// output row is byte-identical.
+void expect_chain_matches_full_pass(const Fixture& f) {
+  const MhaDims dims{1, kHeads, kTotal, kHeadSize};
+  const BlockwiseParams params{16, 16};
+  const TensorH full = blockwise_attention(
+      dims, f.q, f.k, f.v,
+      sparse::BsrMask::build(f.mask, params.block_m, params.block_n), params);
+
+  serve::KvPool pool(
+      serve::KvPoolConfig{8, kBlockTokens, kHeads, kHeadSize});
+  for (std::int64_t pos = 0; pos < kTotal; ++pos) {
+    // Append position pos's K/V to the paged cache.
+    auto slot = pool.append_token(/*id=*/0);
+    ASSERT_TRUE(slot.has_value());
+    for (std::int64_t h = 0; h < kHeads; ++h) {
+      for (std::int64_t e = 0; e < kHeadSize; ++e) {
+        slot->k[h * kHeadSize + e] = f.k.at(h, pos, e);
+        slot->v[h * kHeadSize + e] = f.v.at(h, pos, e);
+      }
+    }
+
+    // Single-token decode for this position.
+    TensorH q_step(Shape{kHeads, 1, kHeadSize});
+    for (std::int64_t h = 0; h < kHeads; ++h) {
+      for (std::int64_t e = 0; e < kHeadSize; ++e) {
+        q_step.at(h, 0, e) = f.q.at(h, pos, e);
+      }
+    }
+    std::vector<std::int32_t> cols;
+    for (std::int64_t j = 0; j <= pos; ++j) {
+      if (f.mask.at(pos, j)) cols.push_back(static_cast<std::int32_t>(j));
+    }
+    const PagedSeq seq{pos + 1, kBlockTokens, pool.k_blocks(0),
+                       pool.v_blocks(0), cols};
+    const TensorH step =
+        decode_attention_paged(kHeads, kHeadSize, {&seq, 1}, q_step);
+
+    // Byte-compare the step output to the full pass's row `pos`.
+    for (std::int64_t h = 0; h < kHeads; ++h) {
+      ASSERT_EQ(std::memcmp(&step.at(h, 0, 0), &full.at(h, pos, 0),
+                            static_cast<std::size_t>(kHeadSize) *
+                                sizeof(half)),
+                0)
+          << "pos=" << pos << " h=" << h;
+    }
+  }
+}
+
+TEST(DecodeSession, ChainBitIdenticalToBlockwisePassCausal) {
+  expect_chain_matches_full_pass(Fixture(31, masks::PatternKind::kCausal));
+}
+
+TEST(DecodeSession, ChainBitIdenticalToBlockwisePassStrided) {
+  expect_chain_matches_full_pass(Fixture(37, masks::PatternKind::kStrided));
+}
+
+TEST(DecodeSession, ChainBitIdenticalToBlockwisePassBigBird) {
+  expect_chain_matches_full_pass(Fixture(41, masks::PatternKind::kBigBird));
+}
+
+TEST(DecodeSession, ChainBitIdenticalUnderScalarExecution) {
+  ScopedPackedExecution scalar(false);
+  expect_chain_matches_full_pass(Fixture(43, masks::PatternKind::kLongformer));
+}
+
+TEST(DecodeSession, BatchedPagedDecodeMatchesPerSequenceCalls) {
+  // Two sessions decoded in one batch must equal two independent calls —
+  // per-(sequence, head) instances share nothing.
+  Fixture a(51, masks::PatternKind::kCausal);
+  Fixture b(53, masks::PatternKind::kSlidingWindow);
+  serve::KvPool pool(
+      serve::KvPoolConfig{16, kBlockTokens, kHeads, kHeadSize});
+  const std::int64_t ctx_a = 40, ctx_b = 17;
+  const auto ingest = [&](serve::SessionId id, const Fixture& f,
+                          std::int64_t ctx) {
+    for (std::int64_t pos = 0; pos < ctx; ++pos) {
+      auto slot = pool.append_token(id);
+      ASSERT_TRUE(slot.has_value());
+      for (std::int64_t h = 0; h < kHeads; ++h) {
+        for (std::int64_t e = 0; e < kHeadSize; ++e) {
+          slot->k[h * kHeadSize + e] = f.k.at(h, pos, e);
+          slot->v[h * kHeadSize + e] = f.v.at(h, pos, e);
+        }
+      }
+    }
+  };
+  ingest(0, a, ctx_a);
+  ingest(1, b, ctx_b);
+
+  const auto cols_of = [](const Fixture& f, std::int64_t row) {
+    std::vector<std::int32_t> cols;
+    for (std::int64_t j = 0; j <= row; ++j) {
+      if (f.mask.at(row, j)) cols.push_back(static_cast<std::int32_t>(j));
+    }
+    return cols;
+  };
+  const auto cols_a = cols_of(a, ctx_a - 1);
+  const auto cols_b = cols_of(b, ctx_b - 1);
+  const PagedSeq seqs[2] = {
+      {ctx_a, kBlockTokens, pool.k_blocks(0), pool.v_blocks(0), cols_a},
+      {ctx_b, kBlockTokens, pool.k_blocks(1), pool.v_blocks(1), cols_b}};
+
+  TensorH q_batch(Shape{2 * kHeads, 1, kHeadSize});
+  for (std::int64_t h = 0; h < kHeads; ++h) {
+    for (std::int64_t e = 0; e < kHeadSize; ++e) {
+      q_batch.at(h, 0, e) = a.q.at(h, ctx_a - 1, e);
+      q_batch.at(kHeads + h, 0, e) = b.q.at(h, ctx_b - 1, e);
+    }
+  }
+  const TensorH batched =
+      decode_attention_paged(kHeads, kHeadSize, seqs, q_batch);
+
+  for (int which = 0; which < 2; ++which) {
+    TensorH q_one(Shape{kHeads, 1, kHeadSize});
+    for (std::int64_t h = 0; h < kHeads; ++h) {
+      for (std::int64_t e = 0; e < kHeadSize; ++e) {
+        q_one.at(h, 0, e) = q_batch.at(which * kHeads + h, 0, e);
+      }
+    }
+    const TensorH alone = decode_attention_paged(
+        kHeads, kHeadSize, {&seqs[which], 1}, q_one);
+    for (std::int64_t h = 0; h < kHeads; ++h) {
+      ASSERT_EQ(std::memcmp(&alone.at(h, 0, 0),
+                            &batched.at(which * kHeads + h, 0, 0),
+                            static_cast<std::size_t>(kHeadSize) *
+                                sizeof(half)),
+                0)
+          << "seq=" << which << " h=" << h;
+    }
+  }
+}
+
+TEST(DecodeSession, PagedSeqValidation) {
+  const half* none[1] = {nullptr};
+  PagedSeq s{16, 16, {none, 1}, {none, 1}, {}};
+  s.validate(2, 32);
+  PagedSeq bad_block = s;
+  bad_block.block_tokens = 12;  // not a power of two
+  EXPECT_THROW(bad_block.validate(2, 32), Error);
+  const std::int32_t out_of_ctx[] = {16};
+  PagedSeq bad_cols = s;
+  bad_cols.cols = out_of_ctx;
+  EXPECT_THROW(bad_cols.validate(2, 32), Error);
+  PagedSeq short_blocks = s;
+  short_blocks.context_len = 17;  // needs two blocks, has one
+  EXPECT_THROW(short_blocks.validate(2, 32), Error);
+}
+
+TEST(DecodeSession, BatchedCostScalesWithContextAndBatch) {
+  const auto dev = gpusim::a100();
+  const std::int64_t one_ctx[] = {128};
+  const std::int64_t many_ctx[] = {128, 128, 128, 128, 128, 128, 128, 128};
+  const auto c1 = decode_batched_cost(4, 64, one_ctx, dev);
+  const auto c8 = decode_batched_cost(4, 64, many_ctx, dev);
+  EXPECT_EQ(c1.launches, 1);
+  EXPECT_EQ(c8.launches, 1);
+  EXPECT_NEAR(c8.cuda_flops, 8.0 * c1.cuda_flops, 1e-6);
+  // Eight sequences in one launch beat eight single-sequence launches on
+  // simulated time: launch overhead is paid once, the grid is 8x larger.
+  const double t1 = gpusim::estimate_time_us(c1, dev);
+  const double t8 = gpusim::estimate_time_us(c8, dev);
+  EXPECT_LT(t8, 8.0 * t1);
+}
+
+}  // namespace
+}  // namespace stof::mha

@@ -31,7 +31,12 @@ TEST(VarlenBatch, StatsAndValidation) {
   EXPECT_EQ(b.total_valid_tokens(), 112);
   EXPECT_NEAR(b.padding_ratio(), 1.0 - 112.0 / 192.0, 1e-12);
 
-  EXPECT_THROW((VarlenBatch{64, {64, 0}}).validate(), Error);
+  // Zero-length (fully padded) elements are valid batch members.
+  VarlenBatch with_empty{64, {64, 0}};
+  with_empty.validate();
+  EXPECT_EQ(with_empty.total_valid_tokens(), 64);
+
+  EXPECT_THROW((VarlenBatch{64, {64, -1}}).validate(), Error);
   EXPECT_THROW((VarlenBatch{64, {65}}).validate(), Error);
   EXPECT_THROW((VarlenBatch{64, {}}).validate(), Error);
 }
@@ -44,7 +49,8 @@ TEST(EffectiveMask, RestrictsToValidSquare) {
       EXPECT_EQ(m.at(i, j), i < 5 && j < 5) << i << "," << j;
     }
   }
-  EXPECT_THROW(effective_mask(base, 0), Error);
+  EXPECT_EQ(effective_mask(base, 0).valid_count(), 0);
+  EXPECT_THROW(effective_mask(base, -1), Error);
   EXPECT_THROW(effective_mask(base, 17), Error);
 }
 

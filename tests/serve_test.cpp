@@ -1,0 +1,233 @@
+// Serving runtime tests: KV pool mechanics, scheduler determinism, and the
+// engine's central contract — per-session outputs are byte-identical
+// between serial (batch-1 FIFO) and continuous-batching execution, with or
+// without KV-pressure preemption.
+#include <gtest/gtest.h>
+
+#include "stof/serve/engine.hpp"
+#include "stof/telemetry/telemetry.hpp"
+
+namespace stof::serve {
+namespace {
+
+// ---- KvPool ---------------------------------------------------------------
+
+TEST(KvPool, AppendAllocatesBlocksOnDemand) {
+  KvPool pool(KvPoolConfig{4, 4, 2, 8});
+  EXPECT_EQ(pool.free_blocks(), 4);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_TRUE(pool.append_token(7).has_value());
+  }
+  EXPECT_EQ(pool.tokens(7), 5);
+  EXPECT_EQ(pool.blocks(7), 2);  // 5 tokens, 4 per block
+  EXPECT_EQ(pool.free_blocks(), 2);
+  EXPECT_FALSE(pool.append_needs_block(7));  // slot 6..8 fit block 2
+}
+
+TEST(KvPool, ExhaustionFailsCleanlyAndReleaseRecycles) {
+  KvPool pool(KvPoolConfig{2, 4, 1, 4});
+  for (int t = 0; t < 8; ++t) {
+    ASSERT_TRUE(pool.append_token(1).has_value());
+  }
+  EXPECT_EQ(pool.free_blocks(), 0);
+  EXPECT_FALSE(pool.append_token(1).has_value());  // pool full
+  EXPECT_FALSE(pool.append_token(2).has_value());  // new session too
+  EXPECT_EQ(pool.tokens(2), 0);  // failed append left no state behind
+  pool.release(1);
+  EXPECT_EQ(pool.free_blocks(), 2);
+  EXPECT_EQ(pool.tokens(1), 0);
+  EXPECT_TRUE(pool.append_token(2).has_value());
+  EXPECT_EQ(pool.peak_used_blocks(), 2);
+}
+
+TEST(KvPool, SlotsAreStableAndPerSession) {
+  KvPool pool(KvPoolConfig{4, 2, 1, 2});
+  auto a0 = pool.append_token(0);
+  auto b0 = pool.append_token(1);
+  ASSERT_TRUE(a0 && b0);
+  a0->k[0] = half(1.0f);
+  b0->k[0] = half(2.0f);
+  // Growing session 1 must not disturb session 0's data.
+  for (int t = 0; t < 5; ++t) ASSERT_TRUE(pool.append_token(1).has_value());
+  EXPECT_EQ(float(pool.k_blocks(0)[0][0]), 1.0f);
+  EXPECT_EQ(float(pool.k_blocks(1)[0][0]), 2.0f);
+  EXPECT_EQ(pool.blocks(1), 3);
+}
+
+TEST(KvPool, BlocksForRoundsUp) {
+  KvPool pool(KvPoolConfig{8, 16, 1, 8});
+  EXPECT_EQ(pool.blocks_for(0), 0);
+  EXPECT_EQ(pool.blocks_for(1), 1);
+  EXPECT_EQ(pool.blocks_for(16), 1);
+  EXPECT_EQ(pool.blocks_for(17), 2);
+}
+
+// ---- Engine: serial vs continuous byte-identity ---------------------------
+
+EngineConfig small_config(SchedulerMode mode, std::int64_t kv_blocks) {
+  EngineConfig cfg;
+  cfg.heads = 2;
+  cfg.head_size = 16;
+  cfg.max_seq_len = 64;
+  cfg.kv_blocks = kv_blocks;
+  cfg.block_tokens = 16;
+  cfg.prefill_params = mha::BlockwiseParams{16, 16};
+  cfg.scheduler.mode = mode;
+  cfg.scheduler.max_prefills_per_step = 4;
+  cfg.scheduler.prefill_token_budget = 128;
+  cfg.scheduler.max_decode_batch = 16;
+  return cfg;
+}
+
+std::vector<Request> mixed_trace() {
+  // Arrivals are packed tightly relative to the ~3.6us simulated step so
+  // the engine stays saturated: requests overlap, batches form, and the
+  // tight-pool variant actually contends for KV blocks.
+  return {
+      {0, 12, 6, 101, masks::PatternKind::kCausal, 0.0},
+      {1, 20, 8, 102, masks::PatternKind::kSlidingWindow, 0.0},
+      {2, 7, 5, 103, masks::PatternKind::kStrided, 10.0},
+      {3, 30, 10, 104, masks::PatternKind::kCausal, 10.0},
+      {4, 16, 4, 105, masks::PatternKind::kBigBird, 25.0},
+      {5, 9, 7, 106, masks::PatternKind::kSlidingWindow, 40.0},
+  };
+}
+
+/// Open-loop trace replay: submit arrivals as the sim clock reaches them.
+void replay(Engine& engine, const std::vector<Request>& trace) {
+  std::size_t next = 0;
+  while (next < trace.size() || !engine.idle()) {
+    while (next < trace.size() &&
+           trace[next].arrival_us <= engine.sim_time_us()) {
+      engine.submit(trace[next++]);
+    }
+    if (engine.idle()) {
+      ASSERT_LT(next, trace.size());
+      engine.advance_to(trace[next].arrival_us);
+      continue;
+    }
+    engine.step();
+  }
+}
+
+TEST(ServeEngine, SerialAndContinuousDigestsMatch) {
+  const auto trace = mixed_trace();
+  Engine serial(small_config(SchedulerMode::kSerial, 16));
+  Engine continuous(small_config(SchedulerMode::kContinuous, 16));
+  replay(serial, trace);
+  replay(continuous, trace);
+
+  for (const auto& r : trace) {
+    const Session& a = serial.session(r.id);
+    const Session& b = continuous.session(r.id);
+    EXPECT_EQ(a.phase, SessionPhase::kFinished) << r.id;
+    EXPECT_EQ(b.phase, SessionPhase::kFinished) << r.id;
+    EXPECT_EQ(a.generated, r.max_new_tokens);
+    EXPECT_EQ(a.digest, b.digest) << "session " << r.id;
+  }
+  // Continuous batching must also be strictly faster in simulated time.
+  EXPECT_LT(continuous.sim_time_us(), serial.sim_time_us());
+  EXPECT_LT(continuous.stats().steps, serial.stats().steps);
+}
+
+TEST(ServeEngine, PreemptionUnderKvPressureKeepsOutputsByteIdentical) {
+  // Pool holds barely more than one max context: concurrent decoders must
+  // fight for blocks, forcing LRU-idle eviction and full-context resume.
+  const auto trace = mixed_trace();
+  Engine serial(small_config(SchedulerMode::kSerial, 4));
+  Engine tight(small_config(SchedulerMode::kContinuous, 4));
+  replay(serial, trace);
+  replay(tight, trace);
+
+  EXPECT_GT(tight.stats().preemptions, 0) << "pool was not tight enough";
+  for (const auto& r : trace) {
+    EXPECT_EQ(serial.session(r.id).digest, tight.session(r.id).digest)
+        << "session " << r.id;
+    EXPECT_EQ(tight.session(r.id).phase, SessionPhase::kFinished);
+  }
+  EXPECT_EQ(serial.stats().preemptions, 0);  // serial never preempts
+}
+
+TEST(ServeEngine, RepeatedRunsAreFullyDeterministic) {
+  const auto run = [] {
+    telemetry::global_registry().reset();
+    telemetry::ScopedTelemetry scoped(true);
+    Engine engine(small_config(SchedulerMode::kContinuous, 8));
+    const auto trace = mixed_trace();
+    std::size_t next = 0;
+    while (next < trace.size() || !engine.idle()) {
+      while (next < trace.size() &&
+             trace[next].arrival_us <= engine.sim_time_us()) {
+        engine.submit(trace[next++]);
+      }
+      if (engine.idle()) {
+        engine.advance_to(trace[next].arrival_us);
+        continue;
+      }
+      engine.step();
+    }
+    // Timers are wall-clock and excluded; everything else must be stable.
+    return std::pair{engine.sim_time_us(),
+                     telemetry::dump_json({.include_timers = false})};
+  };
+  const auto [time_a, dump_a] = run();
+  const auto [time_b, dump_b] = run();
+  EXPECT_EQ(time_a, time_b);
+  EXPECT_EQ(dump_a, dump_b);
+  EXPECT_NE(dump_a.find("serve.steps"), std::string::npos);
+  EXPECT_NE(dump_a.find("serve.decode.tokens"), std::string::npos);
+  telemetry::global_registry().reset();
+}
+
+TEST(ServeEngine, LatencyTimestampsAreOrdered) {
+  Engine engine(small_config(SchedulerMode::kContinuous, 16));
+  const auto trace = mixed_trace();
+  for (const auto& r : trace) {
+    if (r.arrival_us == 0) engine.submit(r);
+  }
+  engine.run_until_drained();
+  for (const auto& r : trace) {
+    if (r.arrival_us != 0) continue;
+    const Session& s = engine.session(r.id);
+    EXPECT_GT(s.first_token_us, 0);
+    EXPECT_GE(s.finish_us, s.first_token_us);
+  }
+}
+
+TEST(ServeEngine, StepEventsDescribeBatchComposition) {
+  Engine engine(small_config(SchedulerMode::kContinuous, 16));
+  std::int64_t decode_tokens = 0;
+  std::int64_t prefills = 0;
+  engine.on_step = [&](const StepEvent& ev) {
+    EXPECT_GT(ev.duration_us, 0.0);
+    EXPECT_LE(ev.kv_used_blocks, 16);
+    decode_tokens += static_cast<std::int64_t>(ev.decodes.size());
+    prefills += static_cast<std::int64_t>(ev.prefills.size());
+  };
+  engine.submit({0, 8, 4, 1, masks::PatternKind::kCausal, 0.0});
+  engine.submit({1, 8, 4, 2, masks::PatternKind::kCausal, 0.0});
+  engine.run_until_drained();
+  EXPECT_EQ(decode_tokens, engine.stats().decode_tokens);
+  EXPECT_EQ(prefills, 2);
+  EXPECT_EQ(engine.stats().finished, 2);
+}
+
+TEST(ServeEngine, RejectsOversizedRequests) {
+  Engine engine(small_config(SchedulerMode::kContinuous, 16));
+  EXPECT_THROW(
+      engine.submit({0, 60, 10, 1, masks::PatternKind::kCausal, 0.0}),
+      Error);  // 70 > max_seq_len 64
+  EXPECT_THROW(engine.submit({1, 0, 4, 1, masks::PatternKind::kCausal, 0.0}),
+               Error);
+}
+
+TEST(ServeEngine, ConfigValidatesPagedDecodeContract) {
+  EngineConfig cfg = small_config(SchedulerMode::kContinuous, 16);
+  cfg.block_tokens = 32;  // != prefill BLOCK_N (16)
+  EXPECT_THROW(Engine{cfg}, Error);
+  EngineConfig tiny = small_config(SchedulerMode::kContinuous, 2);
+  EXPECT_THROW(Engine{tiny}, Error);  // pool smaller than one context
+}
+
+}  // namespace
+}  // namespace stof::serve

@@ -1,0 +1,118 @@
+// Randomized ragged-batch fuzzing for varlen attention (serving admission
+// batches): random lengths including the 0- and 1-token edge cases, random
+// mask patterns, checked element-by-element against per-sequence reference
+// attention under each sequence's effective mask.
+#include <gtest/gtest.h>
+
+#include "stof/core/rng.hpp"
+#include "stof/mha/reference.hpp"
+#include "stof/mha/varlen.hpp"
+
+namespace stof::mha {
+namespace {
+
+masks::Mask random_base(Rng& rng, std::int64_t seq) {
+  const masks::PatternKind kinds[] = {
+      masks::PatternKind::kDense, masks::PatternKind::kCausal,
+      masks::PatternKind::kSlidingWindow, masks::PatternKind::kLongformer,
+      masks::PatternKind::kBigBird, masks::PatternKind::kStrided};
+  const auto kind = kinds[rng.next_below(std::size(kinds))];
+  return masks::MaskSpec{.kind = kind,
+                         .seq_len = seq,
+                         .seed = rng.next_u64()}
+      .build();
+}
+
+TEST(VarlenFuzz, RandomRaggedBatchesMatchPerSequenceReference) {
+  Rng rng(20260806);
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::int64_t seq = 16 * (1 + static_cast<std::int64_t>(
+                                           rng.next_below(3)));  // 16/32/48
+    const auto batch_n = static_cast<std::int64_t>(2 + rng.next_below(4));
+    const std::int64_t heads = 1 + static_cast<std::int64_t>(rng.next_below(3));
+    const std::int64_t d = 8 * (1 + static_cast<std::int64_t>(
+                                        rng.next_below(3)));
+
+    std::vector<std::int64_t> lengths;
+    for (std::int64_t b = 0; b < batch_n; ++b) {
+      lengths.push_back(static_cast<std::int64_t>(rng.next_below(
+          static_cast<std::uint64_t>(seq) + 1)));
+    }
+    // Force the edge cases into every third iteration: an empty (fully
+    // padded) sequence and a single-token sequence.
+    if (iter % 3 == 0 && batch_n >= 2) {
+      lengths[0] = 0;
+      lengths[1] = 1;
+    }
+
+    const MhaDims dims{batch_n, heads, seq, d};
+    TensorH q(dims.qkv_shape()), k(dims.qkv_shape()), v(dims.qkv_shape());
+    q.fill_random(rng);
+    k.fill_random(rng);
+    v.fill_random(rng);
+    const masks::Mask base = random_base(rng, seq);
+    const VarlenBatch batch{seq, lengths};
+    batch.validate();
+
+    const TensorH got = varlen_attention(dims, q, k, v, base, batch);
+
+    for (std::int64_t b = 0; b < batch_n; ++b) {
+      const std::int64_t len = lengths[static_cast<std::size_t>(b)];
+      const MhaDims one{1, heads, seq, d};
+      TensorH qb(one.qkv_shape()), kb(one.qkv_shape()), vb(one.qkv_shape());
+      for (std::int64_t h = 0; h < heads; ++h) {
+        for (std::int64_t s = 0; s < seq; ++s) {
+          for (std::int64_t e = 0; e < d; ++e) {
+            qb.at(h, s, e) = q.at(b * heads + h, s, e);
+            kb.at(h, s, e) = k.at(b * heads + h, s, e);
+            vb.at(h, s, e) = v.at(b * heads + h, s, e);
+          }
+        }
+      }
+      const TensorH ref =
+          reference_attention(one, qb, kb, vb, effective_mask(base, len));
+      for (std::int64_t h = 0; h < heads; ++h) {
+        for (std::int64_t s = 0; s < seq; ++s) {
+          for (std::int64_t e = 0; e < d; ++e) {
+            const float g = float(got.at(b * heads + h, s, e));
+            if (s >= len) {
+              // Padded rows must be exactly zero, not just close.
+              EXPECT_EQ(g, 0.0f)
+                  << "iter=" << iter << " b=" << b << " s=" << s;
+            } else {
+              EXPECT_NEAR(g, float(ref.at(h, s, e)), 4e-3)
+                  << "iter=" << iter << " b=" << b << " s=" << s;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(VarlenFuzz, AllZeroLengthBatchIsAllZeros) {
+  const MhaDims dims{3, 2, 32, 16};
+  Rng rng(5);
+  TensorH q(dims.qkv_shape()), k(dims.qkv_shape()), v(dims.qkv_shape());
+  q.fill_random(rng);
+  k.fill_random(rng);
+  v.fill_random(rng);
+  const VarlenBatch batch{32, {0, 0, 0}};
+  const TensorH out =
+      varlen_attention(dims, q, k, v, masks::dense(32), batch);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    ASSERT_EQ(float(out.data()[static_cast<std::size_t>(i)]), 0.0f);
+  }
+}
+
+TEST(VarlenFuzz, CostAcceptsZeroLengths) {
+  const MhaDims dims{3, 2, 64, 16};
+  const VarlenBatch batch{64, {64, 0, 1}};
+  const auto c = varlen_cost(dims, masks::dense(64), batch,
+                             BlockwiseParams{16, 16}, gpusim::a100());
+  EXPECT_EQ(c.launches, 1);
+  EXPECT_GT(c.tc_flops, 0.0);
+}
+
+}  // namespace
+}  // namespace stof::mha
