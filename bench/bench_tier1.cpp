@@ -11,6 +11,9 @@
 //   * SERVE 64-session seeded trace through stof::serve, comparing the
 //     continuous-batching schedule against the batch-1 serial baseline in
 //     simulated GPU time (scalar_ms = serial, packed_ms = continuous).
+//   * SERVE_DECODE_LONG few-session long-generation trace, wall-clock
+//     scalar vs packed engine — tracks the KV float-panel sidecar's
+//     incremental-conversion win on decode-dominated workloads.
 //
 // Usage: bench_tier1 [--quick] [--out PATH] [--trace PATH]
 //                    [--baseline PATH] [--regress-threshold PCT]
@@ -257,6 +260,58 @@ Entry bench_serve_entry(bool quick) {
   return e;
 }
 
+/// Decode-dominated serving entry: few sessions, long generations — the
+/// shape where the KV float-panel sidecar matters.  Unlike the
+/// serve_continuous_batching entry this one measures *wall-clock* ms of the
+/// whole trace replay: scalar_ms runs the engine in scalar mode, packed_ms
+/// in packed mode (per-step KV conversion served incrementally from the
+/// cross-call panel registry, O(new tokens) instead of O(prefix) per step).
+/// bit_identical checks the per-session digests agree across the two modes
+/// — the decode path's bit-identity contract, end to end.
+Entry bench_serve_decode_long(bool quick) {
+  namespace sb = stof::serve::bench;
+  sb::TraceConfig tc;
+  tc.sessions = quick ? 2 : 4;
+  tc.min_prompt = 16;
+  tc.max_prompt = 32;
+  tc.min_gen = quick ? 48 : 160;
+  tc.max_gen = quick ? 48 : 160;
+  const auto trace = sb::make_trace(tc);
+  auto cfg = sb::serve_config(stof::serve::SchedulerMode::kContinuous);
+  cfg.max_seq_len = 256;
+  cfg.kv_blocks = 96;
+
+  Entry e;
+  e.name = "serve_decode_long";
+  e.shape = std::to_string(tc.sessions) + " sessions, " +
+            std::to_string(tc.min_gen) +
+            " generated tokens each, heads 4, head_size 64, max_seq 256, "
+            "wall-clock ms (scalar vs packed+panel-cache engine)";
+
+  sb::RunResult scalar_run, packed_run;
+  e.scalar_ms = time_ms(
+      [&] {
+        stof::ScopedPackedExecution scalar_mode(false);
+        scalar_run = sb::run_trace(cfg, trace);
+      },
+      1);
+  e.packed_ms = time_ms([&] { packed_run = sb::run_trace(cfg, trace); },
+                        quick ? 2 : 3);
+  e.bit_identical = sb::digests_match(scalar_run, packed_run);
+
+  // Instrumented pass: serve.* counters plus the panel-cache accounting of
+  // one packed replay (a fresh engine, so the registry keys are fresh and
+  // the hit/miss/bytes_converted snapshot is deterministic).
+  {
+    stof::telemetry::ScopedTelemetry on(true);
+    stof::telemetry::global_registry().reset();
+    const auto r = sb::run_trace(cfg, trace);
+    e.counters = stof::telemetry::global_registry().counters();
+    e.counters["serve.derived.tokens_per_s"] = std::llround(r.tokens_per_s);
+  }
+  return e;
+}
+
 bool write_json(const std::string& path, const std::vector<Entry>& entries,
                 bool quick) {
   std::ofstream os(path);
@@ -411,6 +466,7 @@ int main(int argc, char** argv) {
                                 stof::masks::PatternKind::kBigBird, "bigbird",
                                 32, 3));
     entries.push_back(bench_serve_entry(/*quick=*/true));
+    entries.push_back(bench_serve_decode_long(/*quick=*/true));
   } else {
     entries.push_back(bench_gemm(8, 512, 1024, 1024, 3));
     const stof::mha::MhaDims bert_base{8, 12, 512, 64};
@@ -420,6 +476,7 @@ int main(int argc, char** argv) {
                                 stof::masks::PatternKind::kSlidingWindow,
                                 "sliding_window", 64, 3));
     entries.push_back(bench_serve_entry(/*quick=*/false));
+    entries.push_back(bench_serve_decode_long(/*quick=*/false));
   }
 
   bool all_identical = true;

@@ -1,0 +1,151 @@
+#include "stof/core/panel_cache_registry.hpp"
+
+#include <algorithm>
+
+#include "stof/telemetry/telemetry.hpp"
+
+namespace stof::core {
+
+PanelCacheRegistry::PanelCacheRegistry(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+void PanelCacheRegistry::convert_range_locked(Entry& entry, std::int64_t lo,
+                                              std::int64_t hi,
+                                              const Converter& convert,
+                                              PanelRef& ref) {
+  if (lo >= hi) return;
+  convert(lo, hi, entry.buffer->data());
+  entry.valid = std::max(entry.valid, hi);
+  ref.converted_elems += hi - lo;
+  const std::int64_t bytes = (hi - lo) * 2;  // source halfs
+  stats_.bytes_converted += bytes;
+  telemetry::count("exec.panelcache.bytes_converted", bytes);
+}
+
+PanelRef PanelCacheRegistry::get_or_convert(PanelKey key,
+                                            std::uint64_t version,
+                                            std::int64_t total_elems,
+                                            std::int64_t valid_elems,
+                                            const Converter& convert) {
+  STOF_EXPECTS(key.storage != 0, "panel key needs a real storage id");
+  STOF_EXPECTS(total_elems > 0 && valid_elems >= 0 &&
+                   valid_elems <= total_elems,
+               "valid prefix must fit the panel");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  PanelRef ref;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    STOF_CHECK(static_cast<std::int64_t>(e.buffer->size()) == total_elems,
+               "panel size changed under a live storage key");
+    if (e.version == version) {
+      // Hit; extend the converted prefix if the storage appended rows.
+      e.lru = tick_;
+      stats_.hits += 1;
+      telemetry::count("exec.panelcache.hits");
+      convert_range_locked(e, e.valid, valid_elems, convert, ref);
+      ref.buffer = e.buffer;
+      return ref;
+    }
+    // Stale generation: the storage was mutated or recycled since this
+    // panel was converted.  Discard and fall through to a fresh miss.
+    stats_.invalidations += 1;
+    telemetry::count("exec.panelcache.invalidations");
+    resident_bytes_ -= e.buffer->size() * sizeof(float);
+    entries_.erase(it);
+  }
+
+  stats_.misses += 1;
+  telemetry::count("exec.panelcache.misses");
+  Entry e;
+  e.buffer = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(total_elems));
+  e.version = version;
+  e.lru = tick_;
+  convert_range_locked(e, 0, valid_elems, convert, ref);
+  ref.buffer = e.buffer;
+  resident_bytes_ += e.buffer->size() * sizeof(float);
+  entries_.emplace(key, std::move(e));
+  evict_over_capacity_locked(key);
+  return ref;
+}
+
+void PanelCacheRegistry::evict_over_capacity_locked(PanelKey keep) {
+  while (resident_bytes_ > capacity_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == entries_.end() || it->second.lru < victim->second.lru) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;
+    resident_bytes_ -= victim->second.buffer->size() * sizeof(float);
+    entries_.erase(victim);
+    stats_.evictions += 1;
+  }
+}
+
+bool PanelCacheRegistry::invalidate(PanelKey key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  resident_bytes_ -= it->second.buffer->size() * sizeof(float);
+  entries_.erase(it);
+  stats_.invalidations += 1;
+  telemetry::count("exec.panelcache.invalidations");
+  return true;
+}
+
+std::size_t PanelCacheRegistry::drop_storage(std::uint64_t storage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.lower_bound(PanelKey{storage, 0});
+       it != entries_.end() && it->first.storage == storage;) {
+    resident_bytes_ -= it->second.buffer->size() * sizeof(float);
+    it = entries_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+void PanelCacheRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  resident_bytes_ = 0;
+}
+
+void PanelCacheRegistry::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = PanelCacheStats{};
+}
+
+PanelCacheStats PanelCacheRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t PanelCacheRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t PanelCacheRegistry::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void PanelCacheRegistry::set_capacity_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = bytes;
+  evict_over_capacity_locked(PanelKey{});
+}
+
+PanelCacheRegistry& global_panel_cache() {
+  static PanelCacheRegistry registry;
+  return registry;
+}
+
+}  // namespace stof::core

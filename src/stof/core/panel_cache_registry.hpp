@@ -1,0 +1,148 @@
+// Persistent cross-call float-panel cache.
+//
+// The packed-FP32 engine reads every half operand through an exact
+// half->float conversion.  PR 1/2 made that conversion a per-*call* cost
+// (KvPanelCache, GEMM operand packs); this registry makes it a per-*write*
+// cost: a converted panel is kept across calls, keyed on the identity of
+// the half storage it was converted from, and is reused until that storage
+// changes.  Three properties make the reuse safe:
+//
+//   * Keying on storage identity, not content: every Tensor allocation (and
+//     every synthetic key a holder mints via next_storage_id()) is
+//     process-unique, so a key can never alias two different buffers.
+//   * Version tags: the caller passes the storage's current mutation stamp;
+//     a cached panel whose tag differs is discarded and reconverted —
+//     validity is checked, never assumed.
+//   * Pinning: get_or_convert() hands out shared ownership of the float
+//     buffer.  Capacity eviction or invalidation removes the registry
+//     entry but cannot free a panel a kernel still holds, and a buffer
+//     never reallocates after creation (incremental extension fills more
+//     of the same allocation), so panel pointers stay stable for as long
+//     as the handle lives.
+//
+// Incremental extension serves append-only storages (the serving KV pool's
+// pages): a hit whose valid prefix is shorter than requested converts only
+// the new suffix, which is what turns per-decode-step conversion from
+// O(context) into O(newly appended rows).
+//
+// Counters (emitted when telemetry is enabled, mirrored in local stats):
+//   exec.panelcache.hits            lookups served from a cached panel
+//   exec.panelcache.misses          lookups that created a new panel
+//   exec.panelcache.bytes_converted source half bytes converted (2/elem)
+//   exec.panelcache.invalidations   stale-version discards + invalidate()
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "stof/core/check.hpp"
+
+namespace stof::core {
+
+/// Identity of one cached panel: the half storage it converts plus a
+/// layout variant (the same storage may be cached row-major and
+/// transposed at once).
+struct PanelKey {
+  std::uint64_t storage = 0;
+  std::uint64_t variant = 0;
+  friend auto operator<=>(const PanelKey&, const PanelKey&) = default;
+};
+
+inline constexpr std::uint64_t kPanelRowMajor = 0;
+inline constexpr std::uint64_t kPanelTransposed = 1;
+
+/// Shared handle to a cached float panel.  Keeps the buffer alive (and its
+/// data pointer stable) independently of registry eviction.
+struct PanelRef {
+  std::shared_ptr<const std::vector<float>> buffer;
+  /// Elements this call converted (0 on a pure hit).
+  std::int64_t converted_elems = 0;
+  [[nodiscard]] const float* data() const { return buffer->data(); }
+  explicit operator bool() const { return buffer != nullptr; }
+};
+
+struct PanelCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t invalidations = 0;  ///< stale versions + explicit invalidate()
+  std::int64_t evictions = 0;      ///< capacity (LRU) removals
+  std::int64_t bytes_converted = 0;  ///< source half bytes (2 per element)
+};
+
+/// Generation/version-tagged float-panel cache with LRU capacity bounding.
+/// All methods are thread-safe; conversion callbacks run under the
+/// registry lock (they may dispatch to the parallel_for pool — workers
+/// never re-enter the registry).
+class PanelCacheRegistry {
+ public:
+  static constexpr std::size_t kDefaultCapacityBytes =
+      std::size_t{128} << 20;  // float bytes resident
+
+  /// Converts destination elements [lo, hi) of a panel.  `dst` is the base
+  /// of the full panel buffer (so row-major converters write dst+lo from
+  /// source elements [lo, hi); layout-changing converters may address the
+  /// whole buffer — they are only ever asked for the full [0, total) range
+  /// because non-append storages reconvert wholesale on any change).
+  using Converter =
+      std::function<void(std::int64_t lo, std::int64_t hi, float* dst)>;
+
+  explicit PanelCacheRegistry(
+      std::size_t capacity_bytes = kDefaultCapacityBytes);
+
+  /// Fetch the panel for `key`, converting as little as possible:
+  ///   * no entry                      -> allocate, convert [0, valid)
+  ///   * version match, valid covered  -> pure hit, no conversion
+  ///   * version match, valid grew     -> convert only [cached, valid)
+  ///   * version mismatch              -> invalidate + full reconvert
+  /// `total_elems` fixes the buffer capacity for the key's lifetime;
+  /// `valid_elems` is the prefix that must be converted on return.
+  PanelRef get_or_convert(PanelKey key, std::uint64_t version,
+                          std::int64_t total_elems, std::int64_t valid_elems,
+                          const Converter& convert);
+
+  /// Remove `key` (counted as an invalidation).  Returns whether an entry
+  /// existed.  Use when the underlying storage is recycled (KV page reuse).
+  bool invalidate(PanelKey key);
+
+  /// Remove every variant of `storage` without counting invalidations —
+  /// lifecycle cleanup (a pool being destroyed), not staleness.  Returns
+  /// the number of entries dropped.
+  std::size_t drop_storage(std::uint64_t storage);
+
+  /// Drop every entry (uncounted) — test isolation.
+  void clear();
+  void reset_stats();
+
+  [[nodiscard]] PanelCacheStats stats() const;
+  [[nodiscard]] std::size_t resident_bytes() const;
+  [[nodiscard]] std::size_t entry_count() const;
+  void set_capacity_bytes(std::size_t bytes);
+
+ private:
+  struct Entry {
+    std::shared_ptr<std::vector<float>> buffer;
+    std::uint64_t version = 0;
+    std::int64_t valid = 0;   ///< converted prefix, elements
+    std::uint64_t lru = 0;    ///< last-touch tick
+  };
+
+  void convert_range_locked(Entry& entry, std::int64_t lo, std::int64_t hi,
+                            const Converter& convert, PanelRef& ref);
+  void evict_over_capacity_locked(PanelKey keep);
+
+  mutable std::mutex mu_;
+  std::map<PanelKey, Entry> entries_;
+  std::size_t capacity_bytes_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  PanelCacheStats stats_;
+};
+
+/// The process-wide registry every packed execution path shares.
+PanelCacheRegistry& global_panel_cache();
+
+}  // namespace stof::core

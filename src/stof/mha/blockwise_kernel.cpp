@@ -62,7 +62,9 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
                             const TensorH& k, const TensorH& v,
                             const sparse::BsrMask& mask,
                             const BlockwiseParams& params,
-                            const ScoreMod& score_mod) {
+                            const ScoreMod& score_mod,
+                            const KvPanelCache* shared_panels,
+                            std::int64_t shared_kv_offset) {
   params.validate();
   STOF_EXPECTS(mask.seq_len() == dims.seq_len, "mask must match seq_len");
   STOF_EXPECTS(mask.block_m() == params.block_m &&
@@ -96,14 +98,29 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
   telemetry::ScopedTimer timer("wall.mha.blockwise_us");
 
   const bool use_packed = packed_execution_enabled();
-  // Panel-conversion cache: every K/V instance is converted half->float
-  // exactly once per call — instead of once per (Q-block row, valid block)
-  // visit.  K is transposed (d x seq) so the QK^T saxpy streams key
-  // columns unit-stride; V stays row-major so PV streams V rows
-  // unit-stride.
+  // Panel-conversion cache: every K/V instance is converted half->float at
+  // most once per *mutation* — instead of once per (Q-block row, valid
+  // block) visit, or even once per call: the global registry keeps panels
+  // across calls keyed on the K/V tensors' storage identity and version.
+  // K is transposed (d x seq) so the QK^T saxpy streams key columns
+  // unit-stride; V stays row-major so PV streams V rows unit-stride.  A
+  // caller that already holds panels covering these instances (the varlen
+  // wrapper) passes them in; `kv_off` maps this problem's kv instances
+  // into the shared cache's instance space.
+  const KvPanelCache* panel_cache = shared_panels;
+  std::int64_t kv_off = shared_kv_offset;
   std::optional<KvPanelCache> panels;
   if (use_packed) {
-    panels.emplace(k, v, dims.kv_instances(), n, d, /*transpose_k=*/true);
+    if (panel_cache == nullptr) {
+      panels.emplace(k, v, dims.kv_instances(), n, d, /*transpose_k=*/true,
+                     &core::global_panel_cache());
+      panel_cache = &*panels;
+      kv_off = 0;
+    } else {
+      STOF_EXPECTS(panel_cache->seq() == n && panel_cache->head_size() == d,
+                   "shared panels must match the problem geometry");
+      STOF_EXPECTS(kv_off >= 0, "kv offset must be non-negative");
+    }
   }
 
   const auto& load_ptr = mask.load_row_ptr();
@@ -122,8 +139,8 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
 
     if (use_packed) {
       // ---- Packed fast path: micro-kernels over cached FP32 panels. ----
-      const float* kt = panels->kt_panel(kv);
-      const float* vf = panels->v_panel(kv);
+      const float* kt = panel_cache->kt_panel(kv_off + kv);
+      const float* vf = panel_cache->v_panel(kv_off + kv);
       auto q_tile = arena.alloc(rows * d);
       packed::half_to_float(
           q.data().subspan(static_cast<std::size_t>((bh * n + row_lo) * d),

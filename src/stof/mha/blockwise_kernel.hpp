@@ -57,14 +57,24 @@ std::int64_t blockwise_req_smem_bytes(const BlockwiseParams& params,
 using ScoreMod = std::function<float(std::int64_t, std::int64_t, std::int64_t,
                                      float)>;
 
+class KvPanelCache;
+
 /// Functional execution over the BSR mask: streaming softmax across valid
 /// blocks, full/part paths as in the paper.  The BSR block sizes must match
 /// `params`.
+///
+/// `shared_panels` (packed mode only) supplies pre-converted transposed-K /
+/// row-major-V float panels covering this problem's K/V instances starting
+/// at `shared_kv_offset` — the varlen wrapper passes one whole-batch panel
+/// cache so its per-element sub-calls stop duplicating conversions.  When
+/// null, the kernel fetches panels from the global cross-call registry.
 TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
                             const TensorH& k, const TensorH& v,
                             const sparse::BsrMask& mask,
                             const BlockwiseParams& params,
-                            const ScoreMod& score_mod = nullptr);
+                            const ScoreMod& score_mod = nullptr,
+                            const KvPanelCache* shared_panels = nullptr,
+                            std::int64_t shared_kv_offset = 0);
 
 /// Simulated cost of one block-wise kernel launch.
 gpusim::KernelCost blockwise_cost(const MhaDims& dims,

@@ -129,6 +129,13 @@ void PagedSeq::validate(std::int64_t heads, std::int64_t head_size) const {
   STOF_EXPECTS(static_cast<std::int64_t>(k_blocks.size()) >= need &&
                    static_cast<std::int64_t>(v_blocks.size()) >= need,
                "not enough KV blocks for context_len");
+  STOF_EXPECTS(kf_blocks.empty() == vf_blocks.empty(),
+               "float sidecar views come in K/V pairs");
+  if (!kf_blocks.empty()) {
+    STOF_EXPECTS(static_cast<std::int64_t>(kf_blocks.size()) >= need &&
+                     static_cast<std::int64_t>(vf_blocks.size()) >= need,
+                 "not enough float KV blocks for context_len");
+  }
   std::int32_t prev = -1;
   for (const auto c : cols) {
     STOF_EXPECTS(c > prev, "cols must be strictly ascending");
@@ -159,6 +166,11 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
     const std::int64_t h = inst % heads;
     const PagedSeq& seq = seqs[static_cast<std::size_t>(s)];
     const std::int64_t bt = seq.block_tokens;
+    // The KV pool's float sidecar holds these pages pre-converted (each
+    // page converted once when its rows were appended); reading it skips
+    // the per-step O(context) half->float work.  Conversion is exact, so
+    // every score and PV term below is the same float either way.
+    const bool sidecar = use_packed && !seq.kf_blocks.empty();
 
     float m = -std::numeric_limits<float>::infinity();
     float l = 0;
@@ -190,6 +202,10 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
       const std::int64_t bj = seq.cols[g] / bt;
       const half* k_blk = seq.k_blocks[static_cast<std::size_t>(bj)];
       const half* v_blk = seq.v_blocks[static_cast<std::size_t>(bj)];
+      const float* kf_blk =
+          sidecar ? seq.kf_blocks[static_cast<std::size_t>(bj)] : nullptr;
+      const float* vf_blk =
+          sidecar ? seq.vf_blocks[static_cast<std::size_t>(bj)] : nullptr;
       const std::int64_t col_lo = bj * bt;
 
       // Scores for this page's attended columns.
@@ -197,13 +213,19 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
       std::int64_t nb = 0;
       for (; g < n_cols && seq.cols[g] < col_lo + bt; ++g, ++nb) {
         const std::int64_t local = seq.cols[g] - col_lo;
-        const half* k_row = k_blk + (local * heads + h) * d;
         float dot = 0;
-        if (use_packed) {
+        if (sidecar) {
+          const float* kf_row = kf_blk + (local * heads + h) * d;
+          for (std::int64_t e = 0; e < d; ++e) {
+            dot += q_row[static_cast<std::size_t>(e)] * kf_row[e];
+          }
+        } else if (use_packed) {
+          const half* k_row = k_blk + (local * heads + h) * d;
           for (std::int64_t e = 0; e < d; ++e) {
             dot += q_row[static_cast<std::size_t>(e)] * float(k_row[e]);
           }
         } else {
+          const half* k_row = k_blk + (local * heads + h) * d;
           for (std::int64_t e = 0; e < d; ++e) {
             dot += float(q.at(inst, 0, e)) * float(k_row[e]);
           }
@@ -227,16 +249,30 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
       l = l * correction + block_sum;
 
       // PV accumulate: head-dim outer, attended columns inner ascending.
-      for (std::int64_t e = 0; e < d; ++e) {
-        float pv = 0;
-        for (std::int64_t c = 0; c < nb; ++c) {
-          const auto local =
-              static_cast<std::int64_t>(col_buf[static_cast<std::size_t>(c)]);
-          pv += w_buf[static_cast<std::size_t>(c)] *
-                float(v_blk[(local * heads + h) * d + e]);
+      if (sidecar) {
+        for (std::int64_t e = 0; e < d; ++e) {
+          float pv = 0;
+          for (std::int64_t c = 0; c < nb; ++c) {
+            const auto local = static_cast<std::int64_t>(
+                col_buf[static_cast<std::size_t>(c)]);
+            pv += w_buf[static_cast<std::size_t>(c)] *
+                  vf_blk[(local * heads + h) * d + e];
+          }
+          acc[static_cast<std::size_t>(e)] =
+              acc[static_cast<std::size_t>(e)] * correction + pv;
         }
-        acc[static_cast<std::size_t>(e)] =
-            acc[static_cast<std::size_t>(e)] * correction + pv;
+      } else {
+        for (std::int64_t e = 0; e < d; ++e) {
+          float pv = 0;
+          for (std::int64_t c = 0; c < nb; ++c) {
+            const auto local = static_cast<std::int64_t>(
+                col_buf[static_cast<std::size_t>(c)]);
+            pv += w_buf[static_cast<std::size_t>(c)] *
+                  float(v_blk[(local * heads + h) * d + e]);
+          }
+          acc[static_cast<std::size_t>(e)] =
+              acc[static_cast<std::size_t>(e)] * correction + pv;
+        }
       }
       m = m_new;
     }

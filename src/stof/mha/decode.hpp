@@ -68,6 +68,14 @@ struct PagedSeq {
   std::span<const half* const> v_blocks;
   /// Attendable positions, ascending, all in [0, context_len).
   std::span<const std::int32_t> cols;
+  /// Optional pre-converted FP32 views of the same blocks (the KV pool's
+  /// float-panel sidecar).  When present (both or neither), the packed
+  /// path reads these instead of converting half loads element-wise —
+  /// the conversion is exact, so outputs are unchanged bit-for-bit.
+  /// Each float block mirrors its half block's layout and must cover at
+  /// least the first context_len rows.
+  std::span<const float* const> kf_blocks;
+  std::span<const float* const> vf_blocks;
 
   void validate(std::int64_t heads, std::int64_t head_size) const;
 };

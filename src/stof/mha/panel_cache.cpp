@@ -5,59 +5,130 @@
 #include "stof/telemetry/telemetry.hpp"
 
 namespace stof::mha {
+namespace {
 
-KvPanelCache::KvPanelCache(const TensorH& k, const TensorH& v,
-                           std::int64_t kv_instances, std::int64_t seq,
-                           std::int64_t head_size, bool transpose_k)
-    : seq_(seq), d_(head_size), transposed_k_(transpose_k) {
-  const std::int64_t panel = seq_ * d_;
-  STOF_EXPECTS(static_cast<std::int64_t>(k.data().size()) ==
-                       kv_instances * panel &&
-                   k.data().size() == v.data().size(),
-               "K/V storage must be kv_instances contiguous (seq x d) panels");
-  k_f32_.resize(static_cast<std::size_t>(kv_instances * panel));
-  v_f32_.resize(static_cast<std::size_t>(kv_instances * panel));
+/// Row-major conversion of destination elements [lo, hi); source and
+/// destination offsets coincide, so partial ranges are exact.
+void convert_rows(const TensorH& src, std::int64_t lo, std::int64_t hi,
+                  float* dst) {
+  packed::half_to_float(
+      src.data().subspan(static_cast<std::size_t>(lo),
+                         static_cast<std::size_t>(hi - lo)),
+      {dst + lo, static_cast<std::size_t>(hi - lo)});
+}
 
+/// Full convert-and-transpose of every instance panel: (seq x d) half in,
+/// kv_instances contiguous (d x seq) float panels out.  Tiled so both the
+/// strided reads and the contiguous writes stay cache-resident.
+void convert_transposed(const TensorH& k, std::int64_t kv_instances,
+                        std::int64_t seq, std::int64_t d, float* out) {
   const float* table = packed::h2f_table();
+  const std::int64_t panel = seq * d;
   parallel_for(0, kv_instances, [&](std::int64_t kv) {
-    const std::size_t base = static_cast<std::size_t>(kv * panel);
-    packed::half_to_float(v.data().subspan(base, static_cast<std::size_t>(panel)),
-                          {v_f32_.data() + base,
-                           static_cast<std::size_t>(panel)});
-    const half* src = k.data().data() + base;
-    float* dst = k_f32_.data() + base;
-    if (!transposed_k_) {
-      packed::half_to_float({src, static_cast<std::size_t>(panel)},
-                            {dst, static_cast<std::size_t>(panel)});
-      return;
-    }
-    // Convert-and-transpose in (kT x kT) tiles so both the strided reads
-    // and the contiguous writes stay cache-resident.
+    const half* src = k.data().data() + kv * panel;
+    float* dst = out + kv * panel;
     constexpr std::int64_t kT = 32;
-    for (std::int64_t j0 = 0; j0 < seq_; j0 += kT) {
-      const std::int64_t j1 = std::min(seq_, j0 + kT);
-      for (std::int64_t e0 = 0; e0 < d_; e0 += kT) {
-        const std::int64_t e1 = std::min(d_, e0 + kT);
+    for (std::int64_t j0 = 0; j0 < seq; j0 += kT) {
+      const std::int64_t j1 = std::min(seq, j0 + kT);
+      for (std::int64_t e0 = 0; e0 < d; e0 += kT) {
+        const std::int64_t e1 = std::min(d, e0 + kT);
         for (std::int64_t j = j0; j < j1; ++j) {
           for (std::int64_t e = e0; e < e1; ++e) {
-            dst[e * seq_ + j] = table[src[j * d_ + e].bits()];
+            dst[e * seq + j] = table[src[j * d + e].bits()];
           }
         }
       }
     }
   });
-  // One K and one V panel per instance, converted exactly once per call.
-  telemetry::count("exec.mha.panels_converted", 2 * kv_instances);
+}
+
+/// Parallel row-major conversion of all instance panels.
+void convert_row_major(const TensorH& t, std::int64_t kv_instances,
+                       std::int64_t panel, float* out) {
+  parallel_for(0, kv_instances, [&](std::int64_t kv) {
+    convert_rows(t, kv * panel, (kv + 1) * panel, out);
+  });
+}
+
+}  // namespace
+
+KvPanelCache::KvPanelCache(const TensorH& k, const TensorH& v,
+                           std::int64_t kv_instances, std::int64_t seq,
+                           std::int64_t head_size, bool transpose_k,
+                           core::PanelCacheRegistry* registry)
+    : seq_(seq), d_(head_size), transposed_k_(transpose_k) {
+  const std::int64_t panel = seq_ * d_;
+  const std::int64_t total = kv_instances * panel;
+  STOF_EXPECTS(static_cast<std::int64_t>(k.data().size()) == total &&
+                   k.data().size() == v.data().size(),
+               "K/V storage must be kv_instances contiguous (seq x d) panels");
+
+  std::int64_t converted_panels = 0;
+  if (registry != nullptr) {
+    // Cross-call mode: panels are keyed on each tensor's storage identity
+    // (plus layout variant) and tagged with its mutation stamp, so an
+    // unmodified tensor converts once across any number of kernel calls
+    // while any write forces a fresh conversion.  These whole-tensor
+    // panels never extend incrementally — a version bump reconverts all
+    // of them — so the converter always receives the full [0, total).
+    const auto k_convert = [&](std::int64_t lo, std::int64_t hi, float* dst) {
+      STOF_CHECK(lo == 0 && hi == total,
+                 "whole-tensor panels convert in full");
+      if (transpose_k) {
+        convert_transposed(k, kv_instances, seq_, d_, dst);
+      } else {
+        convert_row_major(k, kv_instances, panel, dst);
+      }
+    };
+    const auto v_convert = [&](std::int64_t lo, std::int64_t hi, float* dst) {
+      STOF_CHECK(lo == 0 && hi == total,
+                 "whole-tensor panels convert in full");
+      convert_row_major(v, kv_instances, panel, dst);
+    };
+    // A transposed panel's layout depends on the (seq, d) factorisation,
+    // so the variant encodes it; row-major layout is factorisation-free.
+    const std::uint64_t k_variant =
+        transpose_k ? core::kPanelTransposed |
+                          (static_cast<std::uint64_t>(seq_) << 8) |
+                          (static_cast<std::uint64_t>(d_) << 36)
+                    : core::kPanelRowMajor;
+    k_ref_ = registry->get_or_convert({k.storage_id(), k_variant}, k.version(),
+                                      total, total, k_convert);
+    v_ref_ = registry->get_or_convert({v.storage_id(), core::kPanelRowMajor},
+                                      v.version(), total, total, v_convert);
+    k_data_ = k_ref_.data();
+    v_data_ = v_ref_.data();
+    if (k_ref_.converted_elems > 0) converted_panels += kv_instances;
+    if (v_ref_.converted_elems > 0) converted_panels += kv_instances;
+  } else {
+    // Owning mode: per-call conversion (every construction pays in full).
+    k_f32_.resize(static_cast<std::size_t>(total));
+    v_f32_.resize(static_cast<std::size_t>(total));
+    if (transpose_k) {
+      convert_transposed(k, kv_instances, seq_, d_, k_f32_.data());
+    } else {
+      convert_row_major(k, kv_instances, panel, k_f32_.data());
+    }
+    convert_row_major(v, kv_instances, panel, v_f32_.data());
+    k_data_ = k_f32_.data();
+    v_data_ = v_f32_.data();
+    converted_panels = 2 * kv_instances;
+  }
+  // One K and one V panel per instance when conversion actually ran;
+  // registry hits reuse earlier conversions and count nothing.
+  if (converted_panels > 0) {
+    telemetry::count("exec.mha.panels_converted", converted_panels);
+  }
 }
 
 const float* KvPanelCache::k_panel(std::int64_t kv) const {
   STOF_EXPECTS(!transposed_k_, "cache holds transposed K panels");
-  return k_f32_.data() + kv * seq_ * d_;
+  return k_data_ + kv * seq_ * d_;
 }
 
 const float* KvPanelCache::kt_panel(std::int64_t kv) const {
   STOF_EXPECTS(transposed_k_, "cache holds row-major K panels");
-  return k_f32_.data() + kv * seq_ * d_;
+  return k_data_ + kv * seq_ * d_;
 }
 
 }  // namespace stof::mha

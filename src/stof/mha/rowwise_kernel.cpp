@@ -20,17 +20,19 @@ TensorH rowwise_attention(const MhaDims& dims, const TensorH& q,
   const std::int64_t d = dims.head_size;
   const float scale = dims.scale();
 
-  // Packed path: convert each K/V instance half->float once per call (K/V
-  // rows are gathered by every query row that attends to them, so the
-  // panels amortize across the whole instance).  Both panels stay
-  // row-major — each gathered column dots one whole K row and consumes one
-  // whole V row.  The streaming-softmax arithmetic below is identical in
-  // both paths, so the packed results are bit-identical to the scalar
-  // per-element `at()` reference.
+  // Packed path: fetch each K/V instance's float panel from the global
+  // cross-call cache (converted at most once per mutation of the tensor;
+  // K/V rows are gathered by every query row that attends to them, so the
+  // panels amortize across the whole instance and across repeated calls).
+  // Both panels stay row-major — each gathered column dots one whole K row
+  // and consumes one whole V row.  The streaming-softmax arithmetic below
+  // is identical in both paths, so the packed results are bit-identical to
+  // the scalar per-element `at()` reference.
   const bool use_packed = packed_execution_enabled();
   std::optional<KvPanelCache> panels;
   if (use_packed) {
-    panels.emplace(k, v, dims.kv_instances(), n, d, /*transpose_k=*/false);
+    panels.emplace(k, v, dims.kv_instances(), n, d, /*transpose_k=*/false,
+                   &core::global_panel_cache());
   }
 
   parallel_for_scratch(0, dims.instances() * n, [&](std::int64_t row,

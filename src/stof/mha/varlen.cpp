@@ -1,7 +1,10 @@
 #include "stof/mha/varlen.hpp"
 
 #include <map>
+#include <optional>
 
+#include "stof/core/packed.hpp"
+#include "stof/mha/panel_cache.hpp"
 #include "stof/sparse/bsr_mask.hpp"
 
 namespace stof::mha {
@@ -40,6 +43,21 @@ TensorH varlen_attention(const MhaDims& dims, const TensorH& q,
     }
   }
 
+  // Packed mode: convert the whole batch's K/V panels once (through the
+  // cross-call registry, keyed on the parent tensors) and hand them to
+  // every per-element blockwise call below.  Without this, each element's
+  // fresh kb/vb copies would defeat the storage-identity cache and the
+  // batch would reconvert per element on every call.  Shared panels index
+  // kv instances of the *parent* layout, so element b's instances start at
+  // b * heads — only valid when every query head has its own K/V instance.
+  std::optional<KvPanelCache> batch_panels;
+  if (packed_execution_enabled() &&
+      dims.kv_head_count() == dims.heads) {
+    batch_panels.emplace(k, v, dims.kv_instances(), dims.seq_len,
+                         dims.head_size, /*transpose_k=*/true,
+                         &core::global_panel_cache());
+  }
+
   // One single-element attention per batch entry against its own BSR.
   const MhaDims per_element{1, dims.heads, dims.seq_len, dims.head_size};
   for (std::int64_t b = 0; b < dims.batch; ++b) {
@@ -56,8 +74,9 @@ TensorH varlen_attention(const MhaDims& dims, const TensorH& q,
       }
     }
     const auto& bsr = bsr_by_len.at(batch.lengths[static_cast<std::size_t>(b)]);
-    const TensorH ob =
-        blockwise_attention(per_element, qb, kb, vb, bsr, params);
+    const TensorH ob = blockwise_attention(
+        per_element, qb, kb, vb, bsr, params, /*score_mod=*/nullptr,
+        batch_panels ? &*batch_panels : nullptr, b * dims.heads);
     for (std::int64_t h = 0; h < dims.heads; ++h) {
       const std::int64_t dst = b * dims.heads + h;
       for (std::int64_t s = 0; s < dims.seq_len; ++s) {

@@ -5,6 +5,7 @@
 
 #include <optional>
 
+#include "stof/core/packed.hpp"
 #include "stof/core/rng.hpp"
 #include "stof/mha/blockwise_kernel.hpp"
 #include "stof/ops/elementwise.hpp"
@@ -65,6 +66,16 @@ FunctionalExecutor::FunctionalExecutor(graph::Graph g, mha::MhaDims attn_dims,
         break;
     }
     weights_.emplace(node.id, std::move(nw));
+  }
+
+  // Weight panels convert exactly once per model load: warm them into the
+  // cross-call registry now so every layer, call, and tuner evaluation
+  // afterwards is a pure cache hit.  Snapshot the mutation stamps so the
+  // debug check in run_op can catch post-load writes.
+  for (const auto& [id, nw] : weights_) {
+    if (nw.w.storage_id() == 0) continue;  // non-GEMM node, no weight
+    weight_versions_.emplace(id, nw.w.version());
+    if (packed_execution_enabled()) ops::warm_weight_panel(nw.w);
   }
 }
 
@@ -146,6 +157,10 @@ void FunctionalExecutor::run_op(std::int64_t id,
     case graph::OpKind::kQkvProj:
     case graph::OpKind::kOutProj:
     case graph::OpKind::kFfnGemm:
+#ifndef NDEBUG
+      STOF_CHECK(nw.w.version() == weight_versions_.at(id),
+                 "model weight mutated after load (stale panel cache)");
+#endif
       values[static_cast<std::size_t>(id)] = matmul_2d(prev(), nw.w);
       return;
     case graph::OpKind::kBias: {
@@ -187,6 +202,10 @@ void FunctionalExecutor::run_op(std::int64_t id,
       attn_k_ = std::move(k);
       attn_v_ = std::move(v);
       const float scale = attn_dims_.scale();
+      // Const views: reading through the mutable members would bump their
+      // mutation stamps once per element from every worker thread.
+      const TensorH& aq = *attn_q_;
+      const TensorH& ak = *attn_k_;
       TensorH scores(Shape{attn_dims_.instances() * seq, seq});
       parallel_for(0, attn_dims_.instances() * seq, [&](std::int64_t row) {
         const std::int64_t bh = row / seq;
@@ -194,7 +213,7 @@ void FunctionalExecutor::run_op(std::int64_t id,
         for (std::int64_t j = 0; j < seq; ++j) {
           float dot = 0;
           for (std::int64_t e = 0; e < attn_dims_.head_size; ++e) {
-            dot += float(attn_q_->at(bh, i, e)) * float(attn_k_->at(bh, j, e));
+            dot += float(aq.at(bh, i, e)) * float(ak.at(bh, j, e));
           }
           scores.at(row, j) = half(dot * scale);
         }
@@ -244,6 +263,7 @@ void FunctionalExecutor::run_op(std::int64_t id,
     case graph::OpKind::kPvGemm: {
       STOF_CHECK(attn_v_.has_value(), "PvGemm before ScoreGemm");
       const auto& probs = prev();
+      const TensorH& av = *attn_v_;  // const view; see kScoreGemm
       const std::int64_t heads = attn_dims_.heads;
       const std::int64_t d = attn_dims_.head_size;
       TensorH out(Shape{attn_dims_.batch * seq, hidden_});
@@ -255,8 +275,7 @@ void FunctionalExecutor::run_op(std::int64_t id,
           for (std::int64_t e = 0; e < d; ++e) {
             float acc = 0;
             for (std::int64_t j = 0; j < seq; ++j) {
-              acc += float(probs.at(bh * seq + s, j)) *
-                     float(attn_v_->at(bh, j, e));
+              acc += float(probs.at(bh * seq + s, j)) * float(av.at(bh, j, e));
             }
             out.at(row, h * d + e) = half(acc);
           }

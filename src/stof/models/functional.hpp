@@ -78,6 +78,11 @@ class FunctionalExecutor {
   std::int64_t hidden_ = 0;
   sparse::BsrCache cache_;
   std::map<std::int64_t, NodeWeights> weights_;
+  /// Mutation stamps of the GEMM weights at load time.  Weights are
+  /// warmed into the cross-call panel registry once per model load; a
+  /// debug-build check catches anything mutating them afterwards (which
+  /// would silently reconvert every call).
+  std::map<std::int64_t, std::uint64_t> weight_versions_;
 
   // Transient per-run state for the detached MHA path.
   std::optional<TensorH> attn_q_, attn_k_, attn_v_;

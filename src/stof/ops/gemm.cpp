@@ -7,6 +7,7 @@
 
 #include "stof/core/check.hpp"
 #include "stof/core/packed.hpp"
+#include "stof/core/panel_cache_registry.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/parallel/parallel_for.hpp"
 #include "stof/telemetry/telemetry.hpp"
@@ -68,16 +69,14 @@ void run_scalar(const GemmView& v) {
   });
 }
 
-/// Packed path: convert A/B panels to FP32 once, run the cache-blocked
-/// accumulation microkernel per row block, apply the epilogue in FP32 and
-/// convert the output panel back to half.  Accumulation order and final
-/// rounding match run_scalar bit for bit.
-void run_packed(const GemmView& v) {
+/// Packed path: convert the A panel to FP32 (activations change every
+/// call), take the B panel pre-converted from the caller, run the
+/// cache-blocked accumulation microkernel per row block, apply the
+/// epilogue in FP32 and convert the output panel back to half.
+/// Accumulation order and final rounding match run_scalar bit for bit.
+void run_packed(const GemmView& v, const float* b_pack) {
   std::vector<float> a_pack(static_cast<std::size_t>(v.batch * v.m * v.k));
-  std::vector<float> b_pack(static_cast<std::size_t>(
-      (v.batched_b ? v.batch : 1) * v.k * v.n));
   packed::half_to_float({v.a, a_pack.size()}, a_pack);
-  packed::half_to_float({v.b, b_pack.size()}, b_pack);
   std::vector<float> bias_pack;
   if (v.epilogue != Epilogue::kNone) {
     bias_pack.resize(static_cast<std::size_t>(v.n));
@@ -93,7 +92,7 @@ void run_packed(const GemmView& v) {
 
     std::vector<float> acc(static_cast<std::size_t>(rows * v.n), 0.0f);
     const float* a_panel = a_pack.data() + (bi * v.m + row_lo) * v.k;
-    const float* b_panel = b_pack.data() + (v.batched_b ? bi * v.k * v.n : 0);
+    const float* b_panel = b_pack + (v.batched_b ? bi * v.k * v.n : 0);
     packed::sgemm_accumulate(a_panel, b_panel, acc.data(), rows, v.k, v.n);
 
     if (v.epilogue != Epilogue::kNone) {
@@ -107,6 +106,20 @@ void run_packed(const GemmView& v) {
     }
     packed::float_to_half(acc, {v.c + (bi * v.m + row_lo) * v.n, acc.size()});
   });
+}
+
+/// FP32 B panel via the cross-call registry: weight matrices convert once
+/// per load and every later call (any layer, any tuner evaluation) is a
+/// pure hit; the version tag forces a reconvert if the tensor mutates.
+core::PanelRef fetch_b_panel(const TensorH& b) {
+  const half* src = b.data().data();
+  const std::int64_t total = b.numel();
+  return core::global_panel_cache().get_or_convert(
+      {b.storage_id(), core::kPanelRowMajor}, b.version(), total, total,
+      [src](std::int64_t lo, std::int64_t hi, float* dst) {
+        packed::half_to_float({src + lo, static_cast<std::size_t>(hi - lo)},
+                              {dst + lo, static_cast<std::size_t>(hi - lo)});
+      });
 }
 
 GemmView validate(const TensorH& a, const TensorH& b, TensorH& c,
@@ -162,7 +175,8 @@ void gemm(const TensorH& a, const TensorH& b, TensorH& c, Epilogue epilogue,
   record_gemm_dispatch(v, packed);
   telemetry::ScopedTimer timer("wall.ops.gemm_us");
   if (packed) {
-    run_packed(v);
+    const core::PanelRef b_ref = fetch_b_panel(b);
+    run_packed(v, b_ref.data());
   } else {
     run_scalar(v);
   }
@@ -175,7 +189,9 @@ void gemm_scalar(const TensorH& a, const TensorH& b, TensorH& c,
 
 void gemm_packed(const TensorH& a, const TensorH& b, TensorH& c,
                  Epilogue epilogue, const TensorH* bias) {
-  run_packed(validate(a, b, c, epilogue, bias));
+  const GemmView v = validate(a, b, c, epilogue, bias);
+  const core::PanelRef b_ref = fetch_b_panel(b);
+  run_packed(v, b_ref.data());
 }
 
 void matmul2d(const TensorH& x, const TensorH& w, TensorH& y) {
@@ -193,10 +209,16 @@ void matmul2d(const TensorH& x, const TensorH& w, TensorH& y) {
   record_gemm_dispatch(v, packed);
   telemetry::ScopedTimer timer("wall.ops.gemm_us");
   if (packed) {
-    run_packed(v);
+    const core::PanelRef b_ref = fetch_b_panel(w);
+    run_packed(v, b_ref.data());
   } else {
     run_scalar(v);
   }
+}
+
+void warm_weight_panel(const TensorH& w) {
+  if (w.storage_id() == 0) return;  // empty tensor, nothing to convert
+  fetch_b_panel(w);
 }
 
 gpusim::KernelCost gemm_cost(const GemmDims& dims, const GemmParams& p,

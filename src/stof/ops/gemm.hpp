@@ -65,6 +65,12 @@ void gemm_packed(const TensorH& a, const TensorH& b, TensorH& c,
 /// gemm().
 void matmul2d(const TensorH& x, const TensorH& w, TensorH& y);
 
+/// Pre-convert `w`'s FP32 panel into the cross-call registry (a no-op when
+/// already cached at the tensor's current version).  Model loaders call
+/// this once so the first forward pass pays no conversion; later mutations
+/// are still caught by the version tag.
+void warm_weight_panel(const TensorH& w);
+
 /// Simulated cost of one tiled GEMM launch.
 gpusim::KernelCost gemm_cost(const GemmDims& dims, const GemmParams& params,
                              const gpusim::DeviceSpec& dev);

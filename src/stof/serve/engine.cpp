@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "stof/core/checksum.hpp"
+#include "stof/core/packed.hpp"
 #include "stof/core/rng.hpp"
 #include "stof/mha/decode.hpp"
 #include "stof/mha/varlen.hpp"
@@ -204,9 +205,17 @@ double Engine::run_decodes(const std::vector<SessionId>& ids,
                q.data().subspan(static_cast<std::size_t>(i * heads * d),
                                 static_cast<std::size_t>(heads * d)));
     const auto& cols = cols_for(s.request.mask_kind, pos);
-    seqs[static_cast<std::size_t>(i)] =
-        mha::PagedSeq{pos + 1, config_.block_tokens, pool_.k_blocks(id),
-                      pool_.v_blocks(id), cols};
+    mha::PagedSeq& seq = seqs[static_cast<std::size_t>(i)];
+    seq = mha::PagedSeq{pos + 1, config_.block_tokens, pool_.k_blocks(id),
+                        pool_.v_blocks(id), cols};
+    if (packed_execution_enabled()) {
+      // Bring the pool's float-panel sidecar up to date (only the newly
+      // appended rows convert — everything older is already cached) and
+      // let the decode kernel read FP32 pages directly.
+      pool_.ensure_float_panels(id);
+      seq.kf_blocks = pool_.k_float_blocks(id);
+      seq.vf_blocks = pool_.v_float_blocks(id);
+    }
     valid.push_back(static_cast<std::int64_t>(cols.size()));
   }
 

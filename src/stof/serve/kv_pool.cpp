@@ -1,8 +1,14 @@
 #include "stof/serve/kv_pool.hpp"
 
+#include "stof/core/packed.hpp"
+#include "stof/core/tensor.hpp"
+
 namespace stof::serve {
 
-KvPool::KvPool(const KvPoolConfig& config) : config_(config) {
+KvPool::KvPool(const KvPoolConfig& config, core::PanelCacheRegistry* registry)
+    : config_(config),
+      registry_(registry != nullptr ? registry
+                                    : &core::global_panel_cache()) {
   config_.validate();
   const auto elems = static_cast<std::size_t>(config_.num_blocks *
                                               config_.block_elems());
@@ -13,6 +19,22 @@ KvPool::KvPool(const KvPoolConfig& config) : config_(config) {
   for (std::int64_t b = config_.num_blocks - 1; b >= 0; --b) {
     free_.push_back(static_cast<std::int32_t>(b));
   }
+  // Blocks live inside one arena, so arena identity can't key the panel
+  // registry; mint a process-unique synthetic storage id per block+side.
+  k_keys_.reserve(static_cast<std::size_t>(config_.num_blocks));
+  v_keys_.reserve(static_cast<std::size_t>(config_.num_blocks));
+  for (std::int64_t b = 0; b < config_.num_blocks; ++b) {
+    k_keys_.push_back(next_storage_id());
+    v_keys_.push_back(next_storage_id());
+  }
+  block_gen_.assign(static_cast<std::size_t>(config_.num_blocks), 0);
+}
+
+KvPool::~KvPool() {
+  // Lifecycle cleanup, not staleness: drop this pool's entries so a stream
+  // of short-lived pools can't grow the registry with dead keys.
+  for (const auto key : k_keys_) registry_->drop_storage(key);
+  for (const auto key : v_keys_) registry_->drop_storage(key);
 }
 
 std::int64_t KvPool::tokens(SessionId id) const {
@@ -61,10 +83,80 @@ std::span<const half* const> KvPool::v_blocks(SessionId id) const {
   return it->second.v_ptrs;
 }
 
+void KvPool::ensure_float_panels(SessionId id) {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return;
+  SessionBlocks& sb = it->second;
+  const std::int64_t bt = config_.block_tokens;
+  const std::int64_t block_elems = config_.block_elems();
+  const auto nblocks = static_cast<std::int64_t>(sb.block_ids.size());
+  sb.kf_ptrs.resize(static_cast<std::size_t>(nblocks));
+  sb.vf_ptrs.resize(static_cast<std::size_t>(nblocks));
+  sb.kf_refs.resize(static_cast<std::size_t>(nblocks));
+  sb.vf_refs.resize(static_cast<std::size_t>(nblocks));
+  // Leading `converted_blocks` pages are full and pinned — their half rows
+  // can no longer change while this session holds them, so only the tail
+  // (partially filled or newly allocated pages) is visited.  This is the
+  // skip-prefix step that makes per-decode conversion O(new rows).
+  for (std::int64_t p = sb.converted_blocks; p < nblocks; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    const std::int32_t block = sb.block_ids[pi];
+    const auto bi = static_cast<std::size_t>(block);
+    const std::int64_t filled = std::min(bt, sb.tokens - p * bt);
+    const std::int64_t valid =
+        filled * config_.heads * config_.head_size;
+    const half* ks = k_base(block);
+    const half* vs = v_base(block);
+    const auto k_convert = [ks](std::int64_t lo, std::int64_t hi,
+                                float* dst) {
+      packed::half_to_float({ks + lo, static_cast<std::size_t>(hi - lo)},
+                            {dst + lo, static_cast<std::size_t>(hi - lo)});
+    };
+    const auto v_convert = [vs](std::int64_t lo, std::int64_t hi,
+                                float* dst) {
+      packed::half_to_float({vs + lo, static_cast<std::size_t>(hi - lo)},
+                            {dst + lo, static_cast<std::size_t>(hi - lo)});
+    };
+    sb.kf_refs[pi] = registry_->get_or_convert(
+        {k_keys_[bi], core::kPanelRowMajor}, block_gen_[bi], block_elems,
+        valid, k_convert);
+    sb.vf_refs[pi] = registry_->get_or_convert(
+        {v_keys_[bi], core::kPanelRowMajor}, block_gen_[bi], block_elems,
+        valid, v_convert);
+    sb.kf_ptrs[pi] = sb.kf_refs[pi].data();
+    sb.vf_ptrs[pi] = sb.vf_refs[pi].data();
+  }
+  while (sb.converted_blocks < nblocks &&
+         (sb.converted_blocks + 1) * bt <= sb.tokens) {
+    ++sb.converted_blocks;
+  }
+}
+
+std::span<const float* const> KvPool::k_float_blocks(SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.kf_ptrs;
+}
+
+std::span<const float* const> KvPool::v_float_blocks(SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.vf_ptrs;
+}
+
 void KvPool::release(SessionId id) {
   const auto it = by_session_.find(id);
   if (it == by_session_.end()) return;
-  for (const auto block : it->second.block_ids) free_.push_back(block);
+  for (const auto block : it->second.block_ids) {
+    free_.push_back(block);
+    const auto bi = static_cast<std::size_t>(block);
+    // A recycled page must never serve its previous tenant's floats: drop
+    // the registry entries now and bump the generation so even a racing
+    // stale handle could not be re-validated.
+    registry_->invalidate({k_keys_[bi], core::kPanelRowMajor});
+    registry_->invalidate({v_keys_[bi], core::kPanelRowMajor});
+    ++block_gen_[bi];
+  }
   by_session_.erase(it);
   // Keep the free list sorted descending: allocation order stays a pure
   // function of the alloc/release sequence.

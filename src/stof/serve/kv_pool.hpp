@@ -21,6 +21,7 @@
 
 #include "stof/core/check.hpp"
 #include "stof/core/half.hpp"
+#include "stof/core/panel_cache_registry.hpp"
 #include "stof/serve/request.hpp"
 
 namespace stof::serve {
@@ -51,9 +52,23 @@ struct TokenSlot {
 };
 
 /// Bounded paged KV-cache with per-session block lists.
+///
+/// Float-panel sidecar: ensure_float_panels() materialises FP32 views of a
+/// session's KV pages through the cross-call PanelCacheRegistry, converting
+/// only pages (or page suffixes) appended since the last call — per-step
+/// conversion work is O(new tokens), not O(prefix).  Fully converted leading
+/// pages are pinned (PanelRef) and skipped on later calls.  release()
+/// invalidates the registry entries and bumps each page's generation, so a
+/// recycled page can never serve another session's stale floats; a preempted
+/// session that recomputes its prefix therefore stays bit-identical.
 class KvPool {
  public:
-  explicit KvPool(const KvPoolConfig& config);
+  explicit KvPool(const KvPoolConfig& config,
+                  core::PanelCacheRegistry* registry = nullptr);
+  ~KvPool();
+
+  KvPool(const KvPool&) = delete;
+  KvPool& operator=(const KvPool&) = delete;
 
   [[nodiscard]] const KvPoolConfig& config() const { return config_; }
   [[nodiscard]] std::int64_t total_blocks() const {
@@ -92,8 +107,24 @@ class KvPool {
   [[nodiscard]] std::span<const half* const> k_blocks(SessionId id) const;
   [[nodiscard]] std::span<const half* const> v_blocks(SessionId id) const;
 
+  /// Bring the session's float-panel sidecar up to date with its half
+  /// pages: converts only rows not already covered by the registry (new
+  /// pages, or the growing suffix of the tail page).  After this call,
+  /// k_float_blocks()/v_float_blocks() cover every cached token of `id`.
+  /// No-op for sessions that hold nothing.
+  void ensure_float_panels(SessionId id);
+
+  /// Per-block FP32 views matching k_blocks()/v_blocks(), valid until the
+  /// next ensure_float_panels() or release() for this id.  Empty until
+  /// ensure_float_panels() has run for the session.
+  [[nodiscard]] std::span<const float* const> k_float_blocks(
+      SessionId id) const;
+  [[nodiscard]] std::span<const float* const> v_float_blocks(
+      SessionId id) const;
+
   /// Return every block held by `id` to the free list (preemption or
-  /// completion).  No-op for sessions that hold nothing.
+  /// completion) and invalidate its float panels.  No-op for sessions that
+  /// hold nothing.
   void release(SessionId id);
 
  private:
@@ -102,6 +133,14 @@ class KvPool {
     std::vector<const half*> k_ptrs;
     std::vector<const half*> v_ptrs;
     std::int64_t tokens = 0;
+    // Float-panel sidecar state (filled by ensure_float_panels).
+    std::vector<const float*> kf_ptrs;
+    std::vector<const float*> vf_ptrs;
+    std::vector<core::PanelRef> kf_refs;  ///< pins keeping buffers alive
+    std::vector<core::PanelRef> vf_refs;
+    /// Leading blocks whose panels are full and pinned — skipped on the
+    /// next ensure (their half content can no longer change while held).
+    std::int64_t converted_blocks = 0;
   };
 
   [[nodiscard]] half* k_base(std::int32_t block) {
@@ -116,12 +155,20 @@ class KvPool {
   }
 
   KvPoolConfig config_;
+  core::PanelCacheRegistry* registry_ = nullptr;
   std::vector<half> k_arena_;
   std::vector<half> v_arena_;
   /// Free block ids, sorted descending so pop_back() yields the smallest.
   std::vector<std::int32_t> free_;
   std::map<SessionId, SessionBlocks> by_session_;
   std::int64_t peak_used_ = 0;
+  /// Synthetic per-block storage ids for the registry (blocks are carved
+  /// out of one arena, so arena identity alone can't key them).
+  std::vector<std::uint64_t> k_keys_;
+  std::vector<std::uint64_t> v_keys_;
+  /// Per-block generation, bumped on release; used as the registry version
+  /// so a recycled block never matches its previous tenant's panels.
+  std::vector<std::uint64_t> block_gen_;
 };
 
 }  // namespace stof::serve

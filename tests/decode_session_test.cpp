@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "stof/core/packed.hpp"
+#include "stof/core/panel_cache_registry.hpp"
 #include "stof/core/rng.hpp"
 #include "stof/mha/blockwise_kernel.hpp"
 #include "stof/mha/decode.hpp"
@@ -39,8 +40,12 @@ struct Fixture {
 };
 
 /// Runs the decode chain against the full blockwise pass and asserts every
-/// output row is byte-identical.
-void expect_chain_matches_full_pass(const Fixture& f) {
+/// output row is byte-identical.  With `registry` set, the chain reads the
+/// KV pool's float-panel sidecar (incremental conversion through that
+/// registry) — the outputs must not change by a single bit.
+void expect_chain_matches_full_pass(const Fixture& f,
+                                    core::PanelCacheRegistry* registry =
+                                        nullptr) {
   const MhaDims dims{1, kHeads, kTotal, kHeadSize};
   const BlockwiseParams params{16, 16};
   const TensorH full = blockwise_attention(
@@ -48,7 +53,7 @@ void expect_chain_matches_full_pass(const Fixture& f) {
       sparse::BsrMask::build(f.mask, params.block_m, params.block_n), params);
 
   serve::KvPool pool(
-      serve::KvPoolConfig{8, kBlockTokens, kHeads, kHeadSize});
+      serve::KvPoolConfig{8, kBlockTokens, kHeads, kHeadSize}, registry);
   for (std::int64_t pos = 0; pos < kTotal; ++pos) {
     // Append position pos's K/V to the paged cache.
     auto slot = pool.append_token(/*id=*/0);
@@ -71,8 +76,13 @@ void expect_chain_matches_full_pass(const Fixture& f) {
     for (std::int64_t j = 0; j <= pos; ++j) {
       if (f.mask.at(pos, j)) cols.push_back(static_cast<std::int32_t>(j));
     }
-    const PagedSeq seq{pos + 1, kBlockTokens, pool.k_blocks(0),
-                       pool.v_blocks(0), cols};
+    PagedSeq seq{pos + 1, kBlockTokens, pool.k_blocks(0), pool.v_blocks(0),
+                 cols};
+    if (registry != nullptr) {
+      pool.ensure_float_panels(0);
+      seq.kf_blocks = pool.k_float_blocks(0);
+      seq.vf_blocks = pool.v_float_blocks(0);
+    }
     const TensorH step =
         decode_attention_paged(kHeads, kHeadSize, {&seq, 1}, q_step);
 
@@ -102,6 +112,115 @@ TEST(DecodeSession, ChainBitIdenticalToBlockwisePassBigBird) {
 TEST(DecodeSession, ChainBitIdenticalUnderScalarExecution) {
   ScopedPackedExecution scalar(false);
   expect_chain_matches_full_pass(Fixture(43, masks::PatternKind::kLongformer));
+}
+
+TEST(DecodeSession, SidecarChainBitIdenticalToBlockwisePass) {
+  // Same chain, but every step reads the pool's FP32 sidecar panels
+  // through a private registry — conversion caching must be invisible.
+  core::PanelCacheRegistry registry;
+  expect_chain_matches_full_pass(Fixture(31, masks::PatternKind::kCausal),
+                                 &registry);
+  expect_chain_matches_full_pass(Fixture(41, masks::PatternKind::kBigBird),
+                                 &registry);
+}
+
+TEST(DecodeSession, PreemptAndRecomputeWithSidecarIsByteIdentical) {
+  // Preemption drops a session's pages and later recomputes its whole
+  // prefix.  The sidecar must invalidate with the pages: after release +
+  // full re-ingest, decode outputs match a never-preempted chain exactly.
+  const Fixture f(59, masks::PatternKind::kCausal);
+  core::PanelCacheRegistry registry;
+  serve::KvPool pool(
+      serve::KvPoolConfig{8, kBlockTokens, kHeads, kHeadSize}, &registry);
+  const auto ingest_prefix = [&](std::int64_t upto) {
+    for (std::int64_t pos = 0; pos < upto; ++pos) {
+      auto slot = pool.append_token(/*id=*/0);
+      ASSERT_TRUE(slot.has_value());
+      for (std::int64_t h = 0; h < kHeads; ++h) {
+        for (std::int64_t e = 0; e < kHeadSize; ++e) {
+          slot->k[h * kHeadSize + e] = f.k.at(h, pos, e);
+          slot->v[h * kHeadSize + e] = f.v.at(h, pos, e);
+        }
+      }
+    }
+  };
+  const auto decode_last = [&](std::int64_t ctx) {
+    TensorH q_step(Shape{kHeads, 1, kHeadSize});
+    for (std::int64_t h = 0; h < kHeads; ++h) {
+      for (std::int64_t e = 0; e < kHeadSize; ++e) {
+        q_step.at(h, 0, e) = f.q.at(h, ctx - 1, e);
+      }
+    }
+    std::vector<std::int32_t> cols;
+    for (std::int64_t j = 0; j < ctx; ++j) {
+      if (f.mask.at(ctx - 1, j)) cols.push_back(static_cast<std::int32_t>(j));
+    }
+    pool.ensure_float_panels(0);
+    PagedSeq seq{ctx, kBlockTokens, pool.k_blocks(0), pool.v_blocks(0), cols};
+    seq.kf_blocks = pool.k_float_blocks(0);
+    seq.vf_blocks = pool.v_float_blocks(0);
+    return decode_attention_paged(kHeads, kHeadSize, {&seq, 1}, q_step);
+  };
+
+  ingest_prefix(kTotal);
+  const TensorH before = decode_last(kTotal);
+
+  pool.release(0);  // preemption: pages and panels both dropped
+  ingest_prefix(kTotal);
+  const TensorH after = decode_last(kTotal);
+
+  ASSERT_EQ(std::memcmp(before.data().data(), after.data().data(),
+                        before.size_bytes()),
+            0);
+}
+
+TEST(DecodeSession, ReusedPagesNeverServeStalePanels) {
+  // Session A converts its pages, releases them, and session B gets the
+  // same physical blocks with different content.  B's sidecar must reflect
+  // B's halfs, never A's cached floats.
+  const Fixture a(61, masks::PatternKind::kCausal);
+  const Fixture b(67, masks::PatternKind::kCausal);
+  core::PanelCacheRegistry registry;
+  serve::KvPool pool(
+      serve::KvPoolConfig{4, kBlockTokens, kHeads, kHeadSize}, &registry);
+  const std::int64_t ctx = 2 * kBlockTokens;
+  const auto ingest = [&](serve::SessionId id, const Fixture& f) {
+    for (std::int64_t pos = 0; pos < ctx; ++pos) {
+      auto slot = pool.append_token(id);
+      ASSERT_TRUE(slot.has_value());
+      for (std::int64_t h = 0; h < kHeads; ++h) {
+        for (std::int64_t e = 0; e < kHeadSize; ++e) {
+          slot->k[h * kHeadSize + e] = f.k.at(h, pos, e);
+          slot->v[h * kHeadSize + e] = f.v.at(h, pos, e);
+        }
+      }
+    }
+  };
+
+  ingest(0, a);
+  pool.ensure_float_panels(0);
+  const float a_first = pool.k_float_blocks(0)[0][0];
+  pool.release(0);
+
+  ingest(1, b);  // reuses the same physical blocks (free list recycles)
+  pool.ensure_float_panels(1);
+  const auto kf = pool.k_float_blocks(1);
+  const auto vf = pool.v_float_blocks(1);
+  ASSERT_EQ(kf.size(), 2u);
+  // Every sidecar element equals the exact conversion of B's half data.
+  const auto kh = pool.k_blocks(1);
+  const auto vh = pool.v_blocks(1);
+  const std::int64_t elems = kBlockTokens * kHeads * kHeadSize;
+  for (std::size_t p = 0; p < kf.size(); ++p) {
+    for (std::int64_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(kf[p][i], float(kh[p][i])) << "K page " << p << " elem " << i;
+      ASSERT_EQ(vf[p][i], float(vh[p][i])) << "V page " << p << " elem " << i;
+    }
+  }
+  // A's and B's first keys differ, so a stale panel would be visible here.
+  ASSERT_EQ(kf[0][0], float(b.k.at(0, 0, 0)));
+  ASSERT_NE(float(a.k.at(0, 0, 0)), float(b.k.at(0, 0, 0)));
+  (void)a_first;
 }
 
 TEST(DecodeSession, BatchedPagedDecodeMatchesPerSequenceCalls) {
