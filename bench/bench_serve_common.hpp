@@ -100,9 +100,15 @@ struct RunResult {
 };
 
 /// Replay `trace` open-loop through an engine with `cfg` and reduce.
-inline RunResult run_trace(const EngineConfig& cfg,
-                           const std::vector<Request>& trace) {
+/// `on_decode` (optional) receives every decoded token's attention output —
+/// the INT8-tier benches use it to measure output error against an FP32
+/// reference replay of the same trace.
+inline RunResult run_trace(
+    const EngineConfig& cfg, const std::vector<Request>& trace,
+    const std::function<void(SessionId, std::int64_t, std::span<const half>)>&
+        on_decode = {}) {
   Engine engine(cfg);
+  if (on_decode) engine.on_decode_output = on_decode;
   std::int64_t decode_steps = 0;
   engine.on_step = [&](const StepEvent& ev) {
     if (!ev.decodes.empty()) ++decode_steps;

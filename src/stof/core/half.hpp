@@ -105,7 +105,12 @@ class half {
         out = sign | (static_cast<std::uint32_t>(113 - e - 1) << 23) | (m << 13);
       }
     } else if (exp == 0x1f) {
-      out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+      // Inf / NaN.  IEEE 754 format conversion quiets a signaling NaN; the
+      // quiet bit is also what hardware converters (F16C, AVX-512 FP16,
+      // NEON) set, keeping the scalar reference bit-identical to SIMD
+      // half_to_float for every one of the 65536 input patterns.
+      const std::uint32_t quiet = mant != 0 ? 0x00400000u : 0u;
+      out = sign | 0x7f800000u | (mant << 13) | quiet;
     } else {
       out = sign | ((exp + 112) << 23) | (mant << 13);
     }

@@ -1,0 +1,176 @@
+// Runtime-dispatched CPU micro-kernel table.
+//
+// The packed execution layer's hot inner loops — half<->float panel
+// conversion, the saxpy-tile GEMM accumulators, and the decode-attention
+// dot/axpy primitives — live behind a `KernelTable` of function pointers.
+// At startup the best instruction set the host supports is detected
+// (AVX-512F/BW > AVX2+F16C > NEON > scalar) and the matching table is
+// installed; `STOF_FORCE_SCALAR=1` in the environment pins the scalar
+// reference table regardless of hardware.
+//
+// Bit-identity contract: every SIMD implementation must produce outputs
+// byte-identical to the scalar table.  The scalar loops are the reference
+// semantics; SIMD variants vectorize only across *independent* outputs
+// (columns of C, separate dot products) and keep each output's reduction
+// strictly serial in ascending depth order with separate multiply and add
+// steps (SIMD translation units are compiled with -ffp-contract=off so the
+// compiler cannot fuse them).  kernel_dispatch_test diffs every table
+// entry byte-wise against the scalar table for every ISA the host can run.
+//
+// The INT8 tier quantizes panels to symmetric per-group int8 codes
+// (scale = absmax/127, round-to-nearest-even, clamp to +/-127) and runs
+// dot-product GEMMs in exact int32 accumulation with a float epilogue —
+// int32 sums are associative, so INT8 results are identical across ISAs
+// and across any blocking schedule, just not bit-identical to FP32.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stof/core/half.hpp"
+
+namespace stof::core {
+
+/// Instruction sets the dispatcher can select, in preference order.
+enum class Isa : int { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+[[nodiscard]] const char* isa_name(Isa isa);
+
+/// Storage precision of a cached panel (FP32 sidecar vs quantized INT8).
+enum class PanelPrecision : int { kFloat32 = 0, kInt8 = 1 };
+
+/// One table of micro-kernel entry points.  All pointers are always
+/// non-null (ISA-specific tables inherit the scalar entry for anything
+/// they do not override).
+struct KernelTable {
+  Isa isa = Isa::kScalar;
+
+  // ---- Panel conversion ----------------------------------------------------
+  /// dst[i] = float(src[i]) — exact (matches the 65536-entry h2f table).
+  void (*half_to_float)(const half* src, float* dst, std::int64_t n);
+  /// dst[i] = half(src[i]) — round-to-nearest-even, NaNs canonicalized
+  /// exactly like half::from_float.
+  void (*float_to_half)(const float* src, half* dst, std::int64_t n);
+
+  // ---- FP32 GEMM accumulation ---------------------------------------------
+  /// C += A x B, contiguous row-major panels (see packed::sgemm_accumulate).
+  void (*sgemm_accumulate)(const float* a, const float* b, float* c,
+                           std::int64_t rows, std::int64_t k, std::int64_t n);
+  /// C += A x B with explicit leading dimensions (packed::sgemm_accumulate_ld).
+  void (*sgemm_accumulate_ld)(const float* a, std::int64_t lda, const float* b,
+                              std::int64_t ldb, float* c, std::int64_t ldc,
+                              std::int64_t rows, std::int64_t depth,
+                              std::int64_t cols);
+
+  // ---- Decode / softmax primitives ----------------------------------------
+  /// out[i] = dot(q, row_i) where row_i = base + (idx ? idx[i] : i) * stride.
+  /// idx entries are small non-negative integers stored exactly in floats
+  /// (the decode scratch arenas are float-typed).  Each dot is one serial
+  /// FP32 chain in ascending element order (the scalar decode semantics);
+  /// implementations may only parallelize across the independent output
+  /// rows.
+  void (*dot_rows)(const float* q, const float* base, std::int64_t stride,
+                   const float* idx, float* out, std::int64_t count,
+                   std::int64_t d);
+  /// y[i] += a * x[i] (one multiply, one add per element).
+  void (*axpy)(float* y, const float* x, float a, std::int64_t n);
+  /// y[i] = y[i] * beta + alpha * x[i] — the streaming-softmax merge.
+  /// alpha == 1.0f makes the alpha*x product exact, matching a plain
+  /// `y = y*beta + x` merge bit for bit.
+  void (*axpby)(float* y, const float* x, float beta, float alpha,
+                std::int64_t n);
+  /// x[i] *= s.
+  void (*scale_inplace)(float* x, float s, std::int64_t n);
+  /// max(x[0..n)) — exact, so any reduction order is bit-safe; n >= 1.
+  float (*reduce_max)(const float* x, std::int64_t n);
+  /// max(|x[0..n)|) over finite inputs; returns 0 for n == 0.
+  float (*abs_max)(const float* x, std::int64_t n);
+
+  // ---- INT8 quantized tier -------------------------------------------------
+  /// dst[i] = clamp(nearbyint(src[i] * inv_scale), -127, 127); inputs must
+  /// be finite with |src*inv_scale| well below 2^31.
+  void (*quantize_i8)(const float* src, std::int8_t* dst, std::int64_t n,
+                      float inv_scale);
+  /// dst[i] = scale * float(src[i]).
+  void (*dequantize_i8)(const std::int8_t* src, float* dst, std::int64_t n,
+                        float scale);
+  /// Exact int32 dot product.
+  std::int32_t (*dot_i8)(const std::int8_t* a, const std::int8_t* b,
+                         std::int64_t n);
+  /// y[i] += a * float(x[i]) (int8 -> float conversion is exact).
+  void (*axpy_i8)(float* y, const std::int8_t* x, float a, std::int64_t n);
+  /// C[r,j] += (a_row_scales[r] * b_scale) * float(sum_e A8[r,e] * B8[e,j])
+  /// with exact int32 accumulation; the two-float scale product and the
+  /// int32 -> float conversion are computed identically by every ISA, so
+  /// results are deterministic (though not FP32-bit-identical).
+  void (*sgemm_i8_accumulate_ld)(const std::int8_t* a, std::int64_t lda,
+                                 const std::int8_t* b, std::int64_t ldb,
+                                 float* c, std::int64_t ldc, std::int64_t rows,
+                                 std::int64_t depth, std::int64_t cols,
+                                 const float* a_row_scales, float b_scale);
+};
+
+/// The scalar reference table (always available).
+[[nodiscard]] const KernelTable& scalar_kernel_table();
+
+/// True when `isa`'s table can run on this host.
+[[nodiscard]] bool isa_available(Isa isa);
+
+/// Every ISA the host can run, scalar first, best last.
+[[nodiscard]] std::vector<Isa> available_isas();
+
+/// The table for `isa`; requires isa_available(isa).
+[[nodiscard]] const KernelTable& kernel_table_for(Isa isa);
+
+/// Best hardware-supported ISA, honoring the STOF_FORCE_SCALAR=1 override
+/// (read once at first use).
+[[nodiscard]] Isa best_supported_isa();
+
+/// The active dispatch table (defaults to best_supported_isa()).
+[[nodiscard]] const KernelTable& kernels();
+
+/// ISA of the active table.
+[[nodiscard]] Isa active_isa();
+
+/// Re-point the active table (tests / cross-ISA harnesses only).
+/// Requires isa_available(isa).
+void set_kernel_isa(Isa isa);
+
+/// RAII guard restoring the previous active table on scope exit.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(Isa isa);
+  ~ScopedKernelIsa();
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  Isa previous_;
+};
+
+/// Telemetry hook for dispatched call sites: records the active ISA under
+/// the `exec.dispatch.isa` gauge and bumps `exec.dispatch.<entry>.calls`.
+/// `entry` must be a string literal (no per-call formatting).
+void note_kernel_dispatch(const char* entry, std::int64_t calls = 1);
+
+// ---- INT8 quantization parameters -----------------------------------------
+
+/// Smallest group absmax quantized with real codes; below it every code is
+/// zero and the scale is set to 2*absmax so the round-trip error still
+/// satisfies |x - dequant(x)| <= scale/2 (avoids inf/NaN from 127/absmax).
+inline constexpr float kQuantTinyAbsMax = 1e-30f;
+
+struct QuantParams {
+  float scale = 1.0f;      ///< dequantization multiplier
+  float inv_scale = 0.0f;  ///< quantization multiplier (0 => all-zero codes)
+};
+
+/// Symmetric per-group parameters from the group's |max|.
+[[nodiscard]] inline QuantParams quant_params(float abs_max) {
+  if (!(abs_max >= kQuantTinyAbsMax)) {
+    return {2.0f * abs_max + 1e-38f, 0.0f};
+  }
+  return {abs_max / 127.0f, 127.0f / abs_max};
+}
+
+}  // namespace stof::core

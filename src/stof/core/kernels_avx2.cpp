@@ -1,0 +1,493 @@
+// AVX2 + F16C micro-kernels (compiled with -mavx2 -mf16c -ffp-contract=off).
+//
+// Bit-identity: every FP32 kernel keeps each output element's reduction
+// strictly serial in ascending depth order, with one multiply and one add
+// per step (no FMA — this TU disables contraction).  SIMD lanes span only
+// independent output columns, which the scalar reference explicitly
+// licenses.  Accumulator tiles live in registers across the whole depth
+// loop; a register add sequence rounds identically to the scalar
+// load/add/store sequence, so outputs stay byte-equal to the scalar table.
+//
+// F16C notes: vcvtph2ps is exact (bit-equal to the h2f table, including
+// NaN payloads and subnormals).  vcvtps2ph rounds to nearest-even like
+// half::from_float for every non-NaN input, but preserves NaN payloads
+// where from_float canonicalizes them — the conversion loop detects NaN
+// lanes (rare) and re-converts those through half::from_float.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "stof/core/kernels.hpp"
+#include "stof/core/packed.hpp"
+
+namespace stof::core::detail {
+namespace {
+
+void half_to_float_avx2(const half* src, float* dst, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  const float* table = packed::h2f_table();
+  for (; i < n; ++i) dst[i] = table[src[i].bits()];
+}
+
+void float_to_half_avx2(const float* src, half* dst, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(src + i);
+    __m128i h = _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT |
+                                       _MM_FROUND_NO_EXC);
+    const __m256 unord = _mm256_cmp_ps(v, v, _CMP_UNORD_Q);
+    if (_mm256_movemask_ps(unord) != 0) {
+      alignas(16) std::uint16_t lanes[8];
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), h);
+      for (int l = 0; l < 8; ++l) {
+        const float f = src[i + l];
+        if (f != f) lanes[l] = half::from_float(f);
+      }
+      h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i] = half::from_bits(half::from_float(src[i]));
+}
+
+// 4-row x 16-column FP32 register tile: accumulators stay in ymm across
+// the whole depth loop, one B-row pair of loads feeds four rows.
+inline void tile_4x16(const float* a0, const float* a1, const float* a2,
+                      const float* a3, const float* b, std::int64_t ldb,
+                      float* c0, float* c1, float* c2, float* c3,
+                      std::int64_t depth) {
+  __m256 acc00 = _mm256_loadu_ps(c0), acc01 = _mm256_loadu_ps(c0 + 8);
+  __m256 acc10 = _mm256_loadu_ps(c1), acc11 = _mm256_loadu_ps(c1 + 8);
+  __m256 acc20 = _mm256_loadu_ps(c2), acc21 = _mm256_loadu_ps(c2 + 8);
+  __m256 acc30 = _mm256_loadu_ps(c3), acc31 = _mm256_loadu_ps(c3 + 8);
+  for (std::int64_t e = 0; e < depth; ++e) {
+    const float* br = b + e * ldb;
+    const __m256 b0 = _mm256_loadu_ps(br);
+    const __m256 b1 = _mm256_loadu_ps(br + 8);
+    __m256 av = _mm256_set1_ps(a0[e]);
+    acc00 = _mm256_add_ps(acc00, _mm256_mul_ps(av, b0));
+    acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(av, b1));
+    av = _mm256_set1_ps(a1[e]);
+    acc10 = _mm256_add_ps(acc10, _mm256_mul_ps(av, b0));
+    acc11 = _mm256_add_ps(acc11, _mm256_mul_ps(av, b1));
+    av = _mm256_set1_ps(a2[e]);
+    acc20 = _mm256_add_ps(acc20, _mm256_mul_ps(av, b0));
+    acc21 = _mm256_add_ps(acc21, _mm256_mul_ps(av, b1));
+    av = _mm256_set1_ps(a3[e]);
+    acc30 = _mm256_add_ps(acc30, _mm256_mul_ps(av, b0));
+    acc31 = _mm256_add_ps(acc31, _mm256_mul_ps(av, b1));
+  }
+  _mm256_storeu_ps(c0, acc00);
+  _mm256_storeu_ps(c0 + 8, acc01);
+  _mm256_storeu_ps(c1, acc10);
+  _mm256_storeu_ps(c1 + 8, acc11);
+  _mm256_storeu_ps(c2, acc20);
+  _mm256_storeu_ps(c2 + 8, acc21);
+  _mm256_storeu_ps(c3, acc30);
+  _mm256_storeu_ps(c3 + 8, acc31);
+}
+
+inline void tile_4x8(const float* a0, const float* a1, const float* a2,
+                     const float* a3, const float* b, std::int64_t ldb,
+                     float* c0, float* c1, float* c2, float* c3,
+                     std::int64_t depth) {
+  __m256 acc0 = _mm256_loadu_ps(c0);
+  __m256 acc1 = _mm256_loadu_ps(c1);
+  __m256 acc2 = _mm256_loadu_ps(c2);
+  __m256 acc3 = _mm256_loadu_ps(c3);
+  for (std::int64_t e = 0; e < depth; ++e) {
+    const __m256 bv = _mm256_loadu_ps(b + e * ldb);
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(a0[e]), bv));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(a1[e]), bv));
+    acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(a2[e]), bv));
+    acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(a3[e]), bv));
+  }
+  _mm256_storeu_ps(c0, acc0);
+  _mm256_storeu_ps(c1, acc1);
+  _mm256_storeu_ps(c2, acc2);
+  _mm256_storeu_ps(c3, acc3);
+}
+
+inline void tile_1x16(const float* ar, const float* b, std::int64_t ldb,
+                      float* cr, std::int64_t depth) {
+  __m256 acc0 = _mm256_loadu_ps(cr);
+  __m256 acc1 = _mm256_loadu_ps(cr + 8);
+  for (std::int64_t e = 0; e < depth; ++e) {
+    const float* br = b + e * ldb;
+    const __m256 av = _mm256_set1_ps(ar[e]);
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_loadu_ps(br)));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_loadu_ps(br + 8)));
+  }
+  _mm256_storeu_ps(cr, acc0);
+  _mm256_storeu_ps(cr + 8, acc1);
+}
+
+inline void tile_1x8(const float* ar, const float* b, std::int64_t ldb,
+                     float* cr, std::int64_t depth) {
+  __m256 acc = _mm256_loadu_ps(cr);
+  for (std::int64_t e = 0; e < depth; ++e) {
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_set1_ps(ar[e]), _mm256_loadu_ps(b + e * ldb)));
+  }
+  _mm256_storeu_ps(cr, acc);
+}
+
+/// Scalar column tail: per element, one serial ascending-depth chain.
+inline void tile_cols_scalar(const float* a, std::int64_t lda, const float* b,
+                             std::int64_t ldb, float* c, std::int64_t ldc,
+                             std::int64_t rows, std::int64_t depth,
+                             std::int64_t j_lo, std::int64_t j_hi) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* ar = a + r * lda;
+    float* cr = c + r * ldc;
+    for (std::int64_t j = j_lo; j < j_hi; ++j) {
+      float s = cr[j];
+      for (std::int64_t e = 0; e < depth; ++e) s += ar[e] * b[e * ldb + j];
+      cr[j] = s;
+    }
+  }
+}
+
+void sgemm_accumulate_ld_avx2(const float* a, std::int64_t lda, const float* b,
+                              std::int64_t ldb, float* c, std::int64_t ldc,
+                              std::int64_t rows, std::int64_t depth,
+                              std::int64_t cols) {
+  std::int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* a0 = a + (r + 0) * lda;
+    const float* a1 = a + (r + 1) * lda;
+    const float* a2 = a + (r + 2) * lda;
+    const float* a3 = a + (r + 3) * lda;
+    float* c0 = c + (r + 0) * ldc;
+    float* c1 = c + (r + 1) * ldc;
+    float* c2 = c + (r + 2) * ldc;
+    float* c3 = c + (r + 3) * ldc;
+    std::int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      tile_4x16(a0, a1, a2, a3, b + j, ldb, c0 + j, c1 + j, c2 + j, c3 + j,
+                depth);
+    }
+    for (; j + 8 <= cols; j += 8) {
+      tile_4x8(a0, a1, a2, a3, b + j, ldb, c0 + j, c1 + j, c2 + j, c3 + j,
+               depth);
+    }
+    if (j < cols) {
+      tile_cols_scalar(a + r * lda, lda, b, ldb, c + r * ldc, ldc, 4, depth, j,
+                       cols);
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* ar = a + r * lda;
+    float* cr = c + r * ldc;
+    std::int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) tile_1x16(ar, b + j, ldb, cr + j, depth);
+    for (; j + 8 <= cols; j += 8) tile_1x8(ar, b + j, ldb, cr + j, depth);
+    if (j < cols) {
+      tile_cols_scalar(ar, lda, b, ldb, cr, ldc, 1, depth, j, cols);
+    }
+  }
+}
+
+void sgemm_accumulate_avx2(const float* a, const float* b, float* c,
+                           std::int64_t rows, std::int64_t k, std::int64_t n) {
+  // Same kNB/kKB cache blocking as the scalar reference (the k0/ki split
+  // keeps k strictly ascending per output element); within a block the
+  // register tiles accumulate across the whole kw without touching C.
+  constexpr std::int64_t kNB = 256;
+  constexpr std::int64_t kKB = 128;
+  for (std::int64_t n0 = 0; n0 < n; n0 += kNB) {
+    const std::int64_t nw = std::min(kNB, n - n0);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKB) {
+      const std::int64_t kw = std::min(kKB, k - k0);
+      sgemm_accumulate_ld_avx2(a + k0, k, b + k0 * n + n0, n, c + n0, n, rows,
+                               kw, nw);
+    }
+  }
+}
+
+void dot_rows_avx2(const float* q, const float* base, std::int64_t stride,
+                   const float* idx, float* out, std::int64_t count,
+                   std::int64_t d) {
+  // Four interleaved serial chains: each output keeps its strictly serial
+  // ascending-e accumulation (bit-identical to the scalar reference); the
+  // independent chains hide the FP add latency.
+  const auto row_at = [&](std::int64_t i) {
+    const std::int64_t r =
+        idx != nullptr ? static_cast<std::int64_t>(idx[i]) : i;
+    return base + r * stride;
+  };
+  std::int64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = row_at(i + 0);
+    const float* r1 = row_at(i + 1);
+    const float* r2 = row_at(i + 2);
+    const float* r3 = row_at(i + 3);
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    for (std::int64_t e = 0; e < d; ++e) {
+      const float qe = q[e];
+      s0 += qe * r0[e];
+      s1 += qe * r1[e];
+      s2 += qe * r2[e];
+      s3 += qe * r3[e];
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < count; ++i) {
+    const float* row = row_at(i);
+    float acc = 0.0f;
+    for (std::int64_t e = 0; e < d; ++e) acc += q[e] * row[e];
+    out[i] = acc;
+  }
+}
+
+void axpy_avx2(float* y, const float* x, float a, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), t));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void axpby_avx2(float* y, const float* x, float beta, float alpha,
+                std::int64_t n) {
+  const __m256 vb = _mm256_set1_ps(beta);
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(y + i), vb);
+    const __m256 u = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(t, u));
+  }
+  for (; i < n; ++i) y[i] = y[i] * beta + alpha * x[i];
+}
+
+void scale_inplace_avx2(float* x, float s, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+float reduce_max_avx2(const float* x, std::int64_t n) {
+  // max is exact, so the tree reduction matches any serial order.
+  std::int64_t i = 0;
+  float m;
+  if (n >= 8) {
+    __m256 acc = _mm256_loadu_ps(x);
+    for (i = 8; i + 8 <= n; i += 8) {
+      acc = _mm256_max_ps(acc, _mm256_loadu_ps(x + i));
+    }
+    __m128 q = _mm_max_ps(_mm256_castps256_ps128(acc),
+                          _mm256_extractf128_ps(acc, 1));
+    q = _mm_max_ps(q, _mm_movehl_ps(q, q));
+    q = _mm_max_ss(q, _mm_movehdup_ps(q));
+    m = _mm_cvtss_f32(q);
+  } else {
+    m = x[0];
+    i = 1;
+  }
+  for (; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+float abs_max_avx2(const float* x, std::int64_t n) {
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_max_ps(acc, _mm256_and_ps(_mm256_loadu_ps(x + i), mask));
+  }
+  __m128 q = _mm_max_ps(_mm256_castps256_ps128(acc),
+                        _mm256_extractf128_ps(acc, 1));
+  q = _mm_max_ps(q, _mm_movehl_ps(q, q));
+  q = _mm_max_ss(q, _mm_movehdup_ps(q));
+  float m = _mm_cvtss_f32(q);
+  for (; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+void quantize_i8_avx2(const float* src, std::int8_t* dst, std::int64_t n,
+                      float inv_scale) {
+  // cvtps2dq rounds per MXCSR (nearest-even by default) — identical codes
+  // to the scalar lrintf path.
+  const __m256 inv = _mm256_set1_ps(inv_scale);
+  const __m256i lo_clamp = _mm256_set1_epi32(-127);
+  const __m256i hi_clamp = _mm256_set1_epi32(127);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i q =
+        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(src + i), inv));
+    q = _mm256_min_epi32(_mm256_max_epi32(q, lo_clamp), hi_clamp);
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                        _mm256_extracti128_si256(q, 1));
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i), p8);
+  }
+  for (; i < n; ++i) {
+    long r = std::lrintf(src[i] * inv_scale);
+    r = std::clamp(r, -127L, 127L);
+    dst[i] = static_cast<std::int8_t>(r);
+  }
+}
+
+void dequantize_i8_avx2(const std::int8_t* src, float* dst, std::int64_t n,
+                        float scale) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(vs, f));
+  }
+  for (; i < n; ++i) dst[i] = scale * static_cast<float>(src[i]);
+}
+
+std::int32_t dot_i8_avx2(const std::int8_t* a, const std::int8_t* b,
+                         std::int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i av = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i bv = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+  }
+  __m128i q = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  q = _mm_add_epi32(q, _mm_unpackhi_epi64(q, q));
+  q = _mm_add_epi32(q, _mm_shuffle_epi32(q, 0x55));
+  std::int32_t sum = _mm_cvtsi128_si32(q);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void axpy_i8_avx2(float* y, const std::int8_t* x, float a, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + i));
+    const __m256 xf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+    const __m256 t = _mm256_mul_ps(va, xf);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), t));
+  }
+  for (; i < n; ++i) y[i] += a * static_cast<float>(x[i]);
+}
+
+/// Sign-extended (a_lo, a_hi) int16 pair replicated across a ymm, for
+/// vpmaddwd against interleaved B rows.
+inline __m256i a_pair_epi32(std::int8_t lo, std::int8_t hi) {
+  const std::uint32_t pair =
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(
+           static_cast<std::int16_t>(hi)))
+       << 16) |
+      static_cast<std::uint16_t>(static_cast<std::int16_t>(lo));
+  return _mm256_set1_epi32(static_cast<int>(pair));
+}
+
+void sgemm_i8_accumulate_ld_avx2(const std::int8_t* a, std::int64_t lda,
+                                 const std::int8_t* b, std::int64_t ldb,
+                                 float* c, std::int64_t ldc, std::int64_t rows,
+                                 std::int64_t depth, std::int64_t cols,
+                                 const float* a_row_scales, float b_scale) {
+  // Depth pairs feed vpmaddwd: B rows e and e+1 are sign-extended to int16
+  // and interleaved per column, so each madd lane accumulates
+  // a[e]*b[e][j] + a[e+1]*b[e+1][j] exactly in int32.  The interleave
+  // shuffles column lanes into [j0-3, j8-11] / [j4-7, j12-15] order; a
+  // final 128-bit permute restores them.  int32 sums are exact, so lane
+  // order never affects results.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float s = a_row_scales[r] * b_scale;
+    const std::int8_t* ar = a + r * lda;
+    float* cr = c + r * ldc;
+    std::int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      std::int64_t e = 0;
+      for (; e + 2 <= depth; e += 2) {
+        const __m256i b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + e * ldb + j)));
+        const __m256i b1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + (e + 1) * ldb + j)));
+        const __m256i ap = a_pair_epi32(ar[e], ar[e + 1]);
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(_mm256_unpacklo_epi16(b0, b1), ap));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(_mm256_unpackhi_epi16(b0, b1), ap));
+      }
+      if (e < depth) {
+        const __m256i b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + e * ldb + j)));
+        const __m256i zero = _mm256_setzero_si256();
+        const __m256i ap = a_pair_epi32(ar[e], 0);
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(_mm256_unpacklo_epi16(b0, zero), ap));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(_mm256_unpackhi_epi16(b0, zero), ap));
+      }
+      const __m256i q0 = _mm256_permute2x128_si256(acc0, acc1, 0x20);
+      const __m256i q1 = _mm256_permute2x128_si256(acc0, acc1, 0x31);
+      const __m256 vs = _mm256_set1_ps(s);
+      _mm256_storeu_ps(
+          cr + j, _mm256_add_ps(_mm256_loadu_ps(cr + j),
+                                _mm256_mul_ps(vs, _mm256_cvtepi32_ps(q0))));
+      _mm256_storeu_ps(
+          cr + j + 8,
+          _mm256_add_ps(_mm256_loadu_ps(cr + j + 8),
+                        _mm256_mul_ps(vs, _mm256_cvtepi32_ps(q1))));
+    }
+    for (; j < cols; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t e = 0; e < depth; ++e) {
+        acc += static_cast<std::int32_t>(ar[e]) *
+               static_cast<std::int32_t>(b[e * ldb + j]);
+      }
+      cr[j] += s * static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
+void fill_avx2(KernelTable& table) {
+  table.half_to_float = half_to_float_avx2;
+  table.float_to_half = float_to_half_avx2;
+  table.sgemm_accumulate = sgemm_accumulate_avx2;
+  table.sgemm_accumulate_ld = sgemm_accumulate_ld_avx2;
+  table.dot_rows = dot_rows_avx2;
+  table.axpy = axpy_avx2;
+  table.axpby = axpby_avx2;
+  table.scale_inplace = scale_inplace_avx2;
+  table.reduce_max = reduce_max_avx2;
+  table.abs_max = abs_max_avx2;
+  table.quantize_i8 = quantize_i8_avx2;
+  table.dequantize_i8 = dequantize_i8_avx2;
+  table.dot_i8 = dot_i8_avx2;
+  table.axpy_i8 = axpy_i8_avx2;
+  table.sgemm_i8_accumulate_ld = sgemm_i8_accumulate_ld_avx2;
+}
+
+}  // namespace stof::core::detail
+
+#endif  // x86_64

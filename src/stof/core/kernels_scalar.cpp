@@ -1,0 +1,261 @@
+// Scalar reference implementations of every KernelTable entry.
+//
+// These are the bit-exactness ground truth: the GEMM bodies are the
+// register-blocked loops the packed layer has always run (moved here
+// verbatim from packed.cpp), the conversions go through the exact h2f
+// table / half::from_float, and the decode primitives spell out the
+// serial per-output accumulation order the SIMD tables must reproduce.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "stof/core/kernels.hpp"
+#include "stof/core/packed.hpp"
+
+namespace stof::core {
+namespace {
+
+void half_to_float_scalar(const half* src, float* dst, std::int64_t n) {
+  const float* table = packed::h2f_table();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = table[src[i].bits()];
+}
+
+void float_to_half_scalar(const float* src, half* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = half::from_bits(half::from_float(src[i]));
+  }
+}
+
+void sgemm_accumulate_scalar(const float* a, const float* b, float* c,
+                             std::int64_t rows, std::int64_t k,
+                             std::int64_t n) {
+  // Block N so the active C slice and B column panel stay cache-resident,
+  // and block K so the B sub-panel fits L2.  The k0/ki split keeps the
+  // k-index strictly ascending per output element (bit-identity contract).
+  // Within a cache block, four output rows are register-tiled together:
+  // each B row load feeds four independent accumulation streams, which
+  // permutes only across output elements, never within one element's
+  // k-ascending term sequence.
+  constexpr std::int64_t kNB = 256;
+  constexpr std::int64_t kKB = 128;
+  constexpr std::int64_t kMR = 4;
+  for (std::int64_t n0 = 0; n0 < n; n0 += kNB) {
+    const std::int64_t nw = std::min(kNB, n - n0);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKB) {
+      const std::int64_t kw = std::min(kKB, k - k0);
+      std::int64_t r = 0;
+      for (; r + kMR <= rows; r += kMR) {
+        float* c0 = c + (r + 0) * n + n0;
+        float* c1 = c + (r + 1) * n + n0;
+        float* c2 = c + (r + 2) * n + n0;
+        float* c3 = c + (r + 3) * n + n0;
+        const float* a0 = a + (r + 0) * k + k0;
+        const float* a1 = a + (r + 1) * k + k0;
+        const float* a2 = a + (r + 2) * k + k0;
+        const float* a3 = a + (r + 3) * k + k0;
+        for (std::int64_t ki = 0; ki < kw; ++ki) {
+          const float av0 = a0[ki];
+          const float av1 = a1[ki];
+          const float av2 = a2[ki];
+          const float av3 = a3[ki];
+          const float* br = b + (k0 + ki) * n + n0;
+          for (std::int64_t j = 0; j < nw; ++j) {
+            const float bv = br[j];
+            c0[j] += av0 * bv;
+            c1[j] += av1 * bv;
+            c2[j] += av2 * bv;
+            c3[j] += av3 * bv;
+          }
+        }
+      }
+      for (; r < rows; ++r) {
+        float* cr = c + r * n + n0;
+        const float* ar = a + r * k + k0;
+        for (std::int64_t ki = 0; ki < kw; ++ki) {
+          const float av = ar[ki];
+          const float* br = b + (k0 + ki) * n + n0;
+          for (std::int64_t j = 0; j < nw; ++j) cr[j] += av * br[j];
+        }
+      }
+    }
+  }
+}
+
+void sgemm_accumulate_ld_scalar(const float* a, std::int64_t lda,
+                                const float* b, std::int64_t ldb, float* c,
+                                std::int64_t ldc, std::int64_t rows,
+                                std::int64_t depth, std::int64_t cols) {
+  // 2x2 register block: two output rows share each pair of B-row loads,
+  // and C is loaded/stored once per two reduction steps.  The chained
+  // (c + t0) + t1 sum is the same left-to-right association as two
+  // sequential `c += t` steps, so the rounding sequence per output element
+  // is unchanged.
+  constexpr std::int64_t kMR = 2;
+  constexpr std::int64_t kKU = 2;
+  std::int64_t r = 0;
+  for (; r + kMR <= rows; r += kMR) {
+    const float* a0 = a + r * lda;
+    const float* a1 = a0 + lda;
+    float* c0 = c + r * ldc;
+    float* c1 = c0 + ldc;
+    std::int64_t e = 0;
+    for (; e + kKU <= depth; e += kKU) {
+      const float* b0 = b + e * ldb;
+      const float* b1 = b0 + ldb;
+      const float av00 = a0[e], av01 = a0[e + 1];
+      const float av10 = a1[e], av11 = a1[e + 1];
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float b0j = b0[j], b1j = b1[j];
+        c0[j] = (c0[j] + av00 * b0j) + av01 * b1j;
+        c1[j] = (c1[j] + av10 * b0j) + av11 * b1j;
+      }
+    }
+    for (; e < depth; ++e) {
+      const float* bv = b + e * ldb;
+      const float av0 = a0[e], av1 = a1[e];
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float bj = bv[j];
+        c0[j] += av0 * bj;
+        c1[j] += av1 * bj;
+      }
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* ar = a + r * lda;
+    float* cr = c + r * ldc;
+    std::int64_t e = 0;
+    for (; e + kKU <= depth; e += kKU) {
+      const float* b0 = b + e * ldb;
+      const float* b1 = b0 + ldb;
+      const float av0 = ar[e], av1 = ar[e + 1];
+      for (std::int64_t j = 0; j < cols; ++j) {
+        cr[j] = (cr[j] + av0 * b0[j]) + av1 * b1[j];
+      }
+    }
+    for (; e < depth; ++e) {
+      const float* bv = b + e * ldb;
+      const float av = ar[e];
+      for (std::int64_t j = 0; j < cols; ++j) cr[j] += av * bv[j];
+    }
+  }
+}
+
+void dot_rows_scalar(const float* q, const float* base, std::int64_t stride,
+                     const float* idx, float* out, std::int64_t count,
+                     std::int64_t d) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t r =
+        idx != nullptr ? static_cast<std::int64_t>(idx[i]) : i;
+    const float* row = base + r * stride;
+    float acc = 0.0f;
+    for (std::int64_t e = 0; e < d; ++e) acc += q[e] * row[e];
+    out[i] = acc;
+  }
+}
+
+void axpy_scalar(float* y, const float* x, float a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void axpby_scalar(float* y, const float* x, float beta, float alpha,
+                  std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = y[i] * beta + alpha * x[i];
+}
+
+void scale_inplace_scalar(float* x, float s, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+float reduce_max_scalar(const float* x, std::int64_t n) {
+  float m = x[0];
+  for (std::int64_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+float abs_max_scalar(const float* x, std::int64_t n) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+void quantize_i8_scalar(const float* src, std::int8_t* dst, std::int64_t n,
+                        float inv_scale) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    // lrintf under the default rounding mode is round-to-nearest-even —
+    // the same rounding cvtps2dq applies, so codes match across ISAs.
+    long r = std::lrintf(src[i] * inv_scale);
+    r = std::clamp(r, -127L, 127L);
+    dst[i] = static_cast<std::int8_t>(r);
+  }
+}
+
+void dequantize_i8_scalar(const std::int8_t* src, float* dst, std::int64_t n,
+                          float scale) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = scale * static_cast<float>(src[i]);
+  }
+}
+
+std::int32_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b,
+                           std::int64_t n) {
+  std::int32_t acc = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+void axpy_i8_scalar(float* y, const std::int8_t* x, float a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] += a * static_cast<float>(x[i]);
+  }
+}
+
+void sgemm_i8_accumulate_ld_scalar(const std::int8_t* a, std::int64_t lda,
+                                   const std::int8_t* b, std::int64_t ldb,
+                                   float* c, std::int64_t ldc,
+                                   std::int64_t rows, std::int64_t depth,
+                                   std::int64_t cols,
+                                   const float* a_row_scales, float b_scale) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float s = a_row_scales[r] * b_scale;
+    const std::int8_t* ar = a + r * lda;
+    float* cr = c + r * ldc;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t e = 0; e < depth; ++e) {
+        acc += static_cast<std::int32_t>(ar[e]) *
+               static_cast<std::int32_t>(b[e * ldb + j]);
+      }
+      cr[j] += s * static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernel_table() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.isa = Isa::kScalar;
+    t.half_to_float = half_to_float_scalar;
+    t.float_to_half = float_to_half_scalar;
+    t.sgemm_accumulate = sgemm_accumulate_scalar;
+    t.sgemm_accumulate_ld = sgemm_accumulate_ld_scalar;
+    t.dot_rows = dot_rows_scalar;
+    t.axpy = axpy_scalar;
+    t.axpby = axpby_scalar;
+    t.scale_inplace = scale_inplace_scalar;
+    t.reduce_max = reduce_max_scalar;
+    t.abs_max = abs_max_scalar;
+    t.quantize_i8 = quantize_i8_scalar;
+    t.dequantize_i8 = dequantize_i8_scalar;
+    t.dot_i8 = dot_i8_scalar;
+    t.axpy_i8 = axpy_i8_scalar;
+    t.sgemm_i8_accumulate_ld = sgemm_i8_accumulate_ld_scalar;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace stof::core

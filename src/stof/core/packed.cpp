@@ -1,10 +1,10 @@
 #include "stof/core/packed.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <vector>
 
 #include "stof/core/check.hpp"
+#include "stof/core/kernels.hpp"
 
 namespace stof {
 
@@ -48,136 +48,67 @@ const float* h2f_table() {
   return table.data();
 }
 
+// The loop bodies live in the runtime-dispatched kernel table
+// (core/kernels.hpp): the scalar entries are the original reference loops,
+// the SIMD entries are byte-identical rewrites selected by CPU feature
+// detection at startup.
+
 void half_to_float(std::span<const half> src, std::span<float> dst) {
   STOF_EXPECTS(src.size() == dst.size(), "panel size mismatch");
-  const float* table = h2f_table();
-  const half* s = src.data();
-  float* d = dst.data();
-  const std::size_t n = src.size();
-  for (std::size_t i = 0; i < n; ++i) d[i] = table[s[i].bits()];
+  core::note_kernel_dispatch("half_to_float");
+  core::kernels().half_to_float(src.data(), dst.data(),
+                                static_cast<std::int64_t>(src.size()));
 }
 
 void float_to_half(std::span<const float> src, std::span<half> dst) {
   STOF_EXPECTS(src.size() == dst.size(), "panel size mismatch");
-  const float* s = src.data();
-  half* d = dst.data();
-  const std::size_t n = src.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    d[i] = half::from_bits(half::from_float(s[i]));
-  }
+  core::note_kernel_dispatch("float_to_half");
+  core::kernels().float_to_half(src.data(), dst.data(),
+                                static_cast<std::int64_t>(src.size()));
 }
 
 void sgemm_accumulate(const float* a, const float* b, float* c,
                       std::int64_t rows, std::int64_t k, std::int64_t n) {
-  // Block N so the active C slice and B column panel stay cache-resident,
-  // and block K so the B sub-panel fits L2.  The k0/ki split keeps the
-  // k-index strictly ascending per output element (bit-identity contract).
-  // Within a cache block, four output rows are register-tiled together:
-  // each B row load feeds four independent accumulation streams, which
-  // permutes only across output elements, never within one element's
-  // k-ascending term sequence.
-  constexpr std::int64_t kNB = 256;
-  constexpr std::int64_t kKB = 128;
-  constexpr std::int64_t kMR = 4;
-  for (std::int64_t n0 = 0; n0 < n; n0 += kNB) {
-    const std::int64_t nw = std::min(kNB, n - n0);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kKB) {
-      const std::int64_t kw = std::min(kKB, k - k0);
-      std::int64_t r = 0;
-      for (; r + kMR <= rows; r += kMR) {
-        float* c0 = c + (r + 0) * n + n0;
-        float* c1 = c + (r + 1) * n + n0;
-        float* c2 = c + (r + 2) * n + n0;
-        float* c3 = c + (r + 3) * n + n0;
-        const float* a0 = a + (r + 0) * k + k0;
-        const float* a1 = a + (r + 1) * k + k0;
-        const float* a2 = a + (r + 2) * k + k0;
-        const float* a3 = a + (r + 3) * k + k0;
-        for (std::int64_t ki = 0; ki < kw; ++ki) {
-          const float av0 = a0[ki];
-          const float av1 = a1[ki];
-          const float av2 = a2[ki];
-          const float av3 = a3[ki];
-          const float* br = b + (k0 + ki) * n + n0;
-          for (std::int64_t j = 0; j < nw; ++j) {
-            const float bv = br[j];
-            c0[j] += av0 * bv;
-            c1[j] += av1 * bv;
-            c2[j] += av2 * bv;
-            c3[j] += av3 * bv;
-          }
-        }
-      }
-      for (; r < rows; ++r) {
-        float* cr = c + r * n + n0;
-        const float* ar = a + r * k + k0;
-        for (std::int64_t ki = 0; ki < kw; ++ki) {
-          const float av = ar[ki];
-          const float* br = b + (k0 + ki) * n + n0;
-          for (std::int64_t j = 0; j < nw; ++j) cr[j] += av * br[j];
-        }
-      }
-    }
-  }
+  core::note_kernel_dispatch("sgemm_accumulate");
+  core::kernels().sgemm_accumulate(a, b, c, rows, k, n);
 }
 
 void sgemm_accumulate_ld(const float* a, std::int64_t lda, const float* b,
                          std::int64_t ldb, float* c, std::int64_t ldc,
                          std::int64_t rows, std::int64_t depth,
                          std::int64_t cols) {
-  // 2x2 register block: two output rows share each pair of B-row loads,
-  // and C is loaded/stored once per two reduction steps.  The chained
-  // (c + t0) + t1 sum is the same left-to-right association as two
-  // sequential `c += t` steps, so the rounding sequence per output element
-  // is unchanged.  Larger blocks (4 rows and/or 4-deep unrolls) were
-  // measured slower here: they spill the FP32 accumulator registers.
-  constexpr std::int64_t kMR = 2;
-  constexpr std::int64_t kKU = 2;
-  std::int64_t r = 0;
-  for (; r + kMR <= rows; r += kMR) {
-    const float* a0 = a + r * lda;
-    const float* a1 = a0 + lda;
-    float* c0 = c + r * ldc;
-    float* c1 = c0 + ldc;
-    std::int64_t e = 0;
-    for (; e + kKU <= depth; e += kKU) {
-      const float* b0 = b + e * ldb;
-      const float* b1 = b0 + ldb;
-      const float av00 = a0[e], av01 = a0[e + 1];
-      const float av10 = a1[e], av11 = a1[e + 1];
-      for (std::int64_t j = 0; j < cols; ++j) {
-        const float b0j = b0[j], b1j = b1[j];
-        c0[j] = (c0[j] + av00 * b0j) + av01 * b1j;
-        c1[j] = (c1[j] + av10 * b0j) + av11 * b1j;
-      }
-    }
-    for (; e < depth; ++e) {
-      const float* bv = b + e * ldb;
-      const float av0 = a0[e], av1 = a1[e];
-      for (std::int64_t j = 0; j < cols; ++j) {
-        const float bj = bv[j];
-        c0[j] += av0 * bj;
-        c1[j] += av1 * bj;
-      }
-    }
+  core::note_kernel_dispatch("sgemm_accumulate_ld");
+  core::kernels().sgemm_accumulate_ld(a, lda, b, ldb, c, ldc, rows, depth,
+                                      cols);
+}
+
+void quantize_floats(const float* src, std::int64_t count, std::int64_t group,
+                     std::int8_t* dst, float* scales) {
+  STOF_EXPECTS(group > 0 && count % group == 0,
+               "quantization group must divide the element count");
+  const core::KernelTable& kt = core::kernels();
+  core::note_kernel_dispatch("quantize_i8", count / group);
+  for (std::int64_t g = 0; g < count / group; ++g) {
+    const float* s = src + g * group;
+    const auto params = core::quant_params(kt.abs_max(s, group));
+    scales[g] = params.scale;
+    kt.quantize_i8(s, dst + g * group, group, params.inv_scale);
   }
-  for (; r < rows; ++r) {
-    const float* ar = a + r * lda;
-    float* cr = c + r * ldc;
-    std::int64_t e = 0;
-    for (; e + kKU <= depth; e += kKU) {
-      const float* b0 = b + e * ldb;
-      const float* b1 = b0 + ldb;
-      const float av0 = ar[e], av1 = ar[e + 1];
-      for (std::int64_t j = 0; j < cols; ++j) {
-        cr[j] = (cr[j] + av0 * b0[j]) + av1 * b1[j];
-      }
-    }
-    for (; e < depth; ++e) {
-      const float* bv = b + e * ldb;
-      const float av = ar[e];
-      for (std::int64_t j = 0; j < cols; ++j) cr[j] += av * bv[j];
-    }
+}
+
+void quantize_halfs(std::span<const half> src, std::int64_t group,
+                    std::int8_t* dst, float* scales) {
+  const auto count = static_cast<std::int64_t>(src.size());
+  STOF_EXPECTS(group > 0 && count % group == 0,
+               "quantization group must divide the element count");
+  const core::KernelTable& kt = core::kernels();
+  std::vector<float> tmp(static_cast<std::size_t>(group));
+  core::note_kernel_dispatch("quantize_i8", count / group);
+  for (std::int64_t g = 0; g < count / group; ++g) {
+    kt.half_to_float(src.data() + g * group, tmp.data(), group);
+    const auto params = core::quant_params(kt.abs_max(tmp.data(), group));
+    scales[g] = params.scale;
+    kt.quantize_i8(tmp.data(), dst + g * group, group, params.inv_scale);
   }
 }
 

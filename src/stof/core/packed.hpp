@@ -94,5 +94,24 @@ void sgemm_accumulate_ld(const float* a, std::int64_t lda, const float* b,
                          std::int64_t rows, std::int64_t depth,
                          std::int64_t cols);
 
+// ---- INT8 quantized panel tier ---------------------------------------------
+//
+// Symmetric per-group quantization: scale = absmax/127 (with a degenerate
+// all-zero fallback for vanishing groups, see core::quant_params), codes
+// rounded to nearest-even and clamped to +/-127.  Codes and scales are a
+// pure function of the source values — identical across ISAs, schedules,
+// and re-conversions — so INT8 execution stays deterministic even though
+// it is not bit-identical to FP32.
+
+/// Quantize a float panel with one scale per `group` elements; `count`
+/// must be a multiple of `group`.  dst has count codes, scales has
+/// count/group entries.
+void quantize_floats(const float* src, std::int64_t count, std::int64_t group,
+                     std::int8_t* dst, float* scales);
+
+/// Same, sourcing from a half panel (converted through the exact table).
+void quantize_halfs(std::span<const half> src, std::int64_t group,
+                    std::int8_t* dst, float* scales);
+
 }  // namespace packed
 }  // namespace stof

@@ -9,6 +9,14 @@ namespace stof::core {
 PanelCacheRegistry::PanelCacheRegistry(std::size_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
+std::size_t PanelCacheRegistry::entry_bytes(const Entry& e) {
+  std::size_t bytes = 0;
+  if (e.buffer) bytes += e.buffer->size() * sizeof(float);
+  if (e.codes) bytes += e.codes->size();
+  if (e.scales) bytes += e.scales->size() * sizeof(float);
+  return bytes;
+}
+
 void PanelCacheRegistry::convert_range_locked(Entry& entry, std::int64_t lo,
                                               std::int64_t hi,
                                               const Converter& convert,
@@ -18,6 +26,19 @@ void PanelCacheRegistry::convert_range_locked(Entry& entry, std::int64_t lo,
   entry.valid = std::max(entry.valid, hi);
   ref.converted_elems += hi - lo;
   const std::int64_t bytes = (hi - lo) * 2;  // source halfs
+  stats_.bytes_converted += bytes;
+  telemetry::count("exec.panelcache.bytes_converted", bytes);
+}
+
+void PanelCacheRegistry::convert_range_i8_locked(Entry& entry, std::int64_t lo,
+                                                 std::int64_t hi,
+                                                 const Int8Converter& convert,
+                                                 Int8PanelRef& ref) {
+  if (lo >= hi) return;
+  convert(lo, hi, entry.codes->data(), entry.scales->data());
+  entry.valid = std::max(entry.valid, hi);
+  ref.converted_elems += hi - lo;
+  const std::int64_t bytes = hi - lo;  // destination int8 codes, 1/elem
   stats_.bytes_converted += bytes;
   telemetry::count("exec.panelcache.bytes_converted", bytes);
 }
@@ -53,7 +74,7 @@ PanelRef PanelCacheRegistry::get_or_convert(PanelKey key,
     // panel was converted.  Discard and fall through to a fresh miss.
     stats_.invalidations += 1;
     telemetry::count("exec.panelcache.invalidations");
-    resident_bytes_ -= e.buffer->size() * sizeof(float);
+    resident_bytes_ -= entry_bytes(e);
     entries_.erase(it);
   }
 
@@ -66,7 +87,65 @@ PanelRef PanelCacheRegistry::get_or_convert(PanelKey key,
   e.lru = tick_;
   convert_range_locked(e, 0, valid_elems, convert, ref);
   ref.buffer = e.buffer;
-  resident_bytes_ += e.buffer->size() * sizeof(float);
+  resident_bytes_ += entry_bytes(e);
+  entries_.emplace(key, std::move(e));
+  evict_over_capacity_locked(key);
+  return ref;
+}
+
+Int8PanelRef PanelCacheRegistry::get_or_convert_int8(
+    PanelKey key, std::uint64_t version, std::int64_t total_elems,
+    std::int64_t valid_elems, std::int64_t scale_group,
+    const Int8Converter& convert) {
+  STOF_EXPECTS(key.storage != 0, "panel key needs a real storage id");
+  STOF_EXPECTS((key.variant & kPanelInt8) != 0,
+               "int8 panel keys must carry the kPanelInt8 variant flag");
+  STOF_EXPECTS(total_elems > 0 && valid_elems >= 0 &&
+                   valid_elems <= total_elems,
+               "valid prefix must fit the panel");
+  STOF_EXPECTS(scale_group > 0 && total_elems % scale_group == 0 &&
+                   valid_elems % scale_group == 0,
+               "element counts must be scale_group multiples");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  Int8PanelRef ref;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    STOF_CHECK(e.codes != nullptr &&
+                   static_cast<std::int64_t>(e.codes->size()) == total_elems &&
+                   e.scale_group == scale_group,
+               "int8 panel geometry changed under a live storage key");
+    if (e.version == version) {
+      e.lru = tick_;
+      stats_.hits += 1;
+      telemetry::count("exec.panelcache.hits");
+      convert_range_i8_locked(e, e.valid, valid_elems, convert, ref);
+      ref.codes = e.codes;
+      ref.scales = e.scales;
+      return ref;
+    }
+    stats_.invalidations += 1;
+    telemetry::count("exec.panelcache.invalidations");
+    resident_bytes_ -= entry_bytes(e);
+    entries_.erase(it);
+  }
+
+  stats_.misses += 1;
+  telemetry::count("exec.panelcache.misses");
+  Entry e;
+  e.codes = std::make_shared<std::vector<std::int8_t>>(
+      static_cast<std::size_t>(total_elems));
+  e.scales = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(total_elems / scale_group));
+  e.scale_group = scale_group;
+  e.version = version;
+  e.lru = tick_;
+  convert_range_i8_locked(e, 0, valid_elems, convert, ref);
+  ref.codes = e.codes;
+  ref.scales = e.scales;
+  resident_bytes_ += entry_bytes(e);
   entries_.emplace(key, std::move(e));
   evict_over_capacity_locked(key);
   return ref;
@@ -82,7 +161,7 @@ void PanelCacheRegistry::evict_over_capacity_locked(PanelKey keep) {
       }
     }
     if (victim == entries_.end()) return;
-    resident_bytes_ -= victim->second.buffer->size() * sizeof(float);
+    resident_bytes_ -= entry_bytes(victim->second);
     entries_.erase(victim);
     stats_.evictions += 1;
   }
@@ -92,7 +171,7 @@ bool PanelCacheRegistry::invalidate(PanelKey key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
-  resident_bytes_ -= it->second.buffer->size() * sizeof(float);
+  resident_bytes_ -= entry_bytes(it->second);
   entries_.erase(it);
   stats_.invalidations += 1;
   telemetry::count("exec.panelcache.invalidations");
@@ -104,7 +183,7 @@ std::size_t PanelCacheRegistry::drop_storage(std::uint64_t storage) {
   std::size_t dropped = 0;
   for (auto it = entries_.lower_bound(PanelKey{storage, 0});
        it != entries_.end() && it->first.storage == storage;) {
-    resident_bytes_ -= it->second.buffer->size() * sizeof(float);
+    resident_bytes_ -= entry_bytes(it->second);
     it = entries_.erase(it);
     ++dropped;
   }

@@ -25,10 +25,20 @@
 // the new suffix, which is what turns per-decode-step conversion from
 // O(context) into O(newly appended rows).
 //
+// The registry also caches INT8-quantized panels (get_or_convert_int8):
+// symmetric per-group codes plus scales, keyed with the kPanelInt8 variant
+// flag so a storage's float and int8 panels coexist.  Quantize-once: codes
+// are derived from the half source exactly once per storage version, so
+// INT8 execution sees identical codes however often or incrementally a
+// panel is fetched.
+//
 // Counters (emitted when telemetry is enabled, mirrored in local stats):
 //   exec.panelcache.hits            lookups served from a cached panel
 //   exec.panelcache.misses          lookups that created a new panel
-//   exec.panelcache.bytes_converted source half bytes converted (2/elem)
+//   exec.panelcache.bytes_converted destination bytes written: 2/elem for
+//                                   float panels (source half reconverts),
+//                                   1/elem for int8 panels — the INT8
+//                                   tier's conversion traffic is half
 //   exec.panelcache.invalidations   stale-version discards + invalidate()
 #pragma once
 
@@ -54,6 +64,9 @@ struct PanelKey {
 
 inline constexpr std::uint64_t kPanelRowMajor = 0;
 inline constexpr std::uint64_t kPanelTransposed = 1;
+/// Variant flag (OR'd with the layout) marking an INT8-quantized panel —
+/// the same storage may be cached float and int8 at once without aliasing.
+inline constexpr std::uint64_t kPanelInt8 = 2;
 
 /// Shared handle to a cached float panel.  Keeps the buffer alive (and its
 /// data pointer stable) independently of registry eviction.
@@ -63,6 +76,18 @@ struct PanelRef {
   std::int64_t converted_elems = 0;
   [[nodiscard]] const float* data() const { return buffer->data(); }
   explicit operator bool() const { return buffer != nullptr; }
+};
+
+/// Shared handle to a cached INT8 panel: symmetric per-group codes plus
+/// one scale per `scale_group` elements (see core::quant_params).
+struct Int8PanelRef {
+  std::shared_ptr<const std::vector<std::int8_t>> codes;
+  std::shared_ptr<const std::vector<float>> scales;
+  /// Elements this call quantized (0 on a pure hit).
+  std::int64_t converted_elems = 0;
+  [[nodiscard]] const std::int8_t* data() const { return codes->data(); }
+  [[nodiscard]] const float* scale_data() const { return scales->data(); }
+  explicit operator bool() const { return codes != nullptr; }
 };
 
 struct PanelCacheStats {
@@ -90,6 +115,12 @@ class PanelCacheRegistry {
   using Converter =
       std::function<void(std::int64_t lo, std::int64_t hi, float* dst)>;
 
+  /// Quantizes destination elements [lo, hi) of an INT8 panel; lo and hi
+  /// are always multiples of the entry's scale_group, and the converter
+  /// writes codes[lo, hi) plus scales[lo/group, hi/group).
+  using Int8Converter = std::function<void(
+      std::int64_t lo, std::int64_t hi, std::int8_t* codes, float* scales)>;
+
   explicit PanelCacheRegistry(
       std::size_t capacity_bytes = kDefaultCapacityBytes);
 
@@ -103,6 +134,19 @@ class PanelCacheRegistry {
   PanelRef get_or_convert(PanelKey key, std::uint64_t version,
                           std::int64_t total_elems, std::int64_t valid_elems,
                           const Converter& convert);
+
+  /// INT8 twin of get_or_convert with the same hit/extend/reconvert
+  /// semantics.  `key.variant` must carry the kPanelInt8 flag (int8 and
+  /// float panels of one storage coexist under distinct keys);
+  /// `scale_group` fixes the quantization granularity for the key's
+  /// lifetime, and total/valid element counts must be multiples of it.
+  /// Quantization is quantize-once: a hit never re-derives codes, so the
+  /// same storage version always yields byte-identical codes and scales.
+  Int8PanelRef get_or_convert_int8(PanelKey key, std::uint64_t version,
+                                   std::int64_t total_elems,
+                                   std::int64_t valid_elems,
+                                   std::int64_t scale_group,
+                                   const Int8Converter& convert);
 
   /// Remove `key` (counted as an invalidation).  Returns whether an entry
   /// existed.  Use when the underlying storage is recycled (KV page reuse).
@@ -123,15 +167,24 @@ class PanelCacheRegistry {
   void set_capacity_bytes(std::size_t bytes);
 
  private:
+  /// One cached panel: float (buffer set) or int8 (codes + scales set).
   struct Entry {
     std::shared_ptr<std::vector<float>> buffer;
+    std::shared_ptr<std::vector<std::int8_t>> codes;
+    std::shared_ptr<std::vector<float>> scales;
+    std::int64_t scale_group = 0;  ///< int8 entries only
     std::uint64_t version = 0;
-    std::int64_t valid = 0;   ///< converted prefix, elements
-    std::uint64_t lru = 0;    ///< last-touch tick
+    std::int64_t valid = 0;  ///< converted prefix, elements
+    std::uint64_t lru = 0;   ///< last-touch tick
   };
+
+  [[nodiscard]] static std::size_t entry_bytes(const Entry& e);
 
   void convert_range_locked(Entry& entry, std::int64_t lo, std::int64_t hi,
                             const Converter& convert, PanelRef& ref);
+  void convert_range_i8_locked(Entry& entry, std::int64_t lo, std::int64_t hi,
+                               const Int8Converter& convert,
+                               Int8PanelRef& ref);
   void evict_over_capacity_locked(PanelKey keep);
 
   mutable std::mutex mu_;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <optional>
 #include <vector>
 
+#include "stof/core/kernels.hpp"
 #include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/mha/panel_cache.hpp"
@@ -113,15 +115,19 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
   if (use_packed) {
     if (panel_cache == nullptr) {
       panels.emplace(k, v, dims.kv_instances(), n, d, /*transpose_k=*/true,
-                     &core::global_panel_cache());
+                     &core::global_panel_cache(), params.kv_precision);
       panel_cache = &*panels;
       kv_off = 0;
     } else {
       STOF_EXPECTS(panel_cache->seq() == n && panel_cache->head_size() == d,
                    "shared panels must match the problem geometry");
+      STOF_EXPECTS(panel_cache->precision() == params.kv_precision,
+                   "shared panels must match the requested precision");
       STOF_EXPECTS(kv_off >= 0, "kv offset must be non-negative");
     }
   }
+  const bool int8_kv =
+      use_packed && params.kv_precision == core::PanelPrecision::kInt8;
 
   const auto& load_ptr = mask.load_row_ptr();
   const auto& load_idx = mask.load_col_idx();
@@ -139,8 +145,9 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
 
     if (use_packed) {
       // ---- Packed fast path: micro-kernels over cached FP32 panels. ----
-      const float* kt = panel_cache->kt_panel(kv_off + kv);
-      const float* vf = panel_cache->v_panel(kv_off + kv);
+      const core::KernelTable& ktab = core::kernels();
+      const float* kt = int8_kv ? nullptr : panel_cache->kt_panel(kv_off + kv);
+      const float* vf = int8_kv ? nullptr : panel_cache->v_panel(kv_off + kv);
       auto q_tile = arena.alloc(rows * d);
       packed::half_to_float(
           q.data().subspan(static_cast<std::size_t>((bh * n + row_lo) * d),
@@ -148,6 +155,31 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
           q_tile);
       auto pv = arena.alloc(rows * d);
       auto corr = arena.alloc(rows);
+      // INT8 tier state: quantized Q rows (one scale per row), the block's
+      // K/V codes, and a per-block weight-tile quantization buffer.  The
+      // int8 code buffers live in the float arena via the always-legal
+      // signed-char aliasing of its storage.
+      const std::int8_t* k8t = nullptr;
+      const std::int8_t* v8 = nullptr;
+      float k_sc = 0.0f;
+      float v_sc = 0.0f;
+      std::int8_t* q8 = nullptr;
+      std::int8_t* w8 = nullptr;
+      std::span<float> q_scales, w_scales;
+      if (int8_kv) {
+        k8t = panel_cache->kt_panel_i8(kv_off + kv);
+        v8 = panel_cache->v_panel_i8(kv_off + kv);
+        k_sc = panel_cache->k_scale(kv_off + kv);
+        v_sc = panel_cache->v_scale(kv_off + kv);
+        q8 = reinterpret_cast<std::int8_t*>(
+            arena.alloc((rows * d + 3) / 4).data());
+        q_scales = arena.alloc(rows);
+        packed::quantize_floats(q_tile.data(), rows * d, d, q8,
+                                q_scales.data());
+        w8 = reinterpret_cast<std::int8_t*>(
+            arena.alloc((rows * bn + 3) / 4).data());
+        w_scales = arena.alloc(rows);
+      }
       std::int64_t full_fast_blocks = 0;
 
       for (std::int64_t it = load_ptr[static_cast<std::size_t>(bi)];
@@ -169,8 +201,14 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
         for (std::int64_t r = 0; r < rows; ++r) {
           std::fill_n(st.s.data() + r * bn, cols, 0.0f);
         }
-        packed::sgemm_accumulate_ld(q_tile.data(), d, kt + col_lo, n,
-                                    st.s.data(), bn, rows, d, cols);
+        if (int8_kv) {
+          core::note_kernel_dispatch("sgemm_i8_accumulate_ld");
+          ktab.sgemm_i8_accumulate_ld(q8, d, k8t + col_lo, n, st.s.data(), bn,
+                                      rows, d, cols, q_scales.data(), k_sc);
+        } else {
+          packed::sgemm_accumulate_ld(q_tile.data(), d, kt + col_lo, n,
+                                      st.s.data(), bn, rows, d, cols);
+        }
         const bool full_fast = bitmap == nullptr && !score_mod;
         if (full_fast) {
           // Full-block fast path: plain unit-stride scaling, no per-element
@@ -178,8 +216,7 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
           // full block's scores are all finite).
           ++full_fast_blocks;
           for (std::int64_t r = 0; r < rows; ++r) {
-            float* s_row = st.s.data() + r * bn;
-            for (std::int64_t c = 0; c < cols; ++c) s_row[c] *= scale;
+            ktab.scale_inplace(st.s.data() + r * bn, scale, cols);
           }
         } else if (!score_mod) {
           // Part block without a score-mod (the common sparse case): the
@@ -213,10 +250,9 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
         // output element's accumulation chain.
         for (std::int64_t r = 0; r < rows; ++r) {
           float* s_row = st.s.data() + r * bn;
-          float row_max = kNegInf;
-          for (std::int64_t c = 0; c < cols; ++c) {
-            row_max = std::max(row_max, s_row[c]);
-          }
+          // max is exact, so the vectorized reduction matches the scalar
+          // running max bit-for-bit.
+          const float row_max = ktab.reduce_max(s_row, cols);
           if (row_max == kNegInf) {
             corr[static_cast<std::size_t>(r)] = -1.0f;  // fully masked row
             continue;
@@ -253,16 +289,35 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
         // Fully masked rows still hold raw -inf scores; their products are
         // computed and discarded at the merge below.
         std::fill_n(pv.data(), rows * d, 0.0f);
-        packed::sgemm_accumulate_ld(st.s.data(), bn, vf + col_lo * d, d,
-                                    pv.data(), d, rows, cols, d);
+        if (int8_kv) {
+          // Quantize the weight tile per row (valid cols only — the tail of
+          // each bn-row is stale scratch).  Fully masked rows still hold
+          // raw -inf scores; their PV contribution is discarded at the
+          // merge below, so emit zero codes instead of quantizing -inf.
+          for (std::int64_t r = 0; r < rows; ++r) {
+            if (corr[static_cast<std::size_t>(r)] < 0.0f) {
+              w_scales[static_cast<std::size_t>(r)] = 0.0f;
+              std::memset(w8 + r * bn, 0, static_cast<std::size_t>(cols));
+              continue;
+            }
+            const float* s_row = st.s.data() + r * bn;
+            const auto qp = core::quant_params(ktab.abs_max(s_row, cols));
+            w_scales[static_cast<std::size_t>(r)] = qp.scale;
+            ktab.quantize_i8(s_row, w8 + r * bn, cols, qp.inv_scale);
+          }
+          core::note_kernel_dispatch("sgemm_i8_accumulate_ld");
+          ktab.sgemm_i8_accumulate_ld(w8, bn, v8 + col_lo * d, d, pv.data(),
+                                      d, rows, cols, d, w_scales.data(), v_sc);
+        } else {
+          packed::sgemm_accumulate_ld(st.s.data(), bn, vf + col_lo * d, d,
+                                      pv.data(), d, rows, cols, d);
+        }
         for (std::int64_t r = 0; r < rows; ++r) {
           const float c_r = corr[static_cast<std::size_t>(r)];
           if (c_r < 0.0f) continue;
-          const float* pv_row = pv.data() + r * d;
-          float* acc_row = st.acc.data() + r * d;
-          for (std::int64_t e = 0; e < d; ++e) {
-            acc_row[e] = acc_row[e] * c_r + pv_row[e];
-          }
+          // acc = acc*corr + 1.0*pv — alpha == 1 makes the product exact,
+          // so this is the scalar `acc*corr + pv` merge bit-for-bit.
+          ktab.axpby(st.acc.data() + r * d, pv.data() + r * d, c_r, 1.0f, d);
         }
       }
       if (full_fast_blocks > 0) {
@@ -274,8 +329,7 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
       for (std::int64_t r = 0; r < rows; ++r) {
         const float denom = st.l[static_cast<std::size_t>(r)];
         const float inv = denom == 0.0f ? 0.0f : 1.0f / denom;
-        float* acc_row = st.acc.data() + r * d;
-        for (std::int64_t e = 0; e < d; ++e) acc_row[e] *= inv;
+        ktab.scale_inplace(st.acc.data() + r * d, inv, d);
       }
       packed::float_to_half(
           st.acc,

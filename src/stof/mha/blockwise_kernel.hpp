@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "stof/core/kernels.hpp"
 #include "stof/gpusim/cost.hpp"
 #include "stof/gpusim/device.hpp"
 #include "stof/masks/mask.hpp"
@@ -37,6 +38,12 @@ struct BlockwiseParams {
   /// Ablation: ignore the full/part classification and load + apply a
   /// bitmap for every valid block (as a coarse block-mask kernel would).
   bool treat_full_as_part = false;
+  /// Storage tier of the cached K/V panels (packed mode only).  kInt8 runs
+  /// both tile GEMMs over quantized panels with exact int32 accumulation —
+  /// deterministic, roughly half the panel-conversion traffic, but not
+  /// bit-identical to FP32, so call sites opt in explicitly.  Scalar
+  /// execution ignores the field (it is the FP32 reference).
+  core::PanelPrecision kv_precision = core::PanelPrecision::kFloat32;
 
   void validate() const;
 

@@ -1,8 +1,10 @@
 #include "stof/mha/decode.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "stof/core/kernels.hpp"
 #include "stof/core/packed.hpp"
 #include "stof/gpusim/occupancy.hpp"
 #include "stof/parallel/parallel_for.hpp"
@@ -52,11 +54,12 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
 
   parallel_for_scratch(0, dims.instances(), [&](std::int64_t bh,
                                                 ScratchArena& arena) {
+    const core::KernelTable& kt = core::kernels();
     float m = -std::numeric_limits<float>::infinity();
     float l = 0;
     auto acc = arena.alloc_zeroed(d);
 
-    std::span<float> q_row, k_rows, v_rows;
+    std::span<float> q_row, k_rows, v_rows, dots;
     if (use_packed) {
       q_row = arena.alloc(d);
       packed::half_to_float(
@@ -64,6 +67,7 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
           q_row);
       k_rows = arena.alloc(gathered * d);
       v_rows = arena.alloc(gathered * d);
+      dots = arena.alloc(gathered);
       for (std::int64_t g = 0; g < gathered; ++g) {
         const auto src =
             static_cast<std::size_t>((bh * ctx + cols[static_cast<std::size_t>(
@@ -77,14 +81,20 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
             v_cache.data().subspan(src, static_cast<std::size_t>(d)),
             v_rows.subspan(dst, static_cast<std::size_t>(d)));
       }
+      // All gathered rows are contiguous in scratch, so the dot batch runs
+      // with idx == nullptr; each dot keeps the serial ascending-e chain of
+      // the scalar loop below.
+      core::note_kernel_dispatch("dot_rows");
+      kt.dot_rows(q_row.data(), k_rows.data(), d, nullptr, dots.data(),
+                  gathered, d);
+      core::note_kernel_dispatch("axpby", gathered);
     }
 
     for (std::int64_t g = 0; g < gathered; ++g) {
       const std::int64_t j = cols[static_cast<std::size_t>(g)];
       float dot = 0;
       if (use_packed) {
-        const float* k_row = k_rows.data() + g * d;
-        for (std::int64_t e = 0; e < d; ++e) dot += q_row[e] * k_row[e];
+        dot = dots[static_cast<std::size_t>(g)];
       } else {
         for (std::int64_t e = 0; e < d; ++e) {
           dot += float(q.at(bh, 0, e)) * float(k_cache.at(bh, j, e));
@@ -96,11 +106,9 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
       const float w = std::exp(s - m_new);
       l = l * correction + w;
       if (use_packed) {
-        const float* v_row = v_rows.data() + g * d;
-        for (std::int64_t e = 0; e < d; ++e) {
-          acc[static_cast<std::size_t>(e)] =
-              acc[static_cast<std::size_t>(e)] * correction + w * v_row[e];
-        }
+        // acc = acc*correction + w*v_row — exactly the scalar merge below,
+        // one multiply and one add per element.
+        kt.axpby(acc.data(), v_rows.data() + g * d, correction, w, d);
       } else {
         for (std::int64_t e = 0; e < d; ++e) {
           acc[static_cast<std::size_t>(e)] =
@@ -111,8 +119,15 @@ TensorH decode_attention(const DecodeDims& dims, const TensorH& q,
       m = m_new;
     }
     const float inv = l == 0.0f ? 0.0f : 1.0f / l;
-    for (std::int64_t e = 0; e < d; ++e) {
-      out.at(bh, 0, e) = half(acc[static_cast<std::size_t>(e)] * inv);
+    if (use_packed) {
+      kt.scale_inplace(acc.data(), inv, d);
+      packed::float_to_half(
+          acc, out.data().subspan(static_cast<std::size_t>(bh * d),
+                                  static_cast<std::size_t>(d)));
+    } else {
+      for (std::int64_t e = 0; e < d; ++e) {
+        out.at(bh, 0, e) = half(acc[static_cast<std::size_t>(e)] * inv);
+      }
     }
   });
   return out;
@@ -135,6 +150,17 @@ void PagedSeq::validate(std::int64_t heads, std::int64_t head_size) const {
     STOF_EXPECTS(static_cast<std::int64_t>(kf_blocks.size()) >= need &&
                      static_cast<std::int64_t>(vf_blocks.size()) >= need,
                  "not enough float KV blocks for context_len");
+  }
+  STOF_EXPECTS(k8_blocks.empty() == v8_blocks.empty() &&
+                   k8_blocks.empty() == k8_scales.empty() &&
+                   k8_blocks.empty() == v8_scales.empty(),
+               "int8 sidecar views come as k/v blocks plus scales");
+  if (!k8_blocks.empty()) {
+    STOF_EXPECTS(static_cast<std::int64_t>(k8_blocks.size()) >= need &&
+                     static_cast<std::int64_t>(v8_blocks.size()) >= need &&
+                     static_cast<std::int64_t>(k8_scales.size()) >= need &&
+                     static_cast<std::int64_t>(v8_scales.size()) >= need,
+                 "not enough int8 KV blocks for context_len");
   }
   std::int32_t prev = -1;
   for (const auto c : cols) {
@@ -162,15 +188,19 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
   // per-sequence outputs cannot depend on what else is in the batch.
   parallel_for_scratch(0, num_seqs * heads, [&](std::int64_t inst,
                                                 ScratchArena& arena) {
+    const core::KernelTable& kt = core::kernels();
     const std::int64_t s = inst / heads;
     const std::int64_t h = inst % heads;
     const PagedSeq& seq = seqs[static_cast<std::size_t>(s)];
     const std::int64_t bt = seq.block_tokens;
-    // The KV pool's float sidecar holds these pages pre-converted (each
-    // page converted once when its rows were appended); reading it skips
-    // the per-step O(context) half->float work.  Conversion is exact, so
-    // every score and PV term below is the same float either way.
-    const bool sidecar = use_packed && !seq.kf_blocks.empty();
+    // The KV pool's sidecars hold these pages pre-converted (each page
+    // converted once when its rows were appended); reading one skips the
+    // per-step O(context) half->float work.  The float sidecar is exact,
+    // so every score and PV term below is the same float either way; the
+    // INT8 sidecar trades a quantization error bound for halved panel
+    // bytes and is gated by the serving engine's kv-precision policy.
+    const bool int8_tier = use_packed && !seq.k8_blocks.empty();
+    const bool sidecar = !int8_tier && use_packed && !seq.kf_blocks.empty();
 
     float m = -std::numeric_limits<float>::infinity();
     float l = 0;
@@ -178,7 +208,9 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
     auto w_buf = arena.alloc(bt);
     auto col_buf = arena.alloc(bt);  // local offsets of attended cols
 
-    std::span<float> q_row;
+    std::span<float> q_row, pv, kv_scratch;
+    std::int8_t* q8 = nullptr;
+    float q_scale = 0.0f;
     if (use_packed) {
       // half->float conversion is exact, so reading through a converted
       // FP32 panel rounds identically to per-element float(half) loads.
@@ -186,53 +218,92 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
       packed::half_to_float(
           q.data().subspan(static_cast<std::size_t>(inst * d), q_row.size()),
           q_row);
+      pv = arena.alloc(d);
+      if (int8_tier) {
+        // Quantize the query row once per instance; int8 codes live in the
+        // float arena (signed-char stores may alias any storage).
+        auto q8_words = arena.alloc((d + 3) / 4);
+        q8 = reinterpret_cast<std::int8_t*>(q8_words.data());
+        const auto params = core::quant_params(kt.abs_max(q_row.data(), d));
+        q_scale = params.scale;
+        kt.quantize_i8(q_row.data(), q8, d, params.inv_scale);
+      } else if (!sidecar) {
+        kv_scratch = arena.alloc(bt * d);
+      }
     }
 
     // Stream the attended columns one KV page at a time with the exact
     // per-block update order of the block-wise kernel's scalar path:
     // block row-max, max-merge, correction, ascending-column weight sum,
-    // then the PV accumulate with the column loop innermost-ascending.
-    // Masked columns inside a visited page contribute w == 0 there, which
-    // is an exact no-op on every reduction, so the chain of decode steps
-    // reproduces a full block-wise pass bit-for-bit (block_tokens must
-    // equal the kernel's BLOCK_N).
+    // then the PV accumulate over ascending columns.  Masked columns
+    // inside a visited page contribute w == 0 there, which is an exact
+    // no-op on every reduction, so the chain of decode steps reproduces a
+    // full block-wise pass bit-for-bit (block_tokens must equal the
+    // kernel's BLOCK_N).
     std::size_t g = 0;
     const std::size_t n_cols = seq.cols.size();
     while (g < n_cols) {
       const std::int64_t bj = seq.cols[g] / bt;
       const half* k_blk = seq.k_blocks[static_cast<std::size_t>(bj)];
       const half* v_blk = seq.v_blocks[static_cast<std::size_t>(bj)];
-      const float* kf_blk =
-          sidecar ? seq.kf_blocks[static_cast<std::size_t>(bj)] : nullptr;
-      const float* vf_blk =
-          sidecar ? seq.vf_blocks[static_cast<std::size_t>(bj)] : nullptr;
       const std::int64_t col_lo = bj * bt;
 
-      // Scores for this page's attended columns.
-      float row_max = -std::numeric_limits<float>::infinity();
+      // Collect this page's attended locals (exact small integers, stored
+      // in the float scratch arena).
       std::int64_t nb = 0;
       for (; g < n_cols && seq.cols[g] < col_lo + bt; ++g, ++nb) {
-        const std::int64_t local = seq.cols[g] - col_lo;
-        float dot = 0;
-        if (sidecar) {
-          const float* kf_row = kf_blk + (local * heads + h) * d;
-          for (std::int64_t e = 0; e < d; ++e) {
-            dot += q_row[static_cast<std::size_t>(e)] * kf_row[e];
-          }
-        } else if (use_packed) {
+        col_buf[static_cast<std::size_t>(nb)] =
+            static_cast<float>(seq.cols[g] - col_lo);
+      }
+
+      // Scores for this page's attended columns: w_buf[c] = dot_c * scale,
+      // row_max = max over them (exact, so the batched reduction matches
+      // the scalar running max bit-for-bit).
+      float row_max = -std::numeric_limits<float>::infinity();
+      if (int8_tier) {
+        const std::int8_t* k8_blk =
+            seq.k8_blocks[static_cast<std::size_t>(bj)];
+        const float* k8s = seq.k8_scales[static_cast<std::size_t>(bj)];
+        for (std::int64_t c = 0; c < nb; ++c) {
+          const auto local =
+              static_cast<std::int64_t>(col_buf[static_cast<std::size_t>(c)]);
+          const std::int32_t di =
+              kt.dot_i8(q8, k8_blk + (local * heads + h) * d, d);
+          // Fixed dequantization expression order keeps the INT8 result
+          // deterministic across ISAs and batch schedules.
+          const float dot = (q_scale * k8s[local]) * static_cast<float>(di);
+          w_buf[static_cast<std::size_t>(c)] = dot * scale;
+        }
+        row_max = kt.reduce_max(w_buf.data(), nb);
+      } else if (sidecar) {
+        const float* kf_blk = seq.kf_blocks[static_cast<std::size_t>(bj)];
+        kt.dot_rows(q_row.data(), kf_blk + h * d, heads * d, col_buf.data(),
+                    w_buf.data(), nb, d);
+        kt.scale_inplace(w_buf.data(), scale, nb);
+        row_max = kt.reduce_max(w_buf.data(), nb);
+      } else if (use_packed) {
+        for (std::int64_t c = 0; c < nb; ++c) {
+          const auto local =
+              static_cast<std::int64_t>(col_buf[static_cast<std::size_t>(c)]);
+          kt.half_to_float(k_blk + (local * heads + h) * d,
+                           kv_scratch.data() + c * d, d);
+        }
+        kt.dot_rows(q_row.data(), kv_scratch.data(), d, nullptr, w_buf.data(),
+                    nb, d);
+        kt.scale_inplace(w_buf.data(), scale, nb);
+        row_max = kt.reduce_max(w_buf.data(), nb);
+      } else {
+        for (std::int64_t c = 0; c < nb; ++c) {
+          const auto local =
+              static_cast<std::int64_t>(col_buf[static_cast<std::size_t>(c)]);
           const half* k_row = k_blk + (local * heads + h) * d;
-          for (std::int64_t e = 0; e < d; ++e) {
-            dot += q_row[static_cast<std::size_t>(e)] * float(k_row[e]);
-          }
-        } else {
-          const half* k_row = k_blk + (local * heads + h) * d;
+          float dot = 0;
           for (std::int64_t e = 0; e < d; ++e) {
             dot += float(q.at(inst, 0, e)) * float(k_row[e]);
           }
+          w_buf[static_cast<std::size_t>(c)] = dot * scale;
+          row_max = std::max(row_max, dot * scale);
         }
-        w_buf[static_cast<std::size_t>(nb)] = dot * scale;
-        col_buf[static_cast<std::size_t>(nb)] = static_cast<float>(local);
-        row_max = std::max(row_max, dot * scale);
       }
 
       // Online-softmax merge, ascending-column weight sum (block-wise op
@@ -248,38 +319,67 @@ TensorH decode_attention_paged(std::int64_t heads, std::int64_t head_size,
       }
       l = l * correction + block_sum;
 
-      // PV accumulate: head-dim outer, attended columns inner ascending.
-      if (sidecar) {
-        for (std::int64_t e = 0; e < d; ++e) {
-          float pv = 0;
+      // PV accumulate.  Packed paths build the page's PV vector with one
+      // axpy per ascending column — per element that is the same
+      // `pv += w_c * v[e]` mul/add chain as the scalar e-outer loop — then
+      // merge with acc = acc*correction + 1.0*pv (alpha == 1 is exact).
+      if (use_packed) {
+        std::fill(pv.begin(), pv.end(), 0.0f);
+        if (int8_tier) {
+          const std::int8_t* v8_blk =
+              seq.v8_blocks[static_cast<std::size_t>(bj)];
+          const float* v8s = seq.v8_scales[static_cast<std::size_t>(bj)];
           for (std::int64_t c = 0; c < nb; ++c) {
             const auto local = static_cast<std::int64_t>(
                 col_buf[static_cast<std::size_t>(c)]);
-            pv += w_buf[static_cast<std::size_t>(c)] *
-                  vf_blk[(local * heads + h) * d + e];
+            kt.axpy_i8(pv.data(), v8_blk + (local * heads + h) * d,
+                       w_buf[static_cast<std::size_t>(c)] * v8s[local], d);
           }
-          acc[static_cast<std::size_t>(e)] =
-              acc[static_cast<std::size_t>(e)] * correction + pv;
+        } else if (sidecar) {
+          const float* vf_blk = seq.vf_blocks[static_cast<std::size_t>(bj)];
+          for (std::int64_t c = 0; c < nb; ++c) {
+            const auto local = static_cast<std::int64_t>(
+                col_buf[static_cast<std::size_t>(c)]);
+            kt.axpy(pv.data(), vf_blk + (local * heads + h) * d,
+                    w_buf[static_cast<std::size_t>(c)], d);
+          }
+        } else {
+          for (std::int64_t c = 0; c < nb; ++c) {
+            const auto local = static_cast<std::int64_t>(
+                col_buf[static_cast<std::size_t>(c)]);
+            kt.half_to_float(v_blk + (local * heads + h) * d,
+                             kv_scratch.data() + c * d, d);
+            kt.axpy(pv.data(), kv_scratch.data() + c * d,
+                    w_buf[static_cast<std::size_t>(c)], d);
+          }
         }
+        kt.axpby(acc.data(), pv.data(), correction, 1.0f, d);
       } else {
         for (std::int64_t e = 0; e < d; ++e) {
-          float pv = 0;
+          float pvs = 0;
           for (std::int64_t c = 0; c < nb; ++c) {
             const auto local = static_cast<std::int64_t>(
                 col_buf[static_cast<std::size_t>(c)]);
-            pv += w_buf[static_cast<std::size_t>(c)] *
-                  float(v_blk[(local * heads + h) * d + e]);
+            pvs += w_buf[static_cast<std::size_t>(c)] *
+                   float(v_blk[(local * heads + h) * d + e]);
           }
           acc[static_cast<std::size_t>(e)] =
-              acc[static_cast<std::size_t>(e)] * correction + pv;
+              acc[static_cast<std::size_t>(e)] * correction + pvs;
         }
       }
       m = m_new;
     }
 
     const float inv = l == 0.0f ? 0.0f : 1.0f / l;
-    for (std::int64_t e = 0; e < d; ++e) {
-      out.at(inst, 0, e) = half(acc[static_cast<std::size_t>(e)] * inv);
+    if (use_packed) {
+      kt.scale_inplace(acc.data(), inv, d);
+      packed::float_to_half(
+          acc, out.data().subspan(static_cast<std::size_t>(inst * d),
+                                  static_cast<std::size_t>(d)));
+    } else {
+      for (std::int64_t e = 0; e < d; ++e) {
+        out.at(inst, 0, e) = half(acc[static_cast<std::size_t>(e)] * inv);
+      }
     }
   });
   return out;

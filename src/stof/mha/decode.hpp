@@ -76,6 +76,20 @@ struct PagedSeq {
   /// least the first context_len rows.
   std::span<const float* const> kf_blocks;
   std::span<const float* const> vf_blocks;
+  /// Optional INT8-quantized views of the same blocks (the KV pool's INT8
+  /// sidecar tier).  Each int8 block mirrors its half block's layout; the
+  /// matching scales span holds one symmetric scale per token row (a
+  /// heads*head_size quantization group), so codes depend only on that
+  /// row's values and decode stays deterministic under incremental page
+  /// fill.  When present (all four or none), the packed path runs the
+  /// whole step in INT8 — scores and PV in exact int32 dot products with a
+  /// float epilogue — which is deterministic across ISAs but *not*
+  /// bit-identical to FP32; the serving engine gates it behind an explicit
+  /// kv-precision policy.  Takes precedence over the float sidecar.
+  std::span<const std::int8_t* const> k8_blocks;
+  std::span<const std::int8_t* const> v8_blocks;
+  std::span<const float* const> k8_scales;  ///< per block: block_tokens scales
+  std::span<const float* const> v8_scales;  ///< per block: block_tokens scales
 
   void validate(std::int64_t heads, std::int64_t head_size) const;
 };

@@ -55,8 +55,12 @@ void convert_row_major(const TensorH& t, std::int64_t kv_instances,
 KvPanelCache::KvPanelCache(const TensorH& k, const TensorH& v,
                            std::int64_t kv_instances, std::int64_t seq,
                            std::int64_t head_size, bool transpose_k,
-                           core::PanelCacheRegistry* registry)
-    : seq_(seq), d_(head_size), transposed_k_(transpose_k) {
+                           core::PanelCacheRegistry* registry,
+                           core::PanelPrecision precision)
+    : seq_(seq),
+      d_(head_size),
+      transposed_k_(transpose_k),
+      precision_(precision) {
   const std::int64_t panel = seq_ * d_;
   const std::int64_t total = kv_instances * panel;
   STOF_EXPECTS(static_cast<std::int64_t>(k.data().size()) == total &&
@@ -64,6 +68,67 @@ KvPanelCache::KvPanelCache(const TensorH& k, const TensorH& v,
                "K/V storage must be kv_instances contiguous (seq x d) panels");
 
   std::int64_t converted_panels = 0;
+  if (precision_ == core::PanelPrecision::kInt8) {
+    // INT8 tier: one symmetric scale per instance panel, codes in the same
+    // layout the float tier would use (K optionally transposed).  The
+    // transposed K codes quantize a transposed float staging buffer so the
+    // scale still covers exactly one instance's values.
+    const auto k_quant = [&](std::int8_t* codes, float* scales) {
+      if (transpose_k) {
+        std::vector<float> staged(static_cast<std::size_t>(total));
+        convert_transposed(k, kv_instances, seq_, d_, staged.data());
+        packed::quantize_floats(staged.data(), total, panel, codes, scales);
+      } else {
+        packed::quantize_halfs(k.data(), panel, codes, scales);
+      }
+    };
+    const auto v_quant = [&](std::int8_t* codes, float* scales) {
+      packed::quantize_halfs(v.data(), panel, codes, scales);
+    };
+    if (registry != nullptr) {
+      const std::uint64_t k_layout =
+          transpose_k ? core::kPanelTransposed |
+                            (static_cast<std::uint64_t>(seq_) << 8) |
+                            (static_cast<std::uint64_t>(d_) << 36)
+                      : core::kPanelRowMajor;
+      const auto wrap = [total](const auto& quant) {
+        return [total, &quant](std::int64_t lo, std::int64_t hi,
+                               std::int8_t* codes, float* scales) {
+          STOF_CHECK(lo == 0 && hi == total,
+                     "whole-tensor panels convert in full");
+          quant(codes, scales);
+        };
+      };
+      k8_ref_ = registry->get_or_convert_int8(
+          {k.storage_id(), k_layout | core::kPanelInt8}, k.version(), total,
+          total, panel, wrap(k_quant));
+      v8_ref_ = registry->get_or_convert_int8(
+          {v.storage_id(), core::kPanelRowMajor | core::kPanelInt8},
+          v.version(), total, total, panel, wrap(v_quant));
+      k8_data_ = k8_ref_.data();
+      v8_data_ = v8_ref_.data();
+      k_scales_ = k8_ref_.scale_data();
+      v_scales_ = v8_ref_.scale_data();
+      if (k8_ref_.converted_elems > 0) converted_panels += kv_instances;
+      if (v8_ref_.converted_elems > 0) converted_panels += kv_instances;
+    } else {
+      k_i8_.resize(static_cast<std::size_t>(total));
+      v_i8_.resize(static_cast<std::size_t>(total));
+      k_scales_own_.resize(static_cast<std::size_t>(kv_instances));
+      v_scales_own_.resize(static_cast<std::size_t>(kv_instances));
+      k_quant(k_i8_.data(), k_scales_own_.data());
+      v_quant(v_i8_.data(), v_scales_own_.data());
+      k8_data_ = k_i8_.data();
+      v8_data_ = v_i8_.data();
+      k_scales_ = k_scales_own_.data();
+      v_scales_ = v_scales_own_.data();
+      converted_panels = 2 * kv_instances;
+    }
+    if (converted_panels > 0) {
+      telemetry::count("exec.mha.panels_converted", converted_panels);
+    }
+    return;
+  }
   if (registry != nullptr) {
     // Cross-call mode: panels are keyed on each tensor's storage identity
     // (plus layout variant) and tagged with its mutation stamp, so an
@@ -123,12 +188,41 @@ KvPanelCache::KvPanelCache(const TensorH& k, const TensorH& v,
 
 const float* KvPanelCache::k_panel(std::int64_t kv) const {
   STOF_EXPECTS(!transposed_k_, "cache holds transposed K panels");
+  STOF_EXPECTS(precision_ == core::PanelPrecision::kFloat32,
+               "cache holds int8 panels");
   return k_data_ + kv * seq_ * d_;
 }
 
 const float* KvPanelCache::kt_panel(std::int64_t kv) const {
   STOF_EXPECTS(transposed_k_, "cache holds row-major K panels");
+  STOF_EXPECTS(precision_ == core::PanelPrecision::kFloat32,
+               "cache holds int8 panels");
   return k_data_ + kv * seq_ * d_;
+}
+
+const std::int8_t* KvPanelCache::kt_panel_i8(std::int64_t kv) const {
+  STOF_EXPECTS(transposed_k_, "cache holds row-major K panels");
+  STOF_EXPECTS(precision_ == core::PanelPrecision::kInt8,
+               "cache holds float panels");
+  return k8_data_ + kv * seq_ * d_;
+}
+
+const std::int8_t* KvPanelCache::v_panel_i8(std::int64_t kv) const {
+  STOF_EXPECTS(precision_ == core::PanelPrecision::kInt8,
+               "cache holds float panels");
+  return v8_data_ + kv * seq_ * d_;
+}
+
+float KvPanelCache::k_scale(std::int64_t kv) const {
+  STOF_EXPECTS(precision_ == core::PanelPrecision::kInt8,
+               "cache holds float panels");
+  return k_scales_[kv];
+}
+
+float KvPanelCache::v_scale(std::int64_t kv) const {
+  STOF_EXPECTS(precision_ == core::PanelPrecision::kInt8,
+               "cache holds float panels");
+  return v_scales_[kv];
 }
 
 }  // namespace stof::mha

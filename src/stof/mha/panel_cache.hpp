@@ -27,11 +27,19 @@
 // same values the scalar path reads element-wise — caching cannot perturb
 // the bit-identity contract.  `exec.mha.panels_converted` counts panels
 // actually converted by this construction (registry hits contribute 0).
+//
+// INT8 tier (precision == kInt8): panels are quantized instead of
+// converted — symmetric int8 codes with one scale per (seq x d) instance
+// panel, the layout otherwise unchanged.  Codes are a pure function of the
+// half source (quantize-once through the registry), so INT8 attention is
+// deterministic across ISAs and call schedules; it is not bit-identical
+// to FP32, which is why call sites opt in via BlockwiseParams.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "stof/core/kernels.hpp"
 #include "stof/core/panel_cache_registry.hpp"
 #include "stof/core/tensor.hpp"
 
@@ -46,7 +54,13 @@ class KvPanelCache {
   /// in) the cross-call cache instead of converted locally.
   KvPanelCache(const TensorH& k, const TensorH& v, std::int64_t kv_instances,
                std::int64_t seq, std::int64_t head_size, bool transpose_k,
-               core::PanelCacheRegistry* registry = nullptr);
+               core::PanelCacheRegistry* registry = nullptr,
+               core::PanelPrecision precision =
+                   core::PanelPrecision::kFloat32);
+
+  /// Storage tier this cache was built at.  Float accessors require
+  /// kFloat32; int8 accessors require kInt8.
+  [[nodiscard]] core::PanelPrecision precision() const { return precision_; }
 
   /// K panel of instance `kv` in row-major (seq x d) layout.
   /// Precondition: constructed with transpose_k == false.
@@ -56,8 +70,18 @@ class KvPanelCache {
   [[nodiscard]] const float* kt_panel(std::int64_t kv) const;
   /// V panel of instance `kv`: seq x d, row-major.
   [[nodiscard]] const float* v_panel(std::int64_t kv) const {
+    STOF_EXPECTS(precision_ == core::PanelPrecision::kFloat32,
+                 "cache holds int8 panels");
     return v_data_ + kv * seq_ * d_;
   }
+
+  /// INT8 transposed K panel of instance `kv` (layout as kt_panel) and its
+  /// per-instance scale.  Precondition: kInt8 precision, transpose_k.
+  [[nodiscard]] const std::int8_t* kt_panel_i8(std::int64_t kv) const;
+  /// INT8 V panel of instance `kv` (seq x d, row-major) and its scale.
+  [[nodiscard]] const std::int8_t* v_panel_i8(std::int64_t kv) const;
+  [[nodiscard]] float k_scale(std::int64_t kv) const;
+  [[nodiscard]] float v_scale(std::int64_t kv) const;
 
   [[nodiscard]] std::int64_t seq() const { return seq_; }
   [[nodiscard]] std::int64_t head_size() const { return d_; }
@@ -66,12 +90,24 @@ class KvPanelCache {
   std::int64_t seq_ = 0;
   std::int64_t d_ = 0;
   bool transposed_k_ = false;
+  core::PanelPrecision precision_ = core::PanelPrecision::kFloat32;
   std::vector<float> k_f32_;  ///< owning mode only
   std::vector<float> v_f32_;  ///< owning mode only
   core::PanelRef k_ref_;      ///< registry mode: pinned shared buffers
   core::PanelRef v_ref_;
   const float* k_data_ = nullptr;
   const float* v_data_ = nullptr;
+  // INT8 tier state (kInt8 precision only).
+  std::vector<std::int8_t> k_i8_;  ///< owning mode only
+  std::vector<std::int8_t> v_i8_;
+  std::vector<float> k_scales_own_;
+  std::vector<float> v_scales_own_;
+  core::Int8PanelRef k8_ref_;  ///< registry mode pins
+  core::Int8PanelRef v8_ref_;
+  const std::int8_t* k8_data_ = nullptr;
+  const std::int8_t* v8_data_ = nullptr;
+  const float* k_scales_ = nullptr;
+  const float* v_scales_ = nullptr;
 };
 
 }  // namespace stof::mha

@@ -1,5 +1,6 @@
 #include "stof/mha/varlen.hpp"
 
+#include <cstring>
 #include <map>
 #include <optional>
 
@@ -55,35 +56,33 @@ TensorH varlen_attention(const MhaDims& dims, const TensorH& q,
       dims.kv_head_count() == dims.heads) {
     batch_panels.emplace(k, v, dims.kv_instances(), dims.seq_len,
                          dims.head_size, /*transpose_k=*/true,
-                         &core::global_panel_cache());
+                         &core::global_panel_cache(), params.kv_precision);
   }
 
-  // One single-element attention per batch entry against its own BSR.
+  // One single-element attention per batch entry against its own BSR.  The
+  // per-element and parent tensors share the (instance, seq, elem) layout,
+  // so each head's slab moves with one contiguous copy.
   const MhaDims per_element{1, dims.heads, dims.seq_len, dims.head_size};
+  const std::size_t inst =
+      static_cast<std::size_t>(dims.seq_len * dims.head_size);
   for (std::int64_t b = 0; b < dims.batch; ++b) {
     TensorH qb(per_element.qkv_shape()), kb(per_element.qkv_shape()),
         vb(per_element.qkv_shape());
     for (std::int64_t h = 0; h < dims.heads; ++h) {
-      const std::int64_t src = b * dims.heads + h;
-      for (std::int64_t s = 0; s < dims.seq_len; ++s) {
-        for (std::int64_t e = 0; e < dims.head_size; ++e) {
-          qb.at(h, s, e) = q.at(src, s, e);
-          kb.at(h, s, e) = k.at(src, s, e);
-          vb.at(h, s, e) = v.at(src, s, e);
-        }
-      }
+      const auto src = static_cast<std::size_t>(b * dims.heads + h) * inst;
+      const auto dst = static_cast<std::size_t>(h) * inst;
+      std::memcpy(&qb.data()[dst], &q.data()[src], inst * sizeof(half));
+      std::memcpy(&kb.data()[dst], &k.data()[src], inst * sizeof(half));
+      std::memcpy(&vb.data()[dst], &v.data()[src], inst * sizeof(half));
     }
     const auto& bsr = bsr_by_len.at(batch.lengths[static_cast<std::size_t>(b)]);
     const TensorH ob = blockwise_attention(
         per_element, qb, kb, vb, bsr, params, /*score_mod=*/nullptr,
         batch_panels ? &*batch_panels : nullptr, b * dims.heads);
     for (std::int64_t h = 0; h < dims.heads; ++h) {
-      const std::int64_t dst = b * dims.heads + h;
-      for (std::int64_t s = 0; s < dims.seq_len; ++s) {
-        for (std::int64_t e = 0; e < dims.head_size; ++e) {
-          out.at(dst, s, e) = ob.at(h, s, e);
-        }
-      }
+      const auto src = static_cast<std::size_t>(h) * inst;
+      const auto dst = static_cast<std::size_t>(b * dims.heads + h) * inst;
+      std::memcpy(&out.data()[dst], &ob.data()[src], inst * sizeof(half));
     }
   }
   return out;

@@ -20,7 +20,18 @@ void fill_token(std::uint64_t seed, std::int64_t pos, TokenChannel channel,
   std::uint64_t h = fnv1a64(&pos, sizeof(pos), seed ^ kFnv1aOffset);
   h = fnv1a64(&which, sizeof(which), h);
   Rng rng(h);
-  for (auto& v : dst) v = half(rng.uniform(-1.0f, 1.0f));
+  // Draw into a float staging block and convert through the dispatched
+  // float->half kernel: the SIMD tables are byte-identical to scalar
+  // half::from_float, so this produces the same embedding bits as the
+  // per-element `half(v)` construction at panel-conversion speed.
+  float stage[512];
+  std::size_t i = 0;
+  while (i < dst.size()) {
+    const std::size_t n = std::min(dst.size() - i, std::size(stage));
+    for (std::size_t j = 0; j < n; ++j) stage[j] = rng.uniform(-1.0f, 1.0f);
+    packed::float_to_half({stage, n}, dst.subspan(i, n));
+    i += n;
+  }
 }
 
 Engine::Engine(const EngineConfig& config)
@@ -209,12 +220,23 @@ double Engine::run_decodes(const std::vector<SessionId>& ids,
     seq = mha::PagedSeq{pos + 1, config_.block_tokens, pool_.k_blocks(id),
                         pool_.v_blocks(id), cols};
     if (packed_execution_enabled()) {
-      // Bring the pool's float-panel sidecar up to date (only the newly
-      // appended rows convert — everything older is already cached) and
-      // let the decode kernel read FP32 pages directly.
-      pool_.ensure_float_panels(id);
-      seq.kf_blocks = pool_.k_float_blocks(id);
-      seq.vf_blocks = pool_.v_float_blocks(id);
+      if (config_.kv_precision == core::PanelPrecision::kInt8) {
+        // INT8 sidecar: quantize only the newly appended rows (quantize-
+        // once per page generation) and let the decode kernel run int8
+        // dot products against the code pages.
+        pool_.ensure_int8_panels(id);
+        seq.k8_blocks = pool_.k_int8_blocks(id);
+        seq.v8_blocks = pool_.v_int8_blocks(id);
+        seq.k8_scales = pool_.k_int8_scales(id);
+        seq.v8_scales = pool_.v_int8_scales(id);
+      } else {
+        // Bring the pool's float-panel sidecar up to date (only the newly
+        // appended rows convert — everything older is already cached) and
+        // let the decode kernel read FP32 pages directly.
+        pool_.ensure_float_panels(id);
+        seq.kf_blocks = pool_.k_float_blocks(id);
+        seq.vf_blocks = pool_.v_float_blocks(id);
+      }
     }
     valid.push_back(static_cast<std::int64_t>(cols.size()));
   }
@@ -227,9 +249,11 @@ double Engine::run_decodes(const std::vector<SessionId>& ids,
   for (std::int64_t i = 0; i < n; ++i) {
     const SessionId id = ids[static_cast<std::size_t>(i)];
     Session& s = table_.at(id);
-    fold_digest(s,
-                out.data().subspan(static_cast<std::size_t>(i * heads * d),
-                                   static_cast<std::size_t>(heads * d)));
+    const auto out_row =
+        out.data().subspan(static_cast<std::size_t>(i * heads * d),
+                           static_cast<std::size_t>(heads * d));
+    if (on_decode_output) on_decode_output(id, s.total_len(), out_row);
+    fold_digest(s, out_row);
     ++s.generated;
     s.last_touch_step = step_count_;
     if (s.generated == 1) first_token.push_back(id);

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "stof/gpusim/device.hpp"
@@ -50,6 +51,13 @@ struct EngineConfig {
   std::int64_t kv_blocks = 96;     ///< KV pool capacity in blocks
   std::int64_t block_tokens = 16;  ///< KV page size, must equal BLOCK_N
   mha::BlockwiseParams prefill_params{16, 16};
+  /// Storage tier of the decode path's KV sidecar (packed mode only).
+  /// kInt8 reads quantized KV pages (one scale per token row) through the
+  /// paged-decode kernel's int8 path: deterministic — digests still match
+  /// across scheduling orders — but not bit-identical to FP32, and the
+  /// per-step conversion traffic roughly halves.  Prefill always runs
+  /// FP32 (its outputs feed the bit-exact digest contract directly).
+  core::PanelPrecision kv_precision = core::PanelPrecision::kFloat32;
   SchedulerConfig scheduler;
   gpusim::DeviceSpec device = gpusim::a100();
 
@@ -121,6 +129,13 @@ class Engine {
 
   /// Invoked after every executed step (not for empty plans).
   std::function<void(const StepEvent&)> on_step;
+
+  /// Invoked for every decoded token's attention output (heads * head_size
+  /// halfs, position = the decoded token's index) as it is folded into the
+  /// session digest.  Benchmarks use it to measure the INT8 KV tier's
+  /// output error against an FP32 reference run of the same trace.
+  std::function<void(SessionId, std::int64_t, std::span<const half>)>
+      on_decode_output;
 
  private:
   [[nodiscard]] const masks::Mask& mask_for(masks::PatternKind kind);

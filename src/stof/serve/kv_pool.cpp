@@ -2,6 +2,7 @@
 
 #include "stof/core/packed.hpp"
 #include "stof/core/tensor.hpp"
+#include "stof/telemetry/telemetry.hpp"
 
 namespace stof::serve {
 
@@ -94,6 +95,7 @@ void KvPool::ensure_float_panels(SessionId id) {
   sb.vf_ptrs.resize(static_cast<std::size_t>(nblocks));
   sb.kf_refs.resize(static_cast<std::size_t>(nblocks));
   sb.vf_refs.resize(static_cast<std::size_t>(nblocks));
+  std::int64_t sidecar_elems = 0;
   // Leading `converted_blocks` pages are full and pinned — their half rows
   // can no longer change while this session holds them, so only the tail
   // (partially filled or newly allocated pages) is visited.  This is the
@@ -125,11 +127,101 @@ void KvPool::ensure_float_panels(SessionId id) {
         valid, v_convert);
     sb.kf_ptrs[pi] = sb.kf_refs[pi].data();
     sb.vf_ptrs[pi] = sb.vf_refs[pi].data();
+    sidecar_elems += sb.kf_refs[pi].converted_elems +
+                     sb.vf_refs[pi].converted_elems;
+  }
+  // Decode-sidecar traffic alone (prefill panels excluded): float views
+  // write 2 bytes/elem, mirroring exec.panelcache.bytes_converted units.
+  if (sidecar_elems > 0) {
+    telemetry::count("serve.kv.sidecar_bytes_converted", 2 * sidecar_elems);
   }
   while (sb.converted_blocks < nblocks &&
          (sb.converted_blocks + 1) * bt <= sb.tokens) {
     ++sb.converted_blocks;
   }
+}
+
+void KvPool::ensure_int8_panels(SessionId id) {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return;
+  SessionBlocks& sb = it->second;
+  const std::int64_t bt = config_.block_tokens;
+  const std::int64_t block_elems = config_.block_elems();
+  const std::int64_t row = config_.heads * config_.head_size;
+  const auto nblocks = static_cast<std::int64_t>(sb.block_ids.size());
+  sb.k8_ptrs.resize(static_cast<std::size_t>(nblocks));
+  sb.v8_ptrs.resize(static_cast<std::size_t>(nblocks));
+  sb.k8_scale_ptrs.resize(static_cast<std::size_t>(nblocks));
+  sb.v8_scale_ptrs.resize(static_cast<std::size_t>(nblocks));
+  sb.k8_refs.resize(static_cast<std::size_t>(nblocks));
+  sb.v8_refs.resize(static_cast<std::size_t>(nblocks));
+  std::int64_t sidecar_elems = 0;
+  // Same skip-prefix scheme as the float sidecar.  One scale per token row
+  // keeps extension exact: a row's codes never depend on later rows, so
+  // quantize-once over a filling tail page equals a fresh full quantize.
+  for (std::int64_t p = sb.converted_blocks_i8; p < nblocks; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    const std::int32_t block = sb.block_ids[pi];
+    const auto bi = static_cast<std::size_t>(block);
+    const std::int64_t filled = std::min(bt, sb.tokens - p * bt);
+    const std::int64_t valid = filled * row;
+    const half* ks = k_base(block);
+    const half* vs = v_base(block);
+    const auto quant = [row](const half* src) {
+      return [src, row](std::int64_t lo, std::int64_t hi, std::int8_t* codes,
+                        float* scales) {
+        packed::quantize_halfs({src + lo, static_cast<std::size_t>(hi - lo)},
+                               row, codes + lo, scales + lo / row);
+      };
+    };
+    sb.k8_refs[pi] = registry_->get_or_convert_int8(
+        {k_keys_[bi], core::kPanelRowMajor | core::kPanelInt8},
+        block_gen_[bi], block_elems, valid, row, quant(ks));
+    sb.v8_refs[pi] = registry_->get_or_convert_int8(
+        {v_keys_[bi], core::kPanelRowMajor | core::kPanelInt8},
+        block_gen_[bi], block_elems, valid, row, quant(vs));
+    sb.k8_ptrs[pi] = sb.k8_refs[pi].data();
+    sb.v8_ptrs[pi] = sb.v8_refs[pi].data();
+    sb.k8_scale_ptrs[pi] = sb.k8_refs[pi].scale_data();
+    sb.v8_scale_ptrs[pi] = sb.v8_refs[pi].scale_data();
+    sidecar_elems += sb.k8_refs[pi].converted_elems +
+                     sb.v8_refs[pi].converted_elems;
+  }
+  // INT8 codes are 1 byte/elem — half the float sidecar's traffic for the
+  // same appended rows, which is the tier's headline saving.
+  if (sidecar_elems > 0) {
+    telemetry::count("serve.kv.sidecar_bytes_converted", sidecar_elems);
+  }
+  while (sb.converted_blocks_i8 < nblocks &&
+         (sb.converted_blocks_i8 + 1) * bt <= sb.tokens) {
+    ++sb.converted_blocks_i8;
+  }
+}
+
+std::span<const std::int8_t* const> KvPool::k_int8_blocks(
+    SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.k8_ptrs;
+}
+
+std::span<const std::int8_t* const> KvPool::v_int8_blocks(
+    SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.v8_ptrs;
+}
+
+std::span<const float* const> KvPool::k_int8_scales(SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.k8_scale_ptrs;
+}
+
+std::span<const float* const> KvPool::v_int8_scales(SessionId id) const {
+  const auto it = by_session_.find(id);
+  if (it == by_session_.end()) return {};
+  return it->second.v8_scale_ptrs;
 }
 
 std::span<const float* const> KvPool::k_float_blocks(SessionId id) const {
@@ -150,11 +242,13 @@ void KvPool::release(SessionId id) {
   for (const auto block : it->second.block_ids) {
     free_.push_back(block);
     const auto bi = static_cast<std::size_t>(block);
-    // A recycled page must never serve its previous tenant's floats: drop
-    // the registry entries now and bump the generation so even a racing
-    // stale handle could not be re-validated.
+    // A recycled page must never serve its previous tenant's floats (or
+    // int8 codes): drop the registry entries now and bump the generation
+    // so even a racing stale handle could not be re-validated.
     registry_->invalidate({k_keys_[bi], core::kPanelRowMajor});
     registry_->invalidate({v_keys_[bi], core::kPanelRowMajor});
+    registry_->invalidate({k_keys_[bi], core::kPanelRowMajor | core::kPanelInt8});
+    registry_->invalidate({v_keys_[bi], core::kPanelRowMajor | core::kPanelInt8});
     ++block_gen_[bi];
   }
   by_session_.erase(it);

@@ -122,6 +122,26 @@ class KvPool {
   [[nodiscard]] std::span<const float* const> v_float_blocks(
       SessionId id) const;
 
+  /// INT8 twin of ensure_float_panels: per-block code panels with one
+  /// symmetric scale per token row (scale group = heads * head_size), so a
+  /// row's codes depend only on that row's values and the quantize-once
+  /// extension of a filling tail page is exact.  Converts 1 byte per new
+  /// element instead of the float sidecar's 2 — the INT8 tier's traffic
+  /// saving.  A session uses either sidecar, per EngineConfig::kv_precision.
+  void ensure_int8_panels(SessionId id);
+
+  /// Per-block INT8 views matching k_blocks()/v_blocks(): codes plus one
+  /// scale per token row of each block.  Valid until the next
+  /// ensure_int8_panels() or release(); empty until the first ensure.
+  [[nodiscard]] std::span<const std::int8_t* const> k_int8_blocks(
+      SessionId id) const;
+  [[nodiscard]] std::span<const std::int8_t* const> v_int8_blocks(
+      SessionId id) const;
+  [[nodiscard]] std::span<const float* const> k_int8_scales(
+      SessionId id) const;
+  [[nodiscard]] std::span<const float* const> v_int8_scales(
+      SessionId id) const;
+
   /// Return every block held by `id` to the free list (preemption or
   /// completion) and invalidate its float panels.  No-op for sessions that
   /// hold nothing.
@@ -141,6 +161,14 @@ class KvPool {
     /// Leading blocks whose panels are full and pinned — skipped on the
     /// next ensure (their half content can no longer change while held).
     std::int64_t converted_blocks = 0;
+    // INT8 sidecar state (filled by ensure_int8_panels).
+    std::vector<const std::int8_t*> k8_ptrs;
+    std::vector<const std::int8_t*> v8_ptrs;
+    std::vector<const float*> k8_scale_ptrs;
+    std::vector<const float*> v8_scale_ptrs;
+    std::vector<core::Int8PanelRef> k8_refs;
+    std::vector<core::Int8PanelRef> v8_refs;
+    std::int64_t converted_blocks_i8 = 0;
   };
 
   [[nodiscard]] half* k_base(std::int32_t block) {

@@ -1,0 +1,306 @@
+// INT8 quantized panel tier: round-trip error properties of the symmetric
+// per-group quantizer, the registry's int8 hit/extend/invalidate semantics
+// (including coexistence with float panels of the same storage), the
+// KvPanelCache int8 mode, and the serve KvPool int8 sidecar's
+// quantize-once extension exactness over filling pages.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "stof/core/packed.hpp"
+#include "stof/core/panel_cache_registry.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/core/tensor.hpp"
+#include "stof/mha/panel_cache.hpp"
+#include "stof/serve/kv_pool.hpp"
+
+namespace stof::core {
+namespace {
+
+/// Per-group round-trip property: every element must land within half a
+/// quantization step of its code (plus a denormal-absorbing epsilon).
+void expect_round_trip_bound(const std::vector<float>& src,
+                             std::int64_t group) {
+  ASSERT_EQ(src.size() % static_cast<std::size_t>(group), 0u);
+  const auto count = static_cast<std::int64_t>(src.size());
+  std::vector<std::int8_t> codes(src.size());
+  std::vector<float> scales(src.size() / static_cast<std::size_t>(group));
+  packed::quantize_floats(src.data(), count, group, codes.data(),
+                          scales.data());
+  for (std::int64_t g = 0; g < count / group; ++g) {
+    const float scale = scales[static_cast<std::size_t>(g)];
+    ASSERT_TRUE(std::isfinite(scale) && scale > 0.0f) << "group " << g;
+    for (std::int64_t i = g * group; i < (g + 1) * group; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const float rebuilt = scale * static_cast<float>(codes[ui]);
+      // 0.502 instead of 0.5: one rounding of the scale itself.
+      EXPECT_LE(std::abs(src[ui] - rebuilt), scale * 0.502f + 1e-38f)
+          << "elem " << i << " src " << src[ui] << " code "
+          << int(codes[ui]) << " scale " << scale;
+    }
+  }
+}
+
+TEST(Int8Quantize, RoundTripBoundOnRandomInputs) {
+  Rng rng(42);
+  for (const std::int64_t group : {1, 4, 16, 64}) {
+    std::vector<float> src(static_cast<std::size_t>(group * 13));
+    for (auto& x : src) x = rng.uniform(-8.0f, 8.0f);
+    expect_round_trip_bound(src, group);
+  }
+}
+
+TEST(Int8Quantize, RoundTripBoundOnDenormalHeavyInputs) {
+  Rng rng(43);
+  // Groups straddling kQuantTinyAbsMax: some all-denormal (degenerate
+  // zero-code branch), some mixing denormals with one normal value.
+  std::vector<float> src;
+  for (int g = 0; g < 8; ++g) {
+    for (int i = 0; i < 16; ++i) {
+      src.push_back(rng.uniform(-1.0f, 1.0f) * 1e-33f);
+    }
+    if (g % 2 == 1) src.back() = 0.25f;  // normal absmax for odd groups
+  }
+  expect_round_trip_bound(src, 16);
+}
+
+TEST(Int8Quantize, RoundTripBoundOnConstantAndZeroInputs) {
+  expect_round_trip_bound(std::vector<float>(64, 3.5f), 16);
+  expect_round_trip_bound(std::vector<float>(64, -1e-3f), 8);
+  expect_round_trip_bound(std::vector<float>(64, 0.0f), 16);
+}
+
+TEST(Int8Quantize, AbsMaxElementGetsFullCode) {
+  std::vector<float> src = {0.1f, -2.0f, 0.5f, 1.0f};
+  std::vector<std::int8_t> codes(4);
+  std::vector<float> scales(1);
+  packed::quantize_floats(src.data(), 4, 4, codes.data(), scales.data());
+  EXPECT_FLOAT_EQ(scales[0], 2.0f / 127.0f);
+  EXPECT_EQ(codes[1], -127);
+}
+
+TEST(Int8Quantize, QuantizeHalfsMatchesQuantizeFloatsOfConvertedSource) {
+  Rng rng(44);
+  const std::int64_t group = 32, count = group * 7;
+  std::vector<half> src_h(static_cast<std::size_t>(count));
+  std::vector<float> src_f(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < src_h.size(); ++i) {
+    src_h[i] = half(rng.uniform(-2.0f, 2.0f));
+    src_f[i] = float(src_h[i]);
+  }
+  std::vector<std::int8_t> codes_h(src_h.size()), codes_f(src_h.size());
+  std::vector<float> scales_h(7), scales_f(7);
+  packed::quantize_halfs({src_h.data(), src_h.size()}, group, codes_h.data(),
+                         scales_h.data());
+  packed::quantize_floats(src_f.data(), count, group, codes_f.data(),
+                          scales_f.data());
+  EXPECT_EQ(codes_h, codes_f);
+  EXPECT_EQ(0, std::memcmp(scales_h.data(), scales_f.data(),
+                           scales_h.size() * sizeof(float)));
+}
+
+// ---- Registry int8 entries --------------------------------------------------
+
+/// Int8 converter quantizing the captured source vector per `group`.
+PanelCacheRegistry::Int8Converter quantizer(const std::vector<float>& src,
+                                            std::int64_t group) {
+  return [&src, group](std::int64_t lo, std::int64_t hi, std::int8_t* codes,
+                       float* scales) {
+    packed::quantize_floats(src.data() + lo, hi - lo, group, codes + lo,
+                            scales + lo / group);
+  };
+}
+
+TEST(PanelCacheRegistryInt8, MissHitAndSuffixExtension) {
+  PanelCacheRegistry reg;
+  Rng rng(7);
+  std::vector<float> src(64);
+  for (auto& x : src) x = rng.uniform(-1.0f, 1.0f);
+  const PanelKey key{next_storage_id(), kPanelRowMajor | kPanelInt8};
+
+  const Int8PanelRef first =
+      reg.get_or_convert_int8(key, 0, 64, 16, 16, quantizer(src, 16));
+  EXPECT_EQ(first.converted_elems, 16);
+  EXPECT_EQ(reg.stats().bytes_converted, 16);  // 1 byte per int8 element
+
+  // Same version, longer valid prefix: only the new groups quantize, and
+  // the previously issued codes are untouched (quantize-once).
+  std::vector<std::int8_t> prefix(first.data(), first.data() + 16);
+  const Int8PanelRef ext =
+      reg.get_or_convert_int8(key, 0, 64, 48, 16, quantizer(src, 16));
+  EXPECT_EQ(ext.converted_elems, 32);
+  EXPECT_EQ(reg.stats().bytes_converted, 48);
+  EXPECT_EQ(0, std::memcmp(prefix.data(), ext.data(), prefix.size()));
+  EXPECT_EQ(ext.codes.get(), first.codes.get());
+
+  // Pure hit.
+  const Int8PanelRef hit =
+      reg.get_or_convert_int8(key, 0, 64, 48, 16, quantizer(src, 16));
+  EXPECT_EQ(hit.converted_elems, 0);
+  EXPECT_EQ(reg.stats().hits, 2);  // the extension above also counts
+}
+
+TEST(PanelCacheRegistryInt8, StaleVersionReconverts) {
+  PanelCacheRegistry reg;
+  std::vector<float> src(16, 1.0f);
+  const PanelKey key{next_storage_id(), kPanelRowMajor | kPanelInt8};
+  (void)reg.get_or_convert_int8(key, 0, 16, 16, 16, quantizer(src, 16));
+  src.assign(16, 2.0f);
+  const Int8PanelRef fresh =
+      reg.get_or_convert_int8(key, 1, 16, 16, 16, quantizer(src, 16));
+  EXPECT_EQ(fresh.converted_elems, 16);
+  EXPECT_FLOAT_EQ(fresh.scale_data()[0], 2.0f / 127.0f);
+  EXPECT_EQ(reg.stats().invalidations, 1);
+}
+
+TEST(PanelCacheRegistryInt8, CoexistsWithFloatPanelOfSameStorage) {
+  PanelCacheRegistry reg;
+  Rng rng(8);
+  std::vector<float> src(32);
+  for (auto& x : src) x = rng.uniform(-1.0f, 1.0f);
+  const std::uint64_t storage = next_storage_id();
+
+  const PanelRef f = reg.get_or_convert(
+      {storage, kPanelRowMajor}, 0, 32, 32,
+      [&src](std::int64_t lo, std::int64_t hi, float* dst) {
+        std::copy(src.begin() + lo, src.begin() + hi, dst + lo);
+      });
+  const Int8PanelRef q = reg.get_or_convert_int8(
+      {storage, kPanelRowMajor | kPanelInt8}, 0, 32, 32, 32,
+      quantizer(src, 32));
+  EXPECT_EQ(reg.entry_count(), 2u);  // distinct keys, no aliasing
+  EXPECT_EQ(f.data()[5], src[5]);
+  EXPECT_NEAR(q.scale_data()[0] * float(q.data()[5]), src[5],
+              q.scale_data()[0]);
+
+  EXPECT_TRUE(reg.invalidate({storage, kPanelRowMajor | kPanelInt8}));
+  EXPECT_EQ(reg.entry_count(), 1u);  // float twin survives
+  EXPECT_EQ(reg.drop_storage(storage), 1u);
+}
+
+TEST(PanelCacheRegistryInt8, ResidentBytesCoverCodesAndScales) {
+  PanelCacheRegistry reg;
+  std::vector<float> src(64, 1.0f);
+  (void)reg.get_or_convert_int8({next_storage_id(), kPanelInt8}, 0, 64, 64,
+                                16, quantizer(src, 16));
+  // 64 codes + 4 scales.
+  EXPECT_EQ(reg.resident_bytes(), 64 * sizeof(std::int8_t) +
+                                      4 * sizeof(float));
+}
+
+// ---- KvPanelCache int8 mode -------------------------------------------------
+
+TEST(KvPanelCacheInt8, QuantizesPerInstancePanelsBothModes) {
+  Rng rng(9);
+  const std::int64_t kv = 2, seq = 8, d = 4;
+  TensorH k(Shape{kv, seq, d}), v(Shape{kv, seq, d});
+  k.fill_random(rng);
+  v.fill_random(rng);
+
+  for (PanelCacheRegistry* registry :
+       {static_cast<PanelCacheRegistry*>(nullptr), &global_panel_cache()}) {
+    const mha::KvPanelCache cache(k, v, kv, seq, d, /*transpose_k=*/true,
+                                  registry, PanelPrecision::kInt8);
+    EXPECT_EQ(cache.precision(), PanelPrecision::kInt8);
+    for (std::int64_t i = 0; i < kv; ++i) {
+      const float ks = cache.k_scale(i), vs = cache.v_scale(i);
+      ASSERT_GT(ks, 0.0f);
+      ASSERT_GT(vs, 0.0f);
+      // V panels are row-major: dequantized codes track the half source
+      // within one quantization step.
+      const std::int8_t* vq = cache.v_panel_i8(i);
+      for (std::int64_t e = 0; e < seq * d; ++e) {
+        const float want = float(v.data()[i * seq * d + e]);
+        EXPECT_NEAR(vs * float(vq[e]), want, vs * 0.502f + 1e-38f);
+      }
+      // Transposed K: element (s, c) lives at kt[c * seq + s].
+      const std::int8_t* kq = cache.kt_panel_i8(i);
+      for (std::int64_t s = 0; s < seq; ++s) {
+        for (std::int64_t c = 0; c < d; ++c) {
+          const float want = float(k.data()[(i * seq + s) * d + c]);
+          EXPECT_NEAR(ks * float(kq[c * seq + s]), want,
+                      ks * 0.502f + 1e-38f);
+        }
+      }
+    }
+  }
+}
+
+TEST(KvPanelCacheInt8, RegistryModeQuantizesOnce) {
+  Rng rng(10);
+  const std::int64_t kv = 1, seq = 16, d = 8;
+  TensorH k(Shape{kv, seq, d}), v(Shape{kv, seq, d});
+  k.fill_random(rng);
+  v.fill_random(rng);
+  PanelCacheRegistry reg;
+  const mha::KvPanelCache a(k, v, kv, seq, d, false, &reg,
+                            PanelPrecision::kInt8);
+  const mha::KvPanelCache b(k, v, kv, seq, d, false, &reg,
+                            PanelPrecision::kInt8);
+  // Second cache is a pure hit on the same buffers: identical code bytes.
+  EXPECT_EQ(a.v_panel_i8(0), b.v_panel_i8(0));
+  EXPECT_EQ(reg.stats().hits, 2);  // K and V
+}
+
+// ---- Serve KvPool int8 sidecar ----------------------------------------------
+
+TEST(KvPoolInt8, ExtensionOverFillingPageIsExact) {
+  PanelCacheRegistry reg;
+  serve::KvPoolConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.block_tokens = 4;
+  cfg.heads = 2;
+  cfg.head_size = 4;
+  serve::KvPool pool(cfg, &reg);
+  const serve::SessionId id = 1;
+  const std::int64_t row = cfg.heads * cfg.head_size;
+  Rng rng(11);
+
+  std::vector<std::int8_t> first_row_codes;
+  std::vector<float> first_row_scale;
+  for (std::int64_t t = 0; t < 6; ++t) {  // crosses a page boundary
+    const auto slot = pool.append_token(id);
+    ASSERT_TRUE(slot.has_value());
+    for (std::int64_t e = 0; e < row; ++e) {
+      slot->k[e] = half(rng.uniform(-1.0f, 1.0f));
+      slot->v[e] = half(rng.uniform(-1.0f, 1.0f));
+    }
+    pool.ensure_int8_panels(id);
+    const auto kb = pool.k_int8_blocks(id);
+    const auto ks = pool.k_int8_scales(id);
+    ASSERT_EQ(kb.size(), static_cast<std::size_t>(pool.blocks(id)));
+    if (t == 0) {
+      first_row_codes.assign(kb[0], kb[0] + row);
+      first_row_scale.assign(ks[0], ks[0] + 1);
+    } else {
+      // Quantize-once with per-token-row scales: the first row's codes and
+      // scale never change as later rows fill the page (or new pages open).
+      EXPECT_EQ(0, std::memcmp(first_row_codes.data(), kb[0],
+                               first_row_codes.size()));
+      EXPECT_EQ(first_row_scale[0], ks[0][0]);
+    }
+  }
+
+  // One int8 byte per element per side.
+  EXPECT_EQ(reg.stats().bytes_converted, 2 * 6 * row);
+
+  // Release recycles the pages: the registry entries are invalidated and a
+  // new tenant quantizes fresh codes (generation bump prevents reuse).
+  pool.release(id);
+  EXPECT_GT(reg.stats().invalidations, 0);
+  const serve::SessionId other = 2;
+  const auto slot = pool.append_token(other);
+  ASSERT_TRUE(slot.has_value());
+  for (std::int64_t e = 0; e < row; ++e) {
+    slot->k[e] = half(0.5f);
+    slot->v[e] = half(0.5f);
+  }
+  pool.ensure_int8_panels(other);
+  const auto kb = pool.k_int8_blocks(other);
+  EXPECT_EQ(kb[0][0], 127);  // constant row quantizes to the full code
+}
+
+}  // namespace
+}  // namespace stof::core

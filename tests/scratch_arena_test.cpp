@@ -72,6 +72,27 @@ TEST(ScratchArena, ZeroSizedAllocIsValid) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(ScratchArena, EveryAllocationIsCacheLineAligned) {
+  // The SIMD micro-kernels stream these buffers; every span must start on
+  // a 64-byte boundary regardless of the preceding allocation sizes.
+  static_assert(ScratchArena::kAlignBytes == 64);
+  ScratchArena arena;
+  const auto aligned = [](const float* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % ScratchArena::kAlignBytes ==
+           0;
+  };
+  // Awkward sizes: each next offset must round up to a 16-float multiple.
+  for (const std::int64_t n : {1, 7, 16, 17, 100, 96, 3, 1024, 5}) {
+    EXPECT_TRUE(aligned(arena.alloc(n).data())) << n;
+  }
+  // Growth blocks (fresh operator new) are aligned too.
+  EXPECT_TRUE(aligned(arena.alloc(1 << 16).data()));
+  // ...and so is the rewound bump pointer after reset().
+  arena.reset();
+  EXPECT_TRUE(aligned(arena.alloc(33).data()));
+  EXPECT_TRUE(aligned(arena.alloc(33).data()));
+}
+
 TEST(ParallelForScratch, VisitsEveryIndexOnceWithResetArena) {
   ThreadPool pool(4);
   constexpr std::int64_t kN = 1000;
