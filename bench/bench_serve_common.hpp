@@ -60,6 +60,81 @@ inline std::vector<Request> make_trace(const TraceConfig& t) {
   return trace;
 }
 
+/// Bursty two-tenant trace for the SLO benches: tenant 0 submits a steady
+/// stream of short-prompt, decode-heavy "interactive" requests at high
+/// priority, while tenant 1 drops clustered bursts of near-max-context
+/// "batch" prompts at low priority.  Under a FIFO whole-prefill schedule
+/// each burst stalls every in-flight decode for several full prefills —
+/// the head-of-line blocking that chunked prefill + priorities exist to
+/// bound.  Returned sorted by arrival time (run_trace submits in order).
+struct BurstTraceConfig {
+  std::uint64_t seed = 20260807;
+  std::int64_t interactive_sessions = 16;
+  std::int64_t bursts = 2;
+  std::int64_t burst_size = 24;
+  double interactive_gap_us = 12.0;  ///< mean interactive inter-arrival
+  double burst_period_us = 300.0;    ///< gap between burst clusters
+  std::int64_t interactive_prompt_min = 8;
+  std::int64_t interactive_prompt_max = 16;
+  std::int64_t interactive_gen_min = 24;
+  std::int64_t interactive_gen_max = 32;
+  /// Long and numerous enough that the FIFO whole-prefill burst step is
+  /// compute-dominated at full simulated-GPU utilization (the per-launch
+  /// overhead is a few us — short prompts hide the head-of-line blocking
+  /// the bench exists to expose).
+  std::int64_t burst_prompt_min = 560;
+  std::int64_t burst_prompt_max = 600;
+  /// One token: the burst sessions' own decode traffic stays off the
+  /// inter-token-gap distribution (a gap needs two tokens).
+  std::int64_t burst_gen_min = 1;
+  std::int64_t burst_gen_max = 1;
+};
+
+inline std::vector<Request> make_burst_trace(const BurstTraceConfig& t) {
+  Rng rng(t.seed);
+  std::vector<Request> trace;
+  std::int64_t id = 0;
+  double clock = 0;
+  const auto draw = [&rng](std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  };
+  for (std::int64_t i = 0; i < t.interactive_sessions; ++i) {
+    Request r;
+    r.id = id++;
+    r.prompt_len = draw(t.interactive_prompt_min, t.interactive_prompt_max);
+    r.max_new_tokens = draw(t.interactive_gen_min, t.interactive_gen_max);
+    r.seed = rng.next_u64();
+    r.mask_kind = masks::PatternKind::kCausal;
+    clock += rng.next_double() * 2.0 * t.interactive_gap_us;
+    r.arrival_us = clock;
+    r.tenant = 0;
+    r.priority = 2;
+    r.deadline_us = clock + 2000.0;
+    trace.push_back(r);
+  }
+  for (std::int64_t b = 0; b < t.bursts; ++b) {
+    const double at = 40.0 + static_cast<double>(b) * t.burst_period_us;
+    for (std::int64_t i = 0; i < t.burst_size; ++i) {
+      Request r;
+      r.id = id++;
+      r.prompt_len = draw(t.burst_prompt_min, t.burst_prompt_max);
+      r.max_new_tokens = draw(t.burst_gen_min, t.burst_gen_max);
+      r.seed = rng.next_u64();
+      r.mask_kind = masks::PatternKind::kCausal;
+      r.arrival_us = at;  // the whole cluster lands on the same instant
+      r.tenant = 1;
+      r.priority = 0;
+      trace.push_back(r);
+    }
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+  return trace;
+}
+
 /// Engine sized for make_trace() workloads (max context 128 tokens).
 inline EngineConfig serve_config(SchedulerMode mode) {
   EngineConfig cfg;
@@ -92,6 +167,12 @@ struct RunResult {
   double p99_latency_us = 0;
   double p50_first_token_us = 0;
   double p99_first_token_us = 0;
+  /// Decode inter-token gap: simulated time between a session's consecutive
+  /// generated tokens.  The p99 is the SLO the burst bench gates — a FIFO
+  /// whole-prefill schedule blows it up whenever a long prompt stalls every
+  /// in-flight decode (and preemption gaps land here too).
+  double p50_decode_gap_us = 0;
+  double p99_decode_gap_us = 0;
   double mean_decode_batch = 0;  ///< decode instances per decoding step
   double kv_peak_utilization = 0;
   EngineStats stats;
@@ -110,8 +191,19 @@ inline RunResult run_trace(
   Engine engine(cfg);
   if (on_decode) engine.on_decode_output = on_decode;
   std::int64_t decode_steps = 0;
+  std::map<SessionId, double> last_token_at;
+  std::vector<double> decode_gaps;
   engine.on_step = [&](const StepEvent& ev) {
     if (!ev.decodes.empty()) ++decode_steps;
+    // Tokens land at the end of the step; the gap between a session's
+    // consecutive tokens includes everything that delayed it — co-scheduled
+    // prefill work in the same step, steps it sat out, preemption exile.
+    const double token_at = ev.start_us + ev.duration_us;
+    for (const auto id : ev.decodes) {
+      const auto it = last_token_at.find(id);
+      if (it != last_token_at.end()) decode_gaps.push_back(token_at - it->second);
+      last_token_at[id] = token_at;
+    }
   };
   std::size_t next = 0;
   while (next < trace.size() || !engine.idle()) {
@@ -140,6 +232,8 @@ inline RunResult run_trace(
   r.p99_latency_us = percentile(latency, 99);
   r.p50_first_token_us = percentile(first_token, 50);
   r.p99_first_token_us = percentile(first_token, 99);
+  r.p50_decode_gap_us = percentile(decode_gaps, 50);
+  r.p99_decode_gap_us = percentile(decode_gaps, 99);
   r.tokens_per_s = static_cast<double>(r.stats.decode_tokens) /
                    (r.sim_us * 1e-6);
   r.mean_decode_batch =

@@ -66,7 +66,9 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
                             const BlockwiseParams& params,
                             const ScoreMod& score_mod,
                             const KvPanelCache* shared_panels,
-                            std::int64_t shared_kv_offset) {
+                            std::int64_t shared_kv_offset,
+                            std::int64_t q_block_begin,
+                            std::int64_t q_block_end) {
   params.validate();
   STOF_EXPECTS(mask.seq_len() == dims.seq_len, "mask must match seq_len");
   STOF_EXPECTS(mask.block_m() == params.block_m &&
@@ -79,20 +81,43 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
   const std::int64_t bm = params.block_m;
   const std::int64_t bn = params.block_n;
   const float scale = dims.scale();
-  const std::int64_t q_blocks = mask.rows();
+  if (q_block_end < 0) q_block_end = mask.rows();
+  STOF_EXPECTS(q_block_begin >= 0 && q_block_begin <= q_block_end &&
+                   q_block_end <= mask.rows(),
+               "query block window must lie within the mask");
+  const std::int64_t q_blocks = q_block_end - q_block_begin;
+  if (q_blocks == 0) return out;
+  const bool windowed = q_block_begin != 0 || q_block_end != mask.rows();
 
-  // Block skip/load accounting is a property of the BSR mask, so it is
-  // recorded once per call (not per task) and is identical whichever
-  // execution path runs below.
+  // Block skip/load accounting is a property of the BSR mask (restricted to
+  // the query window), so it is recorded once per call (not per task) and
+  // is identical whichever execution path runs below.
   if (telemetry::enabled()) {
     const std::int64_t instances = dims.instances();
-    const std::int64_t total = mask.rows() * mask.cols();
+    std::int64_t valid = mask.valid_count();
+    std::int64_t full = mask.full_count();
+    std::int64_t part = mask.part_count();
+    if (windowed) {
+      const auto& ptr = mask.load_row_ptr();
+      const auto& idx = mask.load_col_idx();
+      valid = ptr[static_cast<std::size_t>(q_block_end)] -
+              ptr[static_cast<std::size_t>(q_block_begin)];
+      full = part = 0;
+      for (std::int64_t bi = q_block_begin; bi < q_block_end; ++bi) {
+        for (std::int64_t it = ptr[static_cast<std::size_t>(bi)];
+             it < ptr[static_cast<std::size_t>(bi) + 1]; ++it) {
+          const auto kind =
+              mask.block_kind(bi, idx[static_cast<std::size_t>(it)]);
+          (kind == sparse::BlockKind::kPart ? part : full) += 1;
+        }
+      }
+    }
+    const std::int64_t total = q_blocks * mask.cols();
     telemetry::count("sim.mha.blockwise_calls");
-    telemetry::count("sim.mha.blocks_loaded", mask.valid_count() * instances);
-    telemetry::count("sim.mha.blocks_skipped",
-                     (total - mask.valid_count()) * instances);
-    telemetry::count("sim.mha.blocks_full", mask.full_count() * instances);
-    telemetry::count("sim.mha.blocks_part", mask.part_count() * instances);
+    telemetry::count("sim.mha.blocks_loaded", valid * instances);
+    telemetry::count("sim.mha.blocks_skipped", (total - valid) * instances);
+    telemetry::count("sim.mha.blocks_full", full * instances);
+    telemetry::count("sim.mha.blocks_part", part * instances);
     telemetry::count(packed_execution_enabled()
                          ? "exec.mha.blockwise.packed_calls"
                          : "exec.mha.blockwise.scalar_calls");
@@ -137,7 +162,7 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
                                                                arena) {
     const std::int64_t bh = task / q_blocks;
     const std::int64_t kv = dims.kv_instance_of(bh);
-    const std::int64_t bi = task % q_blocks;
+    const std::int64_t bi = q_block_begin + task % q_blocks;
     const std::int64_t row_lo = bi * bm;
     const std::int64_t row_hi = std::min(n, row_lo + bm);
     const std::int64_t rows = row_hi - row_lo;
@@ -423,20 +448,53 @@ TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
 gpusim::KernelCost blockwise_cost(const MhaDims& dims,
                                   const sparse::BsrMask& mask,
                                   const BlockwiseParams& p,
-                                  const gpusim::DeviceSpec& dev) {
+                                  const gpusim::DeviceSpec& dev,
+                                  std::int64_t q_block_begin,
+                                  std::int64_t q_block_end) {
   p.validate();
   dims.validate();
+  if (q_block_end < 0) q_block_end = mask.rows();
+  STOF_EXPECTS(q_block_begin >= 0 && q_block_begin <= q_block_end &&
+                   q_block_end <= mask.rows(),
+               "query block window must lie within the mask");
+  const bool windowed = q_block_begin != 0 || q_block_end != mask.rows();
   const double instances = static_cast<double>(dims.instances());
   const double d = static_cast<double>(dims.head_size);
   const double bm = p.block_m;
   const double bn = p.block_n;
-  const double valid = static_cast<double>(mask.valid_count());
+  std::int64_t valid_blocks = mask.valid_count();
+  std::int64_t part_blocks = mask.part_count();
+  // A windowed launch runs only the window's block rows: count its valid
+  // and part blocks from the load lists.  Its Q read / output write shrink
+  // to the window's token rows; K/V, bitmap, and metadata traffic follow
+  // the windowed block population.
+  if (windowed) {
+    const auto& ptr = mask.load_row_ptr();
+    const auto& idx = mask.load_col_idx();
+    valid_blocks = ptr[static_cast<std::size_t>(q_block_end)] -
+                   ptr[static_cast<std::size_t>(q_block_begin)];
+    part_blocks = 0;
+    for (std::int64_t bi = q_block_begin; bi < q_block_end; ++bi) {
+      for (std::int64_t it = ptr[static_cast<std::size_t>(bi)];
+           it < ptr[static_cast<std::size_t>(bi) + 1]; ++it) {
+        if (mask.block_kind(bi, idx[static_cast<std::size_t>(it)]) ==
+            sparse::BlockKind::kPart) {
+          ++part_blocks;
+        }
+      }
+    }
+  }
+  const double window_tokens =
+      windowed ? static_cast<double>(
+                     std::min(dims.seq_len, q_block_end * p.block_m) -
+                     q_block_begin * p.block_m)
+               : static_cast<double>(dims.seq_len);
+  const double valid = static_cast<double>(valid_blocks);
   // Only part blocks pay the bitmap apply; full blocks take the mask-free
   // fast path (BsrMask classifies a block kFull iff every in-range element
   // is valid, so `part_count` is exactly the bitmap-loading population).
-  const double part = p.treat_full_as_part
-                          ? valid
-                          : static_cast<double>(mask.part_count());
+  const double part =
+      p.treat_full_as_part ? valid : static_cast<double>(part_blocks);
   constexpr double kElem = 2.0;
 
   gpusim::KernelCost c;
@@ -453,16 +511,16 @@ gpusim::KernelCost blockwise_cost(const MhaDims& dims,
   const double kv_tiles = instances * valid * bn * d * kElem * 2.0;
   const double kv_dram = kv_tiles * kv_share;  // groups share K/V via L2
   const double unique_bitmap_bytes =
-      (p.treat_full_as_part ? valid
-                            : static_cast<double>(mask.unique_part_masks())) *
+      (p.treat_full_as_part
+           ? valid
+           : std::min(static_cast<double>(mask.unique_part_masks()), part)) *
       bm * bn;
   const double metadata_bytes =
       static_cast<double>(mask.storage_bytes());
-  c.gmem_read_bytes = instances * static_cast<double>(dims.seq_len) * d * kElem +
+  c.gmem_read_bytes = instances * window_tokens * d * kElem +
                       kv_dram + instances * unique_bitmap_bytes +
                       metadata_bytes;
-  c.gmem_write_bytes =
-      instances * static_cast<double>(dims.seq_len) * d * kElem;
+  c.gmem_write_bytes = instances * window_tokens * d * kElem;
 
   // SMEM traffic: every loaded tile is written to and read from shared
   // memory; scores make one extra round trip for the softmax pass.
@@ -475,7 +533,7 @@ gpusim::KernelCost blockwise_cost(const MhaDims& dims,
                         p.num_warps);
   c.occupancy = occ.fraction;
   c.blocks_per_sm = std::max(1, occ.blocks_per_sm);
-  c.grid_blocks = dims.instances() * mask.rows();
+  c.grid_blocks = dims.instances() * (q_block_end - q_block_begin);
   c.overlap = p.async_copy ? 0.85 : 0.5;
   return c;
 }

@@ -75,18 +75,33 @@ class KvPanelCache;
 /// at `shared_kv_offset` — the varlen wrapper passes one whole-batch panel
 /// cache so its per-element sub-calls stop duplicating conversions.  When
 /// null, the kernel fetches panels from the global cross-call registry.
+///
+/// `q_block_begin`/`q_block_end` restrict execution to the query block-rows
+/// in [q_block_begin, q_block_end) (`q_block_end < 0` means every row).
+/// Each Q block-row owns an independent streaming-softmax chain, so a
+/// windowed call computes exactly the bytes a full call would write for
+/// those rows — the mechanism chunked prefill uses to resume a prompt
+/// mid-sequence bit-identically.  Output rows outside the window are left
+/// zero-initialised (never written).
 TensorH blockwise_attention(const MhaDims& dims, const TensorH& q,
                             const TensorH& k, const TensorH& v,
                             const sparse::BsrMask& mask,
                             const BlockwiseParams& params,
                             const ScoreMod& score_mod = nullptr,
                             const KvPanelCache* shared_panels = nullptr,
-                            std::int64_t shared_kv_offset = 0);
+                            std::int64_t shared_kv_offset = 0,
+                            std::int64_t q_block_begin = 0,
+                            std::int64_t q_block_end = -1);
 
-/// Simulated cost of one block-wise kernel launch.
+/// Simulated cost of one block-wise kernel launch, optionally restricted to
+/// the query block-row window [q_block_begin, q_block_end) — the cost twin
+/// of a windowed blockwise_attention call.  The default window covers the
+/// whole mask and reproduces the unwindowed cost exactly.
 gpusim::KernelCost blockwise_cost(const MhaDims& dims,
                                   const sparse::BsrMask& mask,
                                   const BlockwiseParams& params,
-                                  const gpusim::DeviceSpec& dev);
+                                  const gpusim::DeviceSpec& dev,
+                                  std::int64_t q_block_begin = 0,
+                                  std::int64_t q_block_end = -1);
 
 }  // namespace stof::mha

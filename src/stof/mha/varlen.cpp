@@ -61,7 +61,10 @@ TensorH varlen_attention(const MhaDims& dims, const TensorH& q,
 
   // One single-element attention per batch entry against its own BSR.  The
   // per-element and parent tensors share the (instance, seq, elem) layout,
-  // so each head's slab moves with one contiguous copy.
+  // so each head's slab moves with one contiguous copy.  Elements with a
+  // query window run only the block rows covering [q_begin, len); the
+  // windowed rows' bytes equal the full call's (independent per-row
+  // softmax chains), which is what keeps chunked prefill bit-identical.
   const MhaDims per_element{1, dims.heads, dims.seq_len, dims.head_size};
   const std::size_t inst =
       static_cast<std::size_t>(dims.seq_len * dims.head_size);
@@ -75,10 +78,17 @@ TensorH varlen_attention(const MhaDims& dims, const TensorH& q,
       std::memcpy(&kb.data()[dst], &k.data()[src], inst * sizeof(half));
       std::memcpy(&vb.data()[dst], &v.data()[src], inst * sizeof(half));
     }
-    const auto& bsr = bsr_by_len.at(batch.lengths[static_cast<std::size_t>(b)]);
+    const std::int64_t len = batch.lengths[static_cast<std::size_t>(b)];
+    const auto& bsr = bsr_by_len.at(len);
+    std::int64_t qb_lo = 0;
+    std::int64_t qb_hi = -1;
+    if (!batch.q_begins.empty()) {
+      qb_lo = batch.q_begin(b) / params.block_m;
+      qb_hi = (len + params.block_m - 1) / params.block_m;
+    }
     const TensorH ob = blockwise_attention(
         per_element, qb, kb, vb, bsr, params, /*score_mod=*/nullptr,
-        batch_panels ? &*batch_panels : nullptr, b * dims.heads);
+        batch_panels ? &*batch_panels : nullptr, b * dims.heads, qb_lo, qb_hi);
     for (std::int64_t h = 0; h < dims.heads; ++h) {
       const auto src = static_cast<std::size_t>(h) * inst;
       const auto dst = static_cast<std::size_t>(b * dims.heads + h) * inst;
@@ -99,21 +109,34 @@ gpusim::KernelCost varlen_cost(const MhaDims& dims,
   STOF_EXPECTS(batch.seq_len == dims.seq_len);
 
   // Accumulate per-element work using a single-element cost each, dedup by
-  // length; launch overhead is paid once (one fused varlen kernel).
-  std::map<std::int64_t, gpusim::KernelCost> cost_by_len;
+  // (length, query window); launch overhead is paid once (one fused varlen
+  // kernel).  Windowed elements charge only their block rows — a chunk's
+  // cost scales with the chunk, not the whole prompt.
+  std::map<std::pair<std::int64_t, std::int64_t>, gpusim::KernelCost>
+      cost_by_len;
   const MhaDims per_element{1, dims.heads, dims.seq_len, dims.head_size};
   gpusim::KernelCost total;
   total.launches = 0;
   std::int64_t grid = 0;
   double occupancy = 1.0;
   int blocks_per_sm = 1;
-  for (const auto len : batch.lengths) {
-    auto it = cost_by_len.find(len);
+  for (std::int64_t b = 0; b < batch.batch(); ++b) {
+    const std::int64_t len = batch.lengths[static_cast<std::size_t>(b)];
+    const std::int64_t q_begin = batch.q_begin(b);
+    auto it = cost_by_len.find({len, q_begin});
     if (it == cost_by_len.end()) {
       const auto bsr = sparse::BsrMask::build(effective_mask(base_mask, len),
                                               params.block_m, params.block_n);
+      std::int64_t qb_lo = 0;
+      std::int64_t qb_hi = -1;
+      if (!batch.q_begins.empty()) {
+        qb_lo = q_begin / params.block_m;
+        qb_hi = (len + params.block_m - 1) / params.block_m;
+      }
       it = cost_by_len
-               .emplace(len, blockwise_cost(per_element, bsr, params, dev))
+               .emplace(std::pair{len, q_begin},
+                        blockwise_cost(per_element, bsr, params, dev, qb_lo,
+                                       qb_hi))
                .first;
     }
     const auto& c = it->second;

@@ -22,9 +22,18 @@ namespace stof::mha {
 /// Per-element valid lengths of a padded batch.  A length of zero is a
 /// fully padded element (every output row zero) — serving schedulers pack
 /// ragged admission batches where an element can be empty.
+///
+/// `q_begins` (optional, empty = all zero) restricts each element to the
+/// query rows in [q_begins[b], lengths[b]): the element still attends over
+/// keys [0, lengths[b]) under its effective mask, but only the window's
+/// rows are computed and written — the chunked-prefill primitive.  Every Q
+/// block-row's streaming-softmax chain is independent, so the window's
+/// output bytes equal the full call's bytes for those rows; rows outside
+/// the window are zero.
 struct VarlenBatch {
   std::int64_t seq_len = 0;             ///< padded length
   std::vector<std::int64_t> lengths;    ///< valid tokens per batch element
+  std::vector<std::int64_t> q_begins;   ///< first query row per element
 
   [[nodiscard]] std::int64_t batch() const {
     return static_cast<std::int64_t>(lengths.size());
@@ -34,6 +43,9 @@ struct VarlenBatch {
     for (const auto l : lengths) n += l;
     return n;
   }
+  [[nodiscard]] std::int64_t q_begin(std::int64_t b) const {
+    return q_begins.empty() ? 0 : q_begins[static_cast<std::size_t>(b)];
+  }
   /// Fraction of padded (wasted) tokens under dense padding.
   [[nodiscard]] double padding_ratio() const {
     return 1.0 - static_cast<double>(total_valid_tokens()) /
@@ -41,9 +53,15 @@ struct VarlenBatch {
   }
   void validate() const {
     STOF_EXPECTS(seq_len > 0 && !lengths.empty());
-    for (const auto l : lengths) {
-      STOF_EXPECTS(l >= 0 && l <= seq_len,
+    STOF_EXPECTS(q_begins.empty() || q_begins.size() == lengths.size(),
+                 "q_begins must be empty or match lengths");
+    for (std::size_t b = 0; b < lengths.size(); ++b) {
+      STOF_EXPECTS(lengths[b] >= 0 && lengths[b] <= seq_len,
                    "lengths must be in [0, seq_len]");
+      if (!q_begins.empty()) {
+        STOF_EXPECTS(q_begins[b] >= 0 && q_begins[b] <= lengths[b],
+                     "q_begin must be in [0, length]");
+      }
     }
   }
 };

@@ -56,6 +56,7 @@ SessionId Engine::submit(const Request& request) {
 
 bool Engine::idle() const {
   return scheduler_.queue_empty() &&
+         table_.ids_in_phase(SessionPhase::kPrefilling).empty() &&
          table_.ids_in_phase(SessionPhase::kDecoding).empty();
 }
 
@@ -166,24 +167,148 @@ double Engine::run_prefills(const std::vector<SessionId>& ids) {
         }
       }
       s.cached_tokens = len;
-      // Prompt outputs are digested exactly once; a resumed session's
-      // re-prefill recomputes the same bits but must not re-fold them.
-      if (!s.prompt_digested) {
-        for (std::int64_t pos = 0; pos < s.request.prompt_len; ++pos) {
-          for (std::int64_t h = 0; h < heads; ++h) {
-            fold_digest(
-                s, out.data().subspan(
-                       static_cast<std::size_t>(((b * heads + h) * seq + pos) *
-                                                d),
-                       static_cast<std::size_t>(d)));
-          }
+      // Prompt outputs are digested exactly once, in position order; a
+      // resumed session's re-prefill recomputes the same bits but must not
+      // re-fold the positions already in the digest.
+      for (std::int64_t pos = s.prompt_digested_tokens;
+           pos < s.request.prompt_len; ++pos) {
+        for (std::int64_t h = 0; h < heads; ++h) {
+          fold_digest(
+              s, out.data().subspan(
+                     static_cast<std::size_t>(((b * heads + h) * seq + pos) *
+                                              d),
+                     static_cast<std::size_t>(d)));
         }
-        s.prompt_digested = true;
       }
+      s.prompt_digested_tokens = s.request.prompt_len;
       s.phase = SessionPhase::kDecoding;
       s.last_touch_step = step_count_;
       stats_.prefill_tokens += len;
       telemetry::count("serve.prefill.tokens", len);
+    }
+  }
+  return us;
+}
+
+double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
+  if (chunks.empty()) return 0;
+  // One ragged varlen launch per mask kind, preserving plan order.  Each
+  // chunk is an element of length `end` with query window [begin, end):
+  // the kernel runs only the block rows covering the window, against the
+  // same effective mask a one-shot prefill of length `end` would use —
+  // every window row's streaming-softmax chain is identical to the
+  // one-shot pass, which is what keeps chunked KV pages and digests
+  // bit-identical to whole prefills.
+  std::vector<std::pair<masks::PatternKind, std::vector<PrefillChunk>>> groups;
+  for (const auto& chunk : chunks) {
+    const auto kind = table_.at(chunk.id).request.mask_kind;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == kind; });
+    if (it == groups.end()) {
+      groups.emplace_back(kind, std::vector<PrefillChunk>{chunk});
+    } else {
+      it->second.push_back(chunk);
+    }
+  }
+
+  const std::int64_t heads = config_.heads;
+  const std::int64_t d = config_.head_size;
+  const std::int64_t seq = config_.max_seq_len;
+  const std::int64_t bm = config_.prefill_params.block_m;
+  std::vector<half> tok(static_cast<std::size_t>(heads * d));
+  double us = 0;
+
+  for (const auto& [kind, group] : groups) {
+    const auto n = static_cast<std::int64_t>(group.size());
+    const mha::MhaDims dims{n, heads, seq, d};
+    TensorH q(dims.qkv_shape()), k(dims.qkv_shape()), v(dims.qkv_shape());
+    std::vector<std::int64_t> lengths, q_begins;
+    lengths.reserve(group.size());
+    q_begins.reserve(group.size());
+    for (std::int64_t b = 0; b < n; ++b) {
+      const auto& chunk = group[static_cast<std::size_t>(b)];
+      const Session& s = table_.at(chunk.id);
+      lengths.push_back(chunk.end);
+      q_begins.push_back(chunk.begin);
+      // Keys/values cover the whole context [0, end) — the window's rows
+      // attend every earlier position.  Queries only need the rows the
+      // kernel reads: the window, extended down to its block boundary.
+      const std::int64_t q_lo = (chunk.begin / bm) * bm;
+      for (std::int64_t pos = 0; pos < chunk.end; ++pos) {
+        for (int ch = 1; ch < 3; ++ch) {
+          TensorH& dst = ch == 1 ? k : v;
+          fill_token(s.request.seed, pos, static_cast<TokenChannel>(ch), tok);
+          for (std::int64_t h = 0; h < heads; ++h) {
+            std::memcpy(&dst.at(b * heads + h, pos, 0),
+                        &tok[static_cast<std::size_t>(h * d)],
+                        static_cast<std::size_t>(d) * sizeof(half));
+          }
+        }
+        if (pos < q_lo) continue;
+        fill_token(s.request.seed, pos, TokenChannel::kQuery, tok);
+        for (std::int64_t h = 0; h < heads; ++h) {
+          std::memcpy(&q.at(b * heads + h, pos, 0),
+                      &tok[static_cast<std::size_t>(h * d)],
+                      static_cast<std::size_t>(d) * sizeof(half));
+        }
+      }
+    }
+    const masks::Mask& mask = mask_for(kind);
+    const mha::VarlenBatch batch{seq, lengths, q_begins};
+    const TensorH out = mha::varlen_attention(dims, q, k, v, mask, batch,
+                                              config_.prefill_params);
+    us += stream_.launch(
+        "serve.prefill",
+        mha::varlen_cost(dims, mask, batch, config_.prefill_params,
+                         config_.device));
+
+    for (std::int64_t b = 0; b < n; ++b) {
+      const auto& chunk = group[static_cast<std::size_t>(b)];
+      Session& s = table_.at(chunk.id);
+      STOF_CHECK(s.cached_tokens == chunk.begin,
+                 "chunk must resume at the session's cached prefix");
+      if (chunk.begin == 0) telemetry::count("serve.requests.admitted");
+      // Ingest the chunk's positions into the KV pool (the scheduler sized
+      // the chunk to the blocks available this step).
+      for (std::int64_t pos = chunk.begin; pos < chunk.end; ++pos) {
+        auto slot = pool_.append_token(chunk.id);
+        STOF_CHECK(slot.has_value(), "scheduler must size chunks to the pool");
+        for (std::int64_t h = 0; h < heads; ++h) {
+          std::memcpy(slot->k + h * d, &k.at(b * heads + h, pos, 0),
+                      static_cast<std::size_t>(d) * sizeof(half));
+          std::memcpy(slot->v + h * d, &v.at(b * heads + h, pos, 0),
+                      static_cast<std::size_t>(d) * sizeof(half));
+        }
+      }
+      s.cached_tokens = chunk.end;
+      // Fold the chunk's prompt rows exactly once, in position order.  A
+      // re-prefilled chunk (preempt mid-prefill, or a preempted decoder
+      // rebuilding context past its prompt) recomputes rows already
+      // folded; they are skipped, never re-folded.
+      const std::int64_t fold_end =
+          std::min(chunk.end, s.request.prompt_len);
+      for (std::int64_t pos = std::max(chunk.begin, s.prompt_digested_tokens);
+           pos < fold_end; ++pos) {
+        for (std::int64_t h = 0; h < heads; ++h) {
+          fold_digest(
+              s, out.data().subspan(
+                     static_cast<std::size_t>(((b * heads + h) * seq + pos) *
+                                              d),
+                     static_cast<std::size_t>(d)));
+        }
+      }
+      s.prompt_digested_tokens = std::max(s.prompt_digested_tokens, fold_end);
+      if (s.cached_tokens == s.total_len()) {
+        STOF_CHECK(s.prompt_digested_tokens == s.request.prompt_len,
+                   "prefix completion must have digested the whole prompt");
+        s.phase = SessionPhase::kDecoding;
+      }
+      s.last_touch_step = step_count_;
+      stats_.prefill_tokens += chunk.tokens();
+      ++stats_.prefill_chunks;
+      telemetry::count("serve.prefill.tokens", chunk.tokens());
+      telemetry::count("serve.sched.chunks_emitted");
+      telemetry::count("serve.sched.chunk_tokens", chunk.tokens());
     }
   }
   return us;
@@ -280,14 +405,20 @@ bool Engine::step() {
   }
 
   double us = run_prefills(plan.prefills);
+  us += run_prefill_chunks(plan.chunks);
   std::vector<SessionId> first_token, finished;
   us += run_decodes(plan.decodes, first_token, finished);
   clock_us_ += us;
 
   for (const auto id : first_token) table_.at(id).first_token_us = clock_us_;
   for (const auto id : finished) {
-    table_.at(id).finish_us = clock_us_;
+    Session& s = table_.at(id);
+    s.finish_us = clock_us_;
     ++stats_.finished;
+    if (s.request.deadline_us > 0 && s.finish_us > s.request.deadline_us) {
+      ++stats_.deadline_misses;
+      telemetry::count("serve.sched.deadline_misses");
+    }
   }
   if (!finished.empty()) {
     telemetry::count("serve.requests.finished",
@@ -301,6 +432,12 @@ bool Engine::step() {
                      static_cast<double>(plan.decodes.size()));
   telemetry::observe("serve.batch.prefill_size",
                      static_cast<double>(plan.prefills.size()));
+  if (!plan.chunks.empty()) {
+    std::int64_t chunk_tokens = 0;
+    for (const auto& c : plan.chunks) chunk_tokens += c.tokens();
+    telemetry::observe("serve.batch.chunk_tokens",
+                       static_cast<double>(chunk_tokens));
+  }
   telemetry::observe("serve.kv.used_blocks",
                      static_cast<double>(pool_.used_blocks()));
 
@@ -311,6 +448,7 @@ bool Engine::step() {
     ev.duration_us = us;
     ev.evicted = std::move(plan.evicted);
     ev.prefills = std::move(plan.prefills);
+    ev.chunks = std::move(plan.chunks);
     ev.decodes = std::move(plan.decodes);
     ev.kv_used_blocks = pool_.used_blocks();
     on_step(ev);

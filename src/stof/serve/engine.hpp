@@ -80,6 +80,7 @@ struct StepEvent {
   double duration_us = 0;  ///< simulated time of the step's launches
   std::vector<SessionId> evicted;
   std::vector<SessionId> prefills;
+  std::vector<PrefillChunk> chunks;  ///< chunked-prefill slices this step
   std::vector<SessionId> decodes;
   std::int64_t kv_used_blocks = 0;
 };
@@ -91,6 +92,8 @@ struct EngineStats {
   std::int64_t preemptions = 0;
   std::int64_t prefill_tokens = 0;
   std::int64_t decode_tokens = 0;
+  std::int64_t prefill_chunks = 0;    ///< chunked-prefill slices executed
+  std::int64_t deadline_misses = 0;   ///< finished after their deadline
 };
 
 class Engine {
@@ -143,6 +146,7 @@ class Engine {
       masks::PatternKind kind, std::int64_t row);
 
   double run_prefills(const std::vector<SessionId>& ids);
+  double run_prefill_chunks(const std::vector<PrefillChunk>& chunks);
   double run_decodes(const std::vector<SessionId>& ids,
                      std::vector<SessionId>& first_token,
                      std::vector<SessionId>& finished);

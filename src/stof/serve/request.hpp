@@ -30,6 +30,21 @@ struct Request {
   masks::PatternKind mask_kind = masks::PatternKind::kCausal;
   double arrival_us = 0;
 
+  /// Tenant owning the request.  The fairness accountant (when enabled)
+  /// schedules admission as weighted deficit round-robin across tenants,
+  /// so one tenant's flood cannot starve another's queue.
+  std::int32_t tenant = 0;
+  /// Scheduling priority, higher is more urgent.  Preemption evicts the
+  /// lowest-priority-idlest resident first, and admission orders the wait
+  /// queue priority-first; sessions of equal priority reduce to the
+  /// LRU/FIFO behaviour of the priority-free scheduler.
+  std::int32_t priority = 0;
+  /// Absolute completion deadline in simulated microseconds; 0 = none.
+  /// Deadlines order admission within a priority class (earliest first)
+  /// and finishing later than the deadline counts a deadline miss — they
+  /// are soft SLOs, never correctness gates.
+  double deadline_us = 0;
+
   /// Final context length once every token has been generated.
   [[nodiscard]] std::int64_t target_len() const {
     return prompt_len + max_new_tokens;
@@ -42,15 +57,27 @@ struct Request {
     STOF_EXPECTS(target_len() <= max_seq_len,
                  "prompt + generation exceeds engine max_seq_len");
     STOF_EXPECTS(arrival_us >= 0);
+    STOF_EXPECTS(tenant >= 0, "tenant id must be non-negative");
+    STOF_EXPECTS(priority >= 0, "priority must be non-negative");
+    STOF_EXPECTS(deadline_us >= 0);
   }
 };
 
 /// Lifecycle of a session inside the engine.
 ///
-///   kQueued ----admit----> kDecoding ----last token----> kFinished
-///      ^                       |
-///      +------- preempt -------+   (KV blocks released; context is
-///                                   re-prefilled on re-admission)
-enum class SessionPhase : std::uint8_t { kQueued, kDecoding, kFinished };
+///   kQueued --admit--> kPrefilling --prefix done--> kDecoding --last-->
+///      ^                    |                           |      kFinished
+///      +------ preempt -----+---------------------------+
+///        (KV blocks released; context is re-prefilled on re-admission)
+///
+/// Whole-prefill scheduling passes through kPrefilling within a single
+/// step; chunked prefill parks a session there across steps while its
+/// prompt is ingested chunk by chunk.
+enum class SessionPhase : std::uint8_t {
+  kQueued,
+  kPrefilling,
+  kDecoding,
+  kFinished
+};
 
 }  // namespace stof::serve

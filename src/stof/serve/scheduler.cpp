@@ -1,6 +1,8 @@
 #include "stof/serve/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 
 #include "stof/telemetry/telemetry.hpp"
 
@@ -8,9 +10,11 @@ namespace stof::serve {
 
 StepPlan Scheduler::plan_step(SessionTable& table, KvPool& pool,
                               std::int64_t step) {
-  return config_.mode == SchedulerMode::kContinuous
-             ? plan_continuous(table, pool, step)
-             : plan_serial(table, pool);
+  if (config_.mode == SchedulerMode::kSerial) {
+    return plan_serial(table, pool);
+  }
+  return config_.chunk_tokens > 0 ? plan_chunked(table, pool, step)
+                                  : plan_continuous(table, pool, step);
 }
 
 SessionId Scheduler::pick_victim(const SessionTable& table,
@@ -20,12 +24,52 @@ SessionId Scheduler::pick_victim(const SessionTable& table,
   for (const auto id : candidates) {
     const auto& s = table.at(id);
     const auto& b = table.at(best);
+    if (s.request.priority != b.request.priority) {
+      if (s.request.priority < b.request.priority) best = id;
+      continue;
+    }
     if (s.last_touch_step < b.last_touch_step ||
         (s.last_touch_step == b.last_touch_step && id > best)) {
       best = id;
     }
   }
   return best;
+}
+
+void Scheduler::evict(SessionTable& table, KvPool& pool, StepPlan& plan,
+                      SessionId victim) {
+  Session& s = table.at(victim);
+  telemetry::count("serve.kv.evictions");
+  telemetry::count("serve.kv.evicted_blocks", pool.blocks(victim));
+  telemetry::count("serve.sched.preemptions_by_priority.p" +
+                   std::to_string(s.request.priority));
+  pool.release(victim);
+  s.phase = SessionPhase::kQueued;
+  s.cached_tokens = 0;
+  ++s.preemptions;
+  waiting_.push_front(victim);
+  plan.evicted.push_back(victim);
+  std::erase(chunking_, victim);
+  // A victim may already hold a chunk grant in this step's plan (priority
+  // preemption runs after ongoing chunks were assigned); withdraw it.
+  std::erase_if(plan.chunks,
+                [&](const PrefillChunk& c) { return c.id == victim; });
+}
+
+std::vector<SessionId> Scheduler::admission_order(
+    const SessionTable& table) const {
+  std::vector<SessionId> order(waiting_.begin(), waiting_.end());
+  std::stable_sort(
+      order.begin(), order.end(), [&](SessionId a, SessionId b) {
+        const auto& ra = table.at(a).request;
+        const auto& rb = table.at(b).request;
+        if (ra.priority != rb.priority) return ra.priority > rb.priority;
+        constexpr double kNone = std::numeric_limits<double>::infinity();
+        const double da = ra.deadline_us > 0 ? ra.deadline_us : kNone;
+        const double db = rb.deadline_us > 0 ? rb.deadline_us : kNone;
+        return da < db;  // stable sort keeps queue order inside ties
+      });
+  return order;
 }
 
 StepPlan Scheduler::plan_continuous(SessionTable& table, KvPool& pool,
@@ -49,9 +93,10 @@ StepPlan Scheduler::plan_continuous(SessionTable& table, KvPool& pool,
                                     config_.max_decode_batch)));
 
   // KV pressure: every selected decoder whose tail block is full needs one
-  // fresh block this step.  Preempt LRU-idle sessions until the pool can
-  // back them all; a victim re-queues at the *front* (it keeps its FIFO
-  // seniority) and re-prefills its full context on re-admission.
+  // fresh block this step.  Preempt lowest-priority-idlest sessions until
+  // the pool can back them all; a victim re-queues at the *front* (it
+  // keeps its FIFO seniority) and re-prefills its full context on
+  // re-admission.
   const auto blocks_needed = [&] {
     std::int64_t n = 0;
     for (const auto id : selected) {
@@ -61,15 +106,7 @@ StepPlan Scheduler::plan_continuous(SessionTable& table, KvPool& pool,
   };
   while (pool.free_blocks() < blocks_needed() && !decoding.empty()) {
     const SessionId victim = pick_victim(table, decoding);
-    Session& s = table.at(victim);
-    telemetry::count("serve.kv.evictions");
-    telemetry::count("serve.kv.evicted_blocks", pool.blocks(victim));
-    pool.release(victim);
-    s.phase = SessionPhase::kQueued;
-    s.cached_tokens = 0;
-    ++s.preemptions;
-    waiting_.push_front(victim);
-    plan.evicted.push_back(victim);
+    evict(table, pool, plan, victim);
     std::erase(decoding, victim);
     std::erase(selected, victim);
   }
@@ -94,6 +131,221 @@ StepPlan Scheduler::plan_continuous(SessionTable& table, KvPool& pool,
     reserved += need;
     admitted_tokens += s.total_len();
   }
+  plan.decodes = std::move(selected);
+  return plan;
+}
+
+StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
+                                 std::int64_t step) {
+  (void)step;
+  StepPlan plan;
+
+  // Sessions whose prefix completed moved to kDecoding; evicted ones went
+  // back to kQueued.  Either way they leave the chunking line.
+  std::erase_if(chunking_, [&](SessionId id) {
+    return table.at(id).phase != SessionPhase::kPrefilling;
+  });
+
+  // Decode set: same policy as the whole-prefill planner.
+  std::vector<SessionId> decoding = table.ids_in_phase(SessionPhase::kDecoding);
+  std::stable_sort(decoding.begin(), decoding.end(),
+                   [&](SessionId a, SessionId b) {
+                     return table.at(a).last_touch_step <
+                            table.at(b).last_touch_step;
+                   });
+  std::vector<SessionId> selected(
+      decoding.begin(),
+      decoding.begin() +
+          std::min<std::size_t>(decoding.size(),
+                                static_cast<std::size_t>(
+                                    config_.max_decode_batch)));
+
+  // Anyone holding KV blocks — decoders and mid-prefill sessions alike —
+  // is a preemption candidate.
+  const auto residents = [&] {
+    std::vector<SessionId> r;
+    for (const auto& [id, s] : table) {
+      if ((s.phase == SessionPhase::kDecoding ||
+           s.phase == SessionPhase::kPrefilling) &&
+          pool.blocks(id) > 0) {
+        r.push_back(id);
+      }
+    }
+    return r;
+  };
+  const auto decode_blocks_needed = [&] {
+    std::int64_t n = 0;
+    for (const auto id : selected) {
+      if (pool.append_needs_block(id)) ++n;
+    }
+    return n;
+  };
+
+  // KV pressure from the decode batch.
+  while (pool.free_blocks() < decode_blocks_needed()) {
+    const auto cands = residents();
+    if (cands.empty()) break;
+    const SessionId victim = pick_victim(table, cands);
+    evict(table, pool, plan, victim);
+    std::erase(decoding, victim);
+    std::erase(selected, victim);
+  }
+
+  std::int64_t budget = config_.chunk_tokens;
+  std::int64_t reserved_chunks = 0;
+  const std::int64_t block_tokens = pool.config().block_tokens;
+
+  // Grant one chunk of up to `budget` tokens, shrunk to the KV blocks
+  // available this step; a starved chunk may preempt strictly-lower-
+  // priority residents to free one.  Returns true if any tokens were
+  // granted.
+  const auto assign_chunk = [&](SessionId id) {
+    Session& s = table.at(id);
+    const std::int64_t have = s.cached_tokens;
+    const std::int64_t want = std::min(s.total_len() - have, budget);
+    if (want <= 0) return false;
+    const auto granted_now = [&] {
+      const std::int64_t avail =
+          pool.free_blocks() - decode_blocks_needed() - reserved_chunks;
+      const std::int64_t cap =
+          (pool.blocks(id) + avail) * block_tokens - have;
+      return std::min(want, cap);
+    };
+    std::int64_t granted = granted_now();
+    while (granted <= 0) {
+      std::vector<SessionId> cands;
+      for (const auto cand : residents()) {
+        if (cand != id &&
+            table.at(cand).request.priority < s.request.priority) {
+          cands.push_back(cand);
+        }
+      }
+      if (cands.empty()) break;
+      const SessionId victim = pick_victim(table, cands);
+      evict(table, pool, plan, victim);
+      std::erase(decoding, victim);
+      std::erase(selected, victim);
+      granted = granted_now();
+    }
+    if (granted <= 0) return false;
+    plan.chunks.push_back(PrefillChunk{id, have, have + granted});
+    budget -= granted;
+    reserved_chunks += pool.blocks_for(have + granted) - pool.blocks(id);
+    return true;
+  };
+
+  // Ongoing prefills continue first, in admission order.
+  for (const auto id : std::vector<SessionId>(chunking_.begin(),
+                                              chunking_.end())) {
+    if (budget <= 0) break;
+    assign_chunk(id);
+  }
+
+  // Fairness top-up: each tenant with queued work earns quantum * weight
+  // tokens per planning step, capped so an idle tenant cannot bank
+  // unbounded credit.
+  const bool fair = config_.fairness_quantum_tokens > 0;
+  if (fair && !waiting_.empty()) {
+    const std::int64_t pool_tokens = pool.total_blocks() * block_tokens;
+    std::map<std::int32_t, bool> active;
+    for (const auto id : waiting_) active[table.at(id).request.tenant] = true;
+    for (const auto& [tenant, _] : active) {
+      const std::int64_t w = tenant_weight(tenant);
+      const std::int64_t cap =
+          std::max(4 * config_.fairness_quantum_tokens * w, pool_tokens);
+      deficit_[tenant] = std::min(
+          deficit_[tenant] + config_.fairness_quantum_tokens * w, cap);
+    }
+  }
+
+  // Admission: priority-then-deadline-then-FIFO order, bounded by the
+  // in-flight prefill cap.  A tenant whose deficit cannot cover the
+  // session's target length waits (others may pass — its credit grows
+  // every step, so the wait is bounded); if the ordered head cannot get
+  // its first chunk's KV, nobody overtakes it on KV grounds.
+  const auto order = admission_order(table);
+  for (const auto id : order) {
+    if (budget <= 0) break;
+    if (static_cast<std::int64_t>(chunking_.size()) >=
+        config_.max_prefills_per_step) {
+      break;
+    }
+    Session& s = table.at(id);
+    if (fair &&
+        deficit_[s.request.tenant] < s.request.target_len()) {
+      telemetry::count("serve.sched.deficit_deferrals");
+      continue;
+    }
+    const auto chunk_avail = [&] {
+      return pool.free_blocks() - decode_blocks_needed() - reserved_chunks;
+    };
+    const std::int64_t first_need =
+        pool.blocks_for(std::min(budget, s.total_len()));
+    // A blocked high-priority arrival may preempt strictly-lower-priority
+    // residents for its first chunk's blocks.
+    while (first_need > chunk_avail()) {
+      std::vector<SessionId> cands;
+      for (const auto cand : residents()) {
+        if (table.at(cand).request.priority < s.request.priority) {
+          cands.push_back(cand);
+        }
+      }
+      if (cands.empty()) break;
+      const SessionId victim = pick_victim(table, cands);
+      evict(table, pool, plan, victim);
+      std::erase(decoding, victim);
+      std::erase(selected, victim);
+    }
+    if (first_need > chunk_avail()) break;
+    std::erase(waiting_, id);
+    s.phase = SessionPhase::kPrefilling;
+    chunking_.push_back(id);
+    if (fair) deficit_[s.request.tenant] -= s.request.target_len();
+    assign_chunk(id);
+  }
+
+  // Work conservation: the engine must never idle while work is queued.
+  if (plan.prefills.empty() && plan.chunks.empty() && plan.decodes.empty() &&
+      selected.empty()) {
+    if (!chunking_.empty()) {
+      // Every free block is held by other residents; force-evict
+      // (ignoring priority) until the line's head can take one token.
+      const SessionId head = chunking_.front();
+      while (!assign_chunk(head)) {
+        std::vector<SessionId> cands;
+        for (const auto cand : residents()) {
+          if (cand != head) cands.push_back(cand);
+        }
+        if (cands.empty()) break;
+        evict(table, pool, plan, pick_victim(table, cands));
+      }
+    } else if (!waiting_.empty()) {
+      // Everyone was deficit-gated: force-admit the ordered head anyway
+      // (the charge still applies, so its tenant repays over time).
+      for (const auto id : order) {
+        if (table.at(id).phase != SessionPhase::kQueued) continue;
+        Session& s = table.at(id);
+        std::erase(waiting_, id);
+        s.phase = SessionPhase::kPrefilling;
+        chunking_.push_back(id);
+        if (fair) {
+          deficit_[s.request.tenant] -= s.request.target_len();
+          telemetry::count("serve.sched.forced_admissions");
+        }
+        assign_chunk(id);
+        break;
+      }
+    }
+  }
+
+  if (fair) {
+    for (const auto& [tenant, tokens] : deficit_) {
+      telemetry::gauge("serve.sched.tenant_deficit.t" + std::to_string(tenant),
+                       static_cast<double>(tokens));
+    }
+  }
+
+  std::sort(selected.begin(), selected.end());
   plan.decodes = std::move(selected);
   return plan;
 }

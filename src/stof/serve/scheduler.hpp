@@ -1,25 +1,47 @@
 // Continuous-batching scheduler.
 //
 // Each engine step the scheduler turns the current session/pool state into
-// a StepPlan: which queued sessions to admit and prefill (packed into one
-// ragged varlen batch per mask kind), which active sessions decode one
-// token (all of them, batched into a single kernel), and which sessions to
-// preempt when the KV pool cannot back every decoder's next token.  The
-// plan is a pure function of (table, pool, queue) state, so a seeded trace
-// replays deterministically.
+// a StepPlan: which queued sessions to admit, which prefill work to run
+// (whole prompts, or bounded-token chunks interleaved with decodes), which
+// active sessions decode one token (all of them, batched into a single
+// kernel), and which sessions to preempt when the KV pool cannot back
+// every decoder's next token.  The plan is a pure function of (table,
+// pool, queue, deficit) state, so a seeded trace replays deterministically.
 //
 // Two modes share the engine:
 //   kContinuous — the real policy: admit up to a prefill budget per step,
-//     decode every active session together, evict LRU-idle sessions under
-//     KV pressure (released sessions re-queue at the front and re-prefill
-//     their full context on re-admission).
+//     decode every active session together, evict under KV pressure
+//     (released sessions re-queue at the front and re-prefill their full
+//     context on re-admission).  With `chunk_tokens == 0` prompts prefill
+//     whole in their admission step (head-of-line blocking: a long prompt
+//     stalls every decoder — the p99 killer this scheduler's chunked mode
+//     exists to fix).  With `chunk_tokens > 0` prompts are split into
+//     bounded-token chunks that ride the same step as the decode batch;
+//     sessions park in kPrefilling between chunks.
 //   kSerial — the baseline the bench compares against: strict FIFO, one
 //     session at a time, prefill then token-by-token decode to completion
 //     before the next request is admitted.  Same engine, same kernels,
 //     same per-session numerics — only the packing differs.
+//
+// SLO machinery (all off by default, and exactly the legacy policy when
+// off):
+//   * Priorities: preemption victims are chosen lowest-priority-first
+//     (ties: idlest last_touch_step, then youngest id — the legacy LRU
+//     order), and admission orders the wait queue priority-first, earliest
+//     deadline next, queue position last.  A chunk that cannot get a KV
+//     block may preempt a strictly-lower-priority resident.
+//   * Fairness: with `fairness_quantum_tokens > 0`, admission runs
+//     weighted deficit round-robin over tenants — each planning step tops
+//     up every tenant with queued work by quantum * weight tokens, and
+//     admitting a session spends its target length from its tenant's
+//     deficit.  A tenant that cannot afford its next session waits (others
+//     may pass it); if nothing else is runnable the head session is
+//     force-admitted so the engine never idles while work is queued
+//     (work conservation; the charge still applies and may go negative).
 #pragma once
 
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "stof/serve/kv_pool.hpp"
@@ -34,22 +56,50 @@ struct SchedulerConfig {
   std::int64_t max_prefills_per_step = 8;  ///< sessions admitted per step
   std::int64_t prefill_token_budget = 1024;  ///< prompt tokens per step
   std::int64_t max_decode_batch = 256;  ///< decode sequences per step
+  /// Chunked prefill: > 0 caps the prefill tokens packed into one step's
+  /// varlen batch and lets prompts resume across steps.  0 keeps the
+  /// legacy whole-prefill policy bit-for-bit.
+  std::int64_t chunk_tokens = 0;
+  /// Weighted-deficit-round-robin quantum (tokens topped up per tenant per
+  /// planning step, scaled by tenant weight).  0 disables fairness.
+  std::int64_t fairness_quantum_tokens = 0;
+  /// Relative tenant weights for the fairness accountant (default 1).
+  std::map<std::int32_t, std::int64_t> tenant_weights;
 
   void validate(std::int64_t max_seq_len) const {
     STOF_EXPECTS(max_prefills_per_step >= 1 && max_decode_batch >= 1);
-    STOF_EXPECTS(prefill_token_budget >= max_seq_len,
-                 "prefill budget must admit the longest context");
+    STOF_EXPECTS(chunk_tokens >= 0 && fairness_quantum_tokens >= 0);
+    if (chunk_tokens == 0) {
+      STOF_EXPECTS(prefill_token_budget >= max_seq_len,
+                   "prefill budget must admit the longest context");
+    }
+    for (const auto& [tenant, weight] : tenant_weights) {
+      STOF_EXPECTS(tenant >= 0 && weight >= 1,
+                   "tenant weights must be >= 1");
+    }
   }
+};
+
+/// One bounded slice of a session's prefill: ingest positions
+/// [begin, end) of its context this step.
+struct PrefillChunk {
+  SessionId id = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t tokens() const { return end - begin; }
 };
 
 /// One step's worth of scheduling decisions, in execution order.
 struct StepPlan {
   std::vector<SessionId> evicted;   ///< preempted before this step's work
-  std::vector<SessionId> prefills;  ///< admitted this step, FIFO order
+  std::vector<SessionId> prefills;  ///< whole-prefill admissions, FIFO order
+  std::vector<PrefillChunk> chunks;  ///< chunked prefill slices, in order
   std::vector<SessionId> decodes;   ///< decode one token, ascending id
 
   [[nodiscard]] bool empty() const {
-    return evicted.empty() && prefills.empty() && decodes.empty();
+    return evicted.empty() && prefills.empty() && chunks.empty() &&
+           decodes.empty();
   }
 };
 
@@ -66,6 +116,12 @@ class Scheduler {
   [[nodiscard]] bool queue_empty() const { return waiting_.empty(); }
   [[nodiscard]] std::size_t queue_depth() const { return waiting_.size(); }
 
+  /// Current fairness deficit of `tenant` in tokens (0 when unknown).
+  [[nodiscard]] std::int64_t tenant_deficit(std::int32_t tenant) const {
+    const auto it = deficit_.find(tenant);
+    return it == deficit_.end() ? 0 : it->second;
+  }
+
   /// Compute this step's plan.  Mutates the wait queue (admissions pop,
   /// evictions push front) and sets evicted sessions back to kQueued with
   /// their KV released; the engine applies the rest of the plan.
@@ -74,15 +130,38 @@ class Scheduler {
  private:
   StepPlan plan_continuous(SessionTable& table, KvPool& pool,
                            std::int64_t step);
+  StepPlan plan_chunked(SessionTable& table, KvPool& pool, std::int64_t step);
   StepPlan plan_serial(SessionTable& table, KvPool& pool);
 
-  /// Pick the LRU-idle preemption victim among `candidates`: smallest
-  /// last_touch_step, ties broken toward the largest (youngest) id.
+  /// Pick the preemption victim among `candidates`: lowest priority first,
+  /// then smallest last_touch_step (idlest), ties broken toward the
+  /// largest (youngest) id.  Equal priorities reduce to the legacy
+  /// LRU-idle order.
   static SessionId pick_victim(const SessionTable& table,
                                const std::vector<SessionId>& candidates);
 
+  /// Release `victim`'s KV and re-queue it at the front of the wait queue
+  /// (it keeps its seniority); records eviction telemetry.
+  void evict(SessionTable& table, KvPool& pool, StepPlan& plan,
+             SessionId victim);
+
+  /// The wait queue in priority order: priority descending, then earliest
+  /// deadline (0 = none = last within its class), then queue position.
+  [[nodiscard]] std::vector<SessionId> admission_order(
+      const SessionTable& table) const;
+
+  [[nodiscard]] std::int64_t tenant_weight(std::int32_t tenant) const {
+    const auto it = config_.tenant_weights.find(tenant);
+    return it == config_.tenant_weights.end() ? 1 : it->second;
+  }
+
   SchedulerConfig config_;
   std::deque<SessionId> waiting_;
+  /// Sessions mid-chunked-prefill, in admission order; pruned each plan to
+  /// those still kPrefilling.
+  std::deque<SessionId> chunking_;
+  /// Weighted-deficit-round-robin token accounts, by tenant.
+  std::map<std::int32_t, std::int64_t> deficit_;
 };
 
 }  // namespace stof::serve

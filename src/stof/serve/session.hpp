@@ -26,7 +26,11 @@ struct Session {
   std::int64_t cached_tokens = 0;  ///< KV entries currently in the pool
   std::int64_t generated = 0;      ///< decode outputs produced so far
   std::uint64_t digest = kFnv1aOffset;  ///< FNV-1a over output bytes
-  bool prompt_digested = false;    ///< prefill outputs folded in already
+  /// Prompt positions whose outputs are folded into the digest already.
+  /// Chunked prefill advances this as chunks complete (always in position
+  /// order); a preempted session keeps it across recompute, so re-prefilled
+  /// rows are recomputed bit-identically but never re-folded.
+  std::int64_t prompt_digested_tokens = 0;
 
   std::int64_t preemptions = 0;
   std::int64_t last_touch_step = -1;  ///< last step this session computed

@@ -212,6 +212,203 @@ TEST(ServeEngine, StepEventsDescribeBatchComposition) {
   EXPECT_EQ(engine.stats().finished, 2);
 }
 
+// ---- Chunked prefill: bit-identity to one-shot prefills -------------------
+
+EngineConfig chunked_config(std::int64_t kv_blocks, std::int64_t chunk) {
+  EngineConfig cfg = small_config(SchedulerMode::kContinuous, kv_blocks);
+  cfg.scheduler.chunk_tokens = chunk;
+  return cfg;
+}
+
+TEST(ServeChunkedPrefill, ChunkSizeSweepKeepsDigestsBitIdentical) {
+  // One token per step, the kernel block size, the longest prompt exactly,
+  // and longest-prompt + 1: every boundary case must reproduce the serial
+  // one-shot digests byte for byte (mixed_trace's longest prompt is 30).
+  const auto trace = mixed_trace();
+  Engine serial(small_config(SchedulerMode::kSerial, 16));
+  replay(serial, trace);
+  for (const std::int64_t chunk : {std::int64_t{1}, std::int64_t{16},
+                                   std::int64_t{30}, std::int64_t{31}}) {
+    Engine chunked(chunked_config(16, chunk));
+    replay(chunked, trace);
+    for (const auto& r : trace) {
+      EXPECT_EQ(chunked.session(r.id).phase, SessionPhase::kFinished)
+          << "chunk=" << chunk << " session " << r.id;
+      EXPECT_EQ(serial.session(r.id).digest, chunked.session(r.id).digest)
+          << "chunk=" << chunk << " session " << r.id;
+    }
+    if (chunk == 1) {
+      // 1-token chunks must actually spread prefills across many steps.
+      EXPECT_GT(chunked.stats().prefill_chunks, 20);
+    }
+  }
+}
+
+TEST(ServeChunkedPrefill, InterleavesChunksWithDecodesInOneStep) {
+  Engine engine(chunked_config(16, 8));
+  bool interleaved = false;
+  engine.on_step = [&](const StepEvent& ev) {
+    if (!ev.chunks.empty() && !ev.decodes.empty()) interleaved = true;
+    for (const auto& c : ev.chunks) EXPECT_LT(c.begin, c.end);
+  };
+  engine.submit({0, 8, 12, 1, masks::PatternKind::kCausal, 0.0});
+  engine.submit({1, 40, 4, 2, masks::PatternKind::kCausal, 0.0});
+  engine.run_until_drained();
+  EXPECT_TRUE(interleaved)
+      << "a long prompt's chunks must ride the same steps as live decodes";
+  EXPECT_EQ(engine.stats().finished, 2);
+}
+
+TEST(ServeChunkedPrefill, PreemptMidPrefillRecomputesBitIdentically) {
+  // r0 (priority 0, long prompt) starts prefilling in 32-token chunks; r1
+  // (priority 5) then arrives and needs KV blocks r0 holds.  The scheduler
+  // must evict r0 mid-prefill, and r0's re-prefill must recompute the
+  // digest bit-identically (folding each prompt row exactly once).
+  const Request r0{0, 40, 4, 201, masks::PatternKind::kCausal, 0.0,
+                   /*tenant=*/0, /*priority=*/0};
+  const Request r1{1, 30, 8, 202, masks::PatternKind::kCausal, 0.0,
+                   /*tenant=*/0, /*priority=*/5};
+
+  Engine serial(small_config(SchedulerMode::kSerial, 4));
+  serial.submit(r0);
+  serial.submit(r1);
+  serial.run_until_drained();
+
+  Engine chunked(chunked_config(4, 32));
+  std::map<SessionId, std::int64_t> prefill_progress;
+  bool mid_prefill_eviction = false;
+  chunked.on_step = [&](const StepEvent& ev) {
+    for (const auto id : ev.evicted) {
+      const auto it = prefill_progress.find(id);
+      if (it != prefill_progress.end() &&
+          it->second < chunked.session(id).request.prompt_len) {
+        mid_prefill_eviction = true;
+      }
+      prefill_progress[id] = 0;
+    }
+    for (const auto& c : ev.chunks) prefill_progress[c.id] = c.end;
+  };
+  chunked.submit(r0);
+  chunked.step();  // r0's first chunk lands before r1 exists
+  chunked.submit(r1);
+  chunked.run_until_drained();
+
+  EXPECT_TRUE(mid_prefill_eviction) << "r1 must preempt r0 mid-prefill";
+  EXPECT_GE(chunked.session(0).preemptions, 1);
+  EXPECT_EQ(serial.session(0).digest, chunked.session(0).digest);
+  EXPECT_EQ(serial.session(1).digest, chunked.session(1).digest);
+  EXPECT_EQ(chunked.stats().finished, 2);
+}
+
+TEST(ServeChunkedPrefill, Int8KvSidecarDigestsMatchSerialInt8) {
+  // The INT8 decode tier is not bit-identical to FP32, but it must stay
+  // invariant to scheduling: chunked-continuous INT8 == serial INT8.
+  const auto trace = mixed_trace();
+  EngineConfig serial_cfg = small_config(SchedulerMode::kSerial, 16);
+  serial_cfg.kv_precision = core::PanelPrecision::kInt8;
+  EngineConfig chunked_cfg = chunked_config(16, 16);
+  chunked_cfg.kv_precision = core::PanelPrecision::kInt8;
+  Engine serial(serial_cfg);
+  Engine chunked(chunked_cfg);
+  replay(serial, trace);
+  replay(chunked, trace);
+  for (const auto& r : trace) {
+    EXPECT_EQ(serial.session(r.id).digest, chunked.session(r.id).digest)
+        << "session " << r.id;
+  }
+}
+
+// ---- Priorities, deadlines, fairness --------------------------------------
+
+TEST(ServeScheduling, DeadlineMissesAreCounted) {
+  Engine engine(chunked_config(16, 16));
+  Request hopeless{0, 16, 8, 301, masks::PatternKind::kCausal, 0.0};
+  hopeless.deadline_us = 0.5;  // unreachable: one step costs more
+  Request relaxed{1, 16, 8, 302, masks::PatternKind::kCausal, 0.0};
+  relaxed.deadline_us = 1e9;
+  engine.submit(hopeless);
+  engine.submit(relaxed);
+  engine.run_until_drained();
+  EXPECT_EQ(engine.stats().deadline_misses, 1);
+}
+
+TEST(ServeScheduling, AdmissionOrdersPriorityFirstThenDeadline) {
+  // Capacity for one prefill in flight: admission order is observable as
+  // first-chunk order.  Queue deliberately arrives worst-first.
+  EngineConfig cfg = chunked_config(16, 16);
+  cfg.scheduler.max_prefills_per_step = 1;
+  Engine engine(cfg);
+  std::vector<SessionId> first_chunk_order;
+  engine.on_step = [&](const StepEvent& ev) {
+    for (const auto& c : ev.chunks) {
+      if (c.begin == 0) first_chunk_order.push_back(c.id);
+    }
+  };
+  Request low{0, 16, 4, 401, masks::PatternKind::kCausal, 0.0};
+  low.priority = 0;
+  Request late_deadline{1, 16, 4, 402, masks::PatternKind::kCausal, 0.0};
+  late_deadline.priority = 2;
+  late_deadline.deadline_us = 5000;
+  Request tight_deadline{2, 16, 4, 403, masks::PatternKind::kCausal, 0.0};
+  tight_deadline.priority = 2;
+  tight_deadline.deadline_us = 1000;
+  engine.submit(low);
+  engine.submit(late_deadline);
+  engine.submit(tight_deadline);
+  engine.run_until_drained();
+  ASSERT_EQ(first_chunk_order.size(), 3u);
+  EXPECT_EQ(first_chunk_order[0], 2);  // priority 2, earliest deadline
+  EXPECT_EQ(first_chunk_order[1], 1);  // priority 2, later deadline
+  EXPECT_EQ(first_chunk_order[2], 0);  // priority 0 last
+}
+
+TEST(ServeScheduling, FairnessShieldsMinorityTenantFromFlood) {
+  // Tenant 0 floods the queue; tenant 1 submits two small requests behind
+  // the flood.  Weighted DRR admission must pull tenant 1 forward, and the
+  // per-session outputs must not depend on the fairness policy at all.
+  std::vector<Request> trace;
+  for (std::int64_t i = 0; i < 6; ++i) {
+    trace.push_back({i, 24, 8, 500 + static_cast<std::uint64_t>(i),
+                     masks::PatternKind::kCausal, 0.0, /*tenant=*/0});
+  }
+  for (std::int64_t i = 6; i < 8; ++i) {
+    trace.push_back({i, 16, 8, 500 + static_cast<std::uint64_t>(i),
+                     masks::PatternKind::kCausal, 0.0, /*tenant=*/1});
+  }
+
+  const auto mean_tenant1_finish = [&](Engine& engine) {
+    double sum = 0;
+    for (std::int64_t i = 6; i < 8; ++i) {
+      sum += engine.session(i).finish_us;
+    }
+    return sum / 2.0;
+  };
+
+  EngineConfig fifo_cfg = chunked_config(16, 64);
+  fifo_cfg.scheduler.max_prefills_per_step = 2;
+  Engine fifo(fifo_cfg);
+  for (const auto& r : trace) fifo.submit(r);
+  fifo.run_until_drained();
+
+  // Quantum 16 * weight 1 cannot cover a 32-token flood request every
+  // step, while tenant 1's 4x weight covers its 24-token requests at once:
+  // the accountant pulls tenant 1 past the flood.
+  EngineConfig fair_cfg = fifo_cfg;
+  fair_cfg.scheduler.fairness_quantum_tokens = 16;
+  fair_cfg.scheduler.tenant_weights = {{0, 1}, {1, 4}};
+  Engine fair(fair_cfg);
+  for (const auto& r : trace) fair.submit(r);
+  fair.run_until_drained();
+
+  EXPECT_LT(mean_tenant1_finish(fair), mean_tenant1_finish(fifo))
+      << "weighted DRR must improve the minority tenant's finish times";
+  for (const auto& r : trace) {
+    EXPECT_EQ(fifo.session(r.id).digest, fair.session(r.id).digest)
+        << "fairness must never change outputs, only ordering";
+  }
+  EXPECT_EQ(fair.stats().finished, 8);
+}
+
 TEST(ServeEngine, RejectsOversizedRequests) {
   Engine engine(small_config(SchedulerMode::kContinuous, 16));
   EXPECT_THROW(
