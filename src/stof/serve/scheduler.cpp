@@ -181,19 +181,35 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
     return n;
   };
 
+  std::int64_t budget = config_.chunk_tokens;
+  std::int64_t reserved_chunks = 0;
+  const std::int64_t block_tokens = pool.config().block_tokens;
+
+  // Evicting a victim whose chunk was already granted this step withdraws
+  // the chunk (evict() erases it from the plan); the withdrawn tokens go
+  // back into the step budget and the withdrawn blocks back into the
+  // reservation count, so later grants can use the headroom the victim
+  // gave up.  Must read pool.blocks(victim) before evict() releases them.
+  const auto evict_refunded = [&](SessionId victim) {
+    for (const auto& c : plan.chunks) {
+      if (c.id == victim) {
+        budget += c.tokens();
+        reserved_chunks -= pool.blocks_for(c.end) - pool.blocks(victim);
+        break;
+      }
+    }
+    evict(table, pool, plan, victim);
+  };
+
   // KV pressure from the decode batch.
   while (pool.free_blocks() < decode_blocks_needed()) {
     const auto cands = residents();
     if (cands.empty()) break;
     const SessionId victim = pick_victim(table, cands);
-    evict(table, pool, plan, victim);
+    evict_refunded(victim);
     std::erase(decoding, victim);
     std::erase(selected, victim);
   }
-
-  std::int64_t budget = config_.chunk_tokens;
-  std::int64_t reserved_chunks = 0;
-  const std::int64_t block_tokens = pool.config().block_tokens;
 
   // Grant one chunk of up to `budget` tokens, shrunk to the KV blocks
   // available this step; a starved chunk may preempt strictly-lower-
@@ -201,6 +217,12 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
   // granted.
   const auto assign_chunk = [&](SessionId id) {
     Session& s = table.at(id);
+    // A grant for an earlier (higher-priority) session may have preempted
+    // this one — mid-prefill residents are victims — sending it back to
+    // the wait queue with its KV released.  Granting anyway would hand
+    // blocks to a kQueued session that is also in plan.evicted, leaking
+    // KV outside residents()/preemption.  Skip anything not mid-prefill.
+    if (s.phase != SessionPhase::kPrefilling) return false;
     const std::int64_t have = s.cached_tokens;
     const std::int64_t want = std::min(s.total_len() - have, budget);
     if (want <= 0) return false;
@@ -222,7 +244,7 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
       }
       if (cands.empty()) break;
       const SessionId victim = pick_victim(table, cands);
-      evict(table, pool, plan, victim);
+      evict_refunded(victim);
       std::erase(decoding, victim);
       std::erase(selected, victim);
       granted = granted_now();
@@ -271,7 +293,7 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
       break;
     }
     Session& s = table.at(id);
-    if (fair &&
+    if (fair && !s.deficit_charged &&
         deficit_[s.request.tenant] < s.request.target_len()) {
       telemetry::count("serve.sched.deficit_deferrals");
       continue;
@@ -292,7 +314,7 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
       }
       if (cands.empty()) break;
       const SessionId victim = pick_victim(table, cands);
-      evict(table, pool, plan, victim);
+      evict_refunded(victim);
       std::erase(decoding, victim);
       std::erase(selected, victim);
     }
@@ -300,7 +322,10 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
     std::erase(waiting_, id);
     s.phase = SessionPhase::kPrefilling;
     chunking_.push_back(id);
-    if (fair) deficit_[s.request.tenant] -= s.request.target_len();
+    if (fair && !s.deficit_charged) {
+      deficit_[s.request.tenant] -= s.request.target_len();
+      s.deficit_charged = true;
+    }
     assign_chunk(id);
   }
 
@@ -317,7 +342,7 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
           if (cand != head) cands.push_back(cand);
         }
         if (cands.empty()) break;
-        evict(table, pool, plan, pick_victim(table, cands));
+        evict_refunded(pick_victim(table, cands));
       }
     } else if (!waiting_.empty()) {
       // Everyone was deficit-gated: force-admit the ordered head anyway
@@ -329,8 +354,11 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
         s.phase = SessionPhase::kPrefilling;
         chunking_.push_back(id);
         if (fair) {
-          deficit_[s.request.tenant] -= s.request.target_len();
           telemetry::count("serve.sched.forced_admissions");
+          if (!s.deficit_charged) {
+            deficit_[s.request.tenant] -= s.request.target_len();
+            s.deficit_charged = true;
+          }
         }
         assign_chunk(id);
         break;

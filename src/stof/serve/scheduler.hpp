@@ -34,7 +34,8 @@
 //     weighted deficit round-robin over tenants — each planning step tops
 //     up every tenant with queued work by quantum * weight tokens, and
 //     admitting a session spends its target length from its tenant's
-//     deficit.  A tenant that cannot afford its next session waits (others
+//     deficit (once — re-admission after a preemption neither charges nor
+//     gates again).  A tenant that cannot afford its next session waits (others
 //     may pass it); if nothing else is runnable the head session is
 //     force-admitted so the engine never idles while work is queued
 //     (work conservation; the charge still applies and may go negative).

@@ -34,6 +34,10 @@ struct Session {
 
   std::int64_t preemptions = 0;
   std::int64_t last_touch_step = -1;  ///< last step this session computed
+  /// Target length already charged to the tenant's fairness deficit.
+  /// Re-admission after preemption does not charge (or gate) again — the
+  /// tenant paid once and eviction was the scheduler's choice, not theirs.
+  bool deficit_charged = false;
 
   double first_token_us = -1;  ///< sim time of first decode output
   double finish_us = -1;       ///< sim time the last token completed

@@ -409,6 +409,215 @@ TEST(ServeScheduling, FairnessShieldsMinorityTenantFromFlood) {
   EXPECT_EQ(fair.stats().finished, 8);
 }
 
+// ---- Scheduler planning invariants ----------------------------------------
+//
+// These drive Scheduler::plan_step directly against a hand-built
+// table/pool and apply each plan with the same bookkeeping Engine::step
+// performs (ingest chunk tokens, decode one token per selected session,
+// retire finished sessions) — no kernels, so single-step planner states
+// (exact free-block counts, budget remainders) can be pinned.
+
+struct PlannerHarness {
+  SessionTable table;
+  KvPool pool;
+  Scheduler sched;
+  std::int64_t step = 0;
+
+  PlannerHarness(const SchedulerConfig& cfg, std::int64_t num_blocks,
+                 std::int64_t block_tokens)
+      : pool(KvPoolConfig{num_blocks, block_tokens, 1, 8}), sched(cfg) {}
+
+  void submit(const Request& r) {
+    table.submit(r);
+    sched.enqueue(r.id);
+  }
+
+  [[nodiscard]] StepPlan plan() { return sched.plan_step(table, pool, step); }
+
+  // Apply a plan the way the engine does, checking the invariants its
+  // ingest path relies on: chunks go only to mid-prefill sessions resuming
+  // at their cached prefix, and evicted sessions hold no KV.
+  void apply(const StepPlan& plan) {
+    for (const auto id : plan.evicted) {
+      EXPECT_EQ(table.at(id).phase, SessionPhase::kQueued);
+      EXPECT_EQ(pool.blocks(id), 0);
+    }
+    for (const auto& c : plan.chunks) {
+      Session& s = table.at(c.id);
+      EXPECT_EQ(s.phase, SessionPhase::kPrefilling)
+          << "chunk granted to session " << c.id << " outside prefill";
+      EXPECT_EQ(s.cached_tokens, c.begin);
+      for (std::int64_t t = c.begin; t < c.end; ++t) {
+        ASSERT_TRUE(pool.append_token(c.id).has_value());
+      }
+      s.cached_tokens = c.end;
+      if (s.cached_tokens == s.total_len()) s.phase = SessionPhase::kDecoding;
+      s.last_touch_step = step;
+    }
+    for (const auto id : plan.decodes) {
+      Session& s = table.at(id);
+      ASSERT_TRUE(pool.append_token(id).has_value());
+      s.cached_tokens = s.total_len() + 1;
+      ++s.generated;
+      s.last_touch_step = step;
+      if (s.done()) {
+        s.phase = SessionPhase::kFinished;
+        pool.release(id);
+      }
+    }
+    ++step;
+  }
+
+  [[nodiscard]] bool drained() const {
+    for (const auto& [id, s] : table) {
+      if (s.phase != SessionPhase::kFinished) return false;
+    }
+    return true;
+  }
+
+  void run_until_drained(int max_steps) {
+    for (int i = 0; i < max_steps && !drained(); ++i) {
+      const StepPlan p = plan();
+      ASSERT_FALSE(p.empty()) << "scheduler stalled with live sessions";
+      apply(p);
+    }
+    EXPECT_TRUE(drained()) << "sessions did not drain in " << max_steps
+                           << " steps";
+  }
+};
+
+TEST(SchedulerPlan, MidStepPreemptionNeverGrantsChunksToEvictedSessions) {
+  // Regression: the ongoing-prefill loop iterates a snapshot of the
+  // chunking line, and an earlier (higher-priority) member's grant may
+  // preempt a later member — mid-prefill residents are victims.  The
+  // planner must then skip the evicted session: granting it a chunk would
+  // hand KV blocks to a kQueued session that is simultaneously in
+  // plan.evicted and the wait queue, hiding those blocks from
+  // residents()/preemption.
+  SchedulerConfig cfg;
+  cfg.chunk_tokens = 16;
+  PlannerHarness h(cfg, /*num_blocks=*/8, /*block_tokens=*/4);
+
+  const Request c{0, 8, 20, 1, masks::PatternKind::kCausal, 0.0,
+                  /*tenant=*/0, /*priority=*/0};
+  const Request b{1, 28, 4, 2, masks::PatternKind::kCausal, 0.0,
+                  /*tenant=*/0, /*priority=*/5};
+  const Request d{2, 20, 4, 3, masks::PatternKind::kCausal, 0.0,
+                  /*tenant=*/0, /*priority=*/3};
+
+  h.submit(c);
+  h.apply(h.plan());  // c prefills whole (8 <= 16) and starts decoding
+  h.apply(h.plan());  // c decodes into a third block
+  h.submit(b);
+  h.apply(h.plan());  // b admitted: chunk [0,16)
+  h.submit(d);
+  // b continues KV-capped ([16,20), partial grant leaves budget); d's
+  // admission preempts c (priority 0 < 3) for its first chunk [0,12).
+  // Both b and d are now parked mid-prefill, b ahead of d in the line.
+  StepPlan p = h.plan();
+  ASSERT_EQ(p.evicted.size(), 1u);
+  EXPECT_EQ(p.evicted[0], 0);
+  ASSERT_EQ(p.chunks.size(), 2u);
+  EXPECT_EQ(p.chunks[0].id, 1);
+  EXPECT_EQ(p.chunks[1].id, 2);
+  h.apply(p);
+  ASSERT_EQ(h.pool.free_blocks(), 0);
+
+  // The crucial step: b's continuation finds no free block and evicts d
+  // (priority 3 < 5).  d is still in the iteration snapshot behind b and
+  // must NOT be granted a chunk from its own freed blocks.
+  p = h.plan();
+  ASSERT_EQ(p.evicted.size(), 1u);
+  EXPECT_EQ(p.evicted[0], 2);
+  ASSERT_EQ(p.chunks.size(), 1u);
+  EXPECT_EQ(p.chunks[0].id, 1);
+  EXPECT_EQ(p.chunks[0].begin, 20);
+  EXPECT_EQ(p.chunks[0].end, 28);
+  EXPECT_EQ(h.table.at(2).phase, SessionPhase::kQueued);
+  EXPECT_EQ(h.pool.blocks(2), 0);
+  h.apply(p);
+
+  // Everyone still drains, and every block comes back.
+  h.run_until_drained(100);
+  EXPECT_EQ(h.pool.free_blocks(), 8);
+}
+
+TEST(SchedulerPlan, WithdrawnChunkRefundsStepBudget) {
+  // Regression: when a priority preemption withdraws a victim's
+  // already-granted chunk from the plan, its tokens must return to the
+  // step budget (and its blocks to the reservation count) — otherwise the
+  // step under-packs versus the configured chunk_tokens.
+  SchedulerConfig cfg;
+  cfg.chunk_tokens = 16;
+  PlannerHarness h(cfg, /*num_blocks=*/6, /*block_tokens=*/4);
+
+  const Request a{0, 20, 4, 1, masks::PatternKind::kCausal, 0.0,
+                  /*tenant=*/0, /*priority=*/0};
+  const Request b{1, 20, 4, 2, masks::PatternKind::kCausal, 0.0,
+                  /*tenant=*/0, /*priority=*/5};
+
+  h.submit(a);
+  h.apply(h.plan());  // a admitted: chunk [0,16), 4 of 6 blocks held
+  h.submit(b);
+  // a's continuation [16,20) is granted first (4 tokens); b's admission
+  // then evicts a, withdrawing that chunk.  With the refund, b's first
+  // chunk gets the full 16-token budget — not 16 - 4.
+  const StepPlan p = h.plan();
+  ASSERT_EQ(p.evicted.size(), 1u);
+  EXPECT_EQ(p.evicted[0], 0);
+  ASSERT_EQ(p.chunks.size(), 1u);
+  EXPECT_EQ(p.chunks[0].id, 1);
+  EXPECT_EQ(p.chunks[0].tokens(), 16)
+      << "withdrawn chunk's tokens were not refunded to the step budget";
+  h.apply(p);
+  h.run_until_drained(100);
+  EXPECT_EQ(h.pool.free_blocks(), 6);
+}
+
+TEST(SchedulerPlan, TenantChargedOncePerSessionAcrossPreemption) {
+  // Regression: the WDRR accountant must charge a session's target length
+  // to its tenant exactly once.  Re-admission after a preemption — the
+  // scheduler's choice, not the tenant's — must neither charge nor
+  // deficit-gate again.
+  SchedulerConfig cfg;
+  cfg.chunk_tokens = 16;
+  cfg.fairness_quantum_tokens = 100;
+  PlannerHarness h(cfg, /*num_blocks=*/6, /*block_tokens=*/4);
+
+  const Request a{0, 16, 8, 1, masks::PatternKind::kCausal, 0.0,
+                  /*tenant=*/0, /*priority=*/0};  // target_len 24
+  const Request b{1, 20, 1, 2, masks::PatternKind::kCausal, 0.0,
+                  /*tenant=*/1, /*priority=*/5};  // target_len 21
+
+  h.submit(a);
+  h.apply(h.plan());  // top-up to 100, admit a, charge 24
+  EXPECT_EQ(h.sched.tenant_deficit(0), 76);
+
+  h.submit(b);
+  // b preempts a (now decoding) for its first chunk's blocks; tenant 0's
+  // account is untouched by the eviction.
+  StepPlan p = h.plan();
+  ASSERT_EQ(p.evicted.size(), 1u);
+  EXPECT_EQ(p.evicted[0], 0);
+  h.apply(p);
+  EXPECT_EQ(h.sched.tenant_deficit(0), 76);
+
+  // a waits (earning 100/step) while b finishes, then is re-admitted.
+  std::int64_t readmit_step = -1;
+  for (int i = 0; i < 10 && readmit_step < 0; ++i) {
+    p = h.plan();
+    for (const auto& c : p.chunks) {
+      if (c.id == 0) readmit_step = h.step;
+    }
+    h.apply(p);
+  }
+  ASSERT_GE(readmit_step, 0) << "preempted session was never re-admitted";
+  // Top-ups since the first admission accrued; the target length was NOT
+  // charged a second time (buggy accounting would read 24 lower).
+  EXPECT_EQ(h.sched.tenant_deficit(0), 76 + 100 * (readmit_step - 1));
+  h.run_until_drained(100);
+}
+
 TEST(ServeEngine, RejectsOversizedRequests) {
   Engine engine(small_config(SchedulerMode::kContinuous, 16));
   EXPECT_THROW(
