@@ -135,6 +135,82 @@ inline std::vector<Request> make_burst_trace(const BurstTraceConfig& t) {
   return trace;
 }
 
+/// Templated-prompt trace for the prefix-sharing benches: every request
+/// instantiates one of `templates` prompt templates (a shared system /
+/// few-shot preamble, modeled as `template_len` tokens drawn from the
+/// template's seed) followed by a short private suffix.  Template
+/// popularity is Zipf-distributed — a few templates dominate, the tail is
+/// cold — which is the regime where a radix-tree prefix cache pays: the
+/// hot templates' KV pages are computed once and adopted by every later
+/// arrival.  The trace itself is identical whether sharing is on or off
+/// (the toggle lives in SchedulerConfig::prefix_sharing), so per-session
+/// digests are directly comparable across the two runs.
+struct PrefixTraceConfig {
+  std::int64_t sessions = 64;
+  std::uint64_t seed = 20260808;
+  std::int64_t templates = 8;
+  double zipf_s = 1.1;  ///< popularity exponent (higher = more skew)
+  /// Shared tokens per template.  With the default suffix range the mean
+  /// prompt is template_len + 16, i.e. ~80% of prompt tokens are shared.
+  std::int64_t template_len = 64;
+  std::int64_t min_suffix = 8;
+  std::int64_t max_suffix = 24;
+  std::int64_t min_gen = 8;
+  std::int64_t max_gen = 32;
+  double mean_interarrival_us = 10.0;
+};
+
+inline std::vector<Request> make_prefix_trace(const PrefixTraceConfig& t) {
+  Rng rng(t.seed);
+  const masks::PatternKind kinds[] = {
+      masks::PatternKind::kCausal, masks::PatternKind::kSlidingWindow,
+      masks::PatternKind::kStrided, masks::PatternKind::kBigBird};
+  // Per-template identity: a stable seed (the token function for positions
+  // below template_len) and a mask kind (prefix pages are only shareable
+  // within a kind — the tree roots branch on it).
+  std::vector<std::uint64_t> template_seeds;
+  std::vector<masks::PatternKind> template_kinds;
+  for (std::int64_t p = 0; p < t.templates; ++p) {
+    template_seeds.push_back(rng.next_u64());
+    template_kinds.push_back(kinds[static_cast<std::size_t>(p) %
+                                   std::size(kinds)]);
+  }
+  // Zipf CDF over template ranks: weight(rank i) = 1 / (i + 1)^s.
+  std::vector<double> cdf;
+  double total = 0;
+  for (std::int64_t p = 0; p < t.templates; ++p) {
+    total += 1.0 / std::pow(static_cast<double>(p + 1), t.zipf_s);
+    cdf.push_back(total);
+  }
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(t.sessions));
+  double clock = 0;
+  for (std::int64_t i = 0; i < t.sessions; ++i) {
+    const double u = rng.next_double() * total;
+    std::size_t p = 0;
+    while (p + 1 < cdf.size() && cdf[p] < u) ++p;
+    Request r;
+    r.id = i;
+    r.template_seed = template_seeds[p];
+    r.template_len = t.template_len;
+    r.mask_kind = template_kinds[p];
+    const std::int64_t suffix =
+        t.min_suffix + static_cast<std::int64_t>(rng.next_below(
+                           static_cast<std::uint64_t>(t.max_suffix -
+                                                      t.min_suffix + 1)));
+    r.prompt_len = t.template_len + suffix;
+    r.max_new_tokens =
+        t.min_gen + static_cast<std::int64_t>(rng.next_below(
+                        static_cast<std::uint64_t>(t.max_gen - t.min_gen +
+                                                   1)));
+    r.seed = rng.next_u64();
+    clock += rng.next_double() * 2.0 * t.mean_interarrival_us;
+    r.arrival_us = clock;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
 /// Engine sized for make_trace() workloads (max context 128 tokens).
 inline EngineConfig serve_config(SchedulerMode mode) {
   EngineConfig cfg;

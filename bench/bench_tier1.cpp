@@ -47,6 +47,7 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -604,6 +605,197 @@ Entry bench_serve_decode_long_int8(bool quick) {
   return e;
 }
 
+/// Prefix-sharing serving entry: a Zipf templated-prompt burst (~83% of
+/// every prompt is one of three hot 512-token templates) replayed twice
+/// on the continuous scheduler:
+///   scalar_ms = prefix sharing OFF — every session prefills its whole
+///               prompt from scratch, in simulated ms;
+///   packed_ms = prefix sharing ON — template pages are computed once,
+///               published to the radix tree, and adopted (refcounted,
+///               CoW-protected) by every later arrival, which prefills
+///               only its private suffix.
+/// speedup() is the serving-throughput gain from sharing.  Gates:
+///   * bit_identical — per-session digests agree across the two runs
+///     (adopted pages must reproduce the exact bytes a from-scratch
+///     prefill would);
+///   * aux_ok — >= 2x speedup, the tree actually hit (serve.prefix.hits),
+///     computed prefill tokens land at the theoretical cold-start floor
+///     (sum of private suffixes + each template computed ONCE — i.e. the
+///     saving amortises per template, better than the per-session share
+///     fraction alone predicts), and INT8 sidecar conversion bytes drop
+///     below half (shared pages share one sidecar panel across sessions).
+Entry bench_serve_prefix_shared(bool quick) {
+  namespace sb = stof::serve::bench;
+  sb::PrefixTraceConfig tc;
+  tc.sessions = quick ? 32 : 80;
+  tc.templates = 3;
+  tc.template_len = 512;
+  tc.zipf_s = 1.4;
+  tc.min_suffix = quick ? 64 : 80;
+  tc.max_suffix = quick ? 112 : 128;
+  tc.min_gen = 1;
+  tc.max_gen = 1;
+  const auto trace = sb::make_prefix_trace(tc);
+  auto off_cfg = sb::serve_config(stof::serve::SchedulerMode::kContinuous);
+  off_cfg.heads = 16;
+  off_cfg.max_seq_len = 768;
+  off_cfg.kv_blocks = 1280;
+  off_cfg.scheduler.prefill_token_budget = 8192;
+  off_cfg.scheduler.max_prefills_per_step = 16;
+  off_cfg.scheduler.prefix_sharing = false;
+  auto on_cfg = off_cfg;
+  on_cfg.scheduler.prefix_sharing = true;
+
+  // Cold-start floor: every private suffix once, every distinct template
+  // once.  A sharing-off run computes sum(prompt_len) instead.
+  std::int64_t floor_tokens = 0;
+  std::set<std::uint64_t> seen_templates;
+  for (const auto& r : trace) {
+    floor_tokens += r.prompt_len - r.template_len;
+    if (seen_templates.insert(r.template_seed).second) {
+      floor_tokens += r.template_len;
+    }
+  }
+
+  // Two instrumented replays (telemetry perturbs neither simulated time
+  // nor outputs): sharing off for the reference traffic, sharing on for
+  // the entry's counters.
+  Entry e;
+  e.name = "serve_prefix_shared";
+  e.shape = std::to_string(tc.sessions) + " sessions, " +
+            std::to_string(tc.templates) + " Zipf templates x " +
+            std::to_string(tc.template_len) +
+            " shared tokens, heads 16, max_seq 768, simulated ms "
+            "(prefix sharing off vs on)";
+  std::int64_t off_prefill_tokens = 0, off_converted = 0, off_sidecar = 0;
+  {
+    stof::telemetry::ScopedTelemetry on_t(true);
+    stof::telemetry::global_registry().reset();
+    const auto off = sb::run_trace(off_cfg, trace);
+    off_prefill_tokens =
+        stof::telemetry::global_registry().counter("serve.prefill.tokens");
+    off_converted = stof::telemetry::global_registry().counter(
+        "exec.panelcache.bytes_converted");
+    off_sidecar = stof::telemetry::global_registry().counter(
+        "serve.kv.sidecar_bytes_converted");
+
+    stof::telemetry::global_registry().reset();
+    const auto on = sb::run_trace(on_cfg, trace);
+    e.counters = stof::telemetry::global_registry().counters();
+    e.counters["serve.derived.tokens_per_s"] = std::llround(on.tokens_per_s);
+    e.counters["serve.derived.nosharing_tokens_per_s"] =
+        std::llround(off.tokens_per_s);
+    e.counters["serve.derived.nosharing_prefill_tokens"] = off_prefill_tokens;
+    e.counters["serve.derived.nosharing_panel_bytes_converted"] =
+        off_converted;
+    e.counters["serve.derived.nosharing_sidecar_bytes_converted"] =
+        off_sidecar;
+    e.counters["serve.derived.prefill_floor_tokens"] = floor_tokens;
+
+    e.scalar_ms = off.sim_us / 1000.0;
+    e.packed_ms = on.sim_us / 1000.0;
+    e.bit_identical = sb::digests_match(off, on);
+  }
+  if (e.speedup() < 2.0) {
+    std::cerr << e.name << ": sharing sped serving up only " << e.speedup()
+              << "x (gate: >= 2x)\n";
+    e.aux_ok = false;
+  }
+  if (e.counters["serve.prefix.hits"] <= 0) {
+    std::cerr << e.name << ": prefix tree never hit\n";
+    e.aux_ok = false;
+  }
+  // Superlinear traffic drop.  Linear share-skipping would still recompute
+  // every template per miss; landing at the floor means each template was
+  // computed once for the whole trace.  10% slack over the floor.
+  const std::int64_t on_prefill_tokens = e.counters["serve.prefill.tokens"];
+  if (on_prefill_tokens * 10 > floor_tokens * 11) {
+    std::cerr << e.name << ": sharing computed " << on_prefill_tokens
+              << " prefill tokens vs cold-start floor " << floor_tokens
+              << " (reference " << off_prefill_tokens
+              << "; gate: within 10% of the floor)\n";
+    e.aux_ok = false;
+  }
+  // Shared pages share one INT8 sidecar panel, so conversion bytes fall
+  // with unique pages, not with sessions.
+  const std::int64_t on_sidecar =
+      e.counters["serve.kv.sidecar_bytes_converted"];
+  const std::int64_t on_converted =
+      e.counters["exec.panelcache.bytes_converted"];
+  if (on_sidecar * 2 > off_sidecar || on_converted >= off_converted) {
+    std::cerr << e.name << ": sharing saved too little conversion traffic "
+              << "(sidecar " << on_sidecar << "/" << off_sidecar
+              << " bytes, gate: under half; total converted " << on_converted
+              << "/" << off_converted << " bytes, gate: lower)\n";
+    e.aux_ok = false;
+  }
+  return e;
+}
+
+/// Speculative-decoding serving entry: a decode-dominated trace replayed
+/// with plain one-token-per-step decoding (scalar_ms, simulated) and with
+/// draft-and-verify speculative decoding (packed_ms) — k drafts proposed
+/// per round by a 1-head windowed draft pass and verified together with
+/// the true token in ONE batched paged-decode launch; rejected KV slots
+/// roll back exactly.  Gates:
+///   * bit_identical — per-session digests agree (accepted rows must be
+///     byte-identical to the sequential decode, rejections fully undone);
+///   * aux_ok — >= 1.5x decode throughput and >= 70% measured draft
+///     acceptance (serve.spec.accepted / serve.spec.drafted).
+Entry bench_serve_speculative(bool quick) {
+  namespace sb = stof::serve::bench;
+  sb::TraceConfig tc;
+  tc.sessions = quick ? 2 : 4;
+  tc.min_prompt = 16;
+  tc.max_prompt = 32;
+  tc.min_gen = quick ? 48 : 160;
+  tc.max_gen = quick ? 48 : 160;
+  const auto trace = sb::make_trace(tc);
+  auto cfg = sb::serve_config(stof::serve::SchedulerMode::kContinuous);
+  cfg.max_seq_len = 256;
+  cfg.kv_blocks = 96;
+  auto spec_cfg = cfg;
+  spec_cfg.spec_draft_tokens = 4;
+  spec_cfg.spec_accept_pct = 92;
+
+  // Two instrumented replays (telemetry perturbs neither simulated time
+  // nor outputs): plain decode, then draft-and-verify with the entry's
+  // serve.spec.* draft / accept / rollback balance.
+  Entry e;
+  e.name = "serve_speculative";
+  e.shape = std::to_string(tc.sessions) + " sessions, " +
+            std::to_string(tc.min_gen) +
+            " generated tokens each, heads 4, max_seq 256, simulated ms "
+            "(plain decode vs draft-and-verify, k=4)";
+  {
+    stof::telemetry::ScopedTelemetry on(true);
+    stof::telemetry::global_registry().reset();
+    const auto plain = sb::run_trace(cfg, trace);
+    stof::telemetry::global_registry().reset();
+    const auto spec = sb::run_trace(spec_cfg, trace);
+    e.counters = stof::telemetry::global_registry().counters();
+    e.counters["serve.derived.tokens_per_s"] = std::llround(spec.tokens_per_s);
+    e.counters["serve.derived.plain_tokens_per_s"] =
+        std::llround(plain.tokens_per_s);
+    e.scalar_ms = plain.sim_us / 1000.0;
+    e.packed_ms = spec.sim_us / 1000.0;
+    e.bit_identical = sb::digests_match(plain, spec);
+  }
+  if (e.speedup() < 1.5) {
+    std::cerr << e.name << ": speculation sped decoding up only "
+              << e.speedup() << "x (gate: >= 1.5x)\n";
+    e.aux_ok = false;
+  }
+  const std::int64_t drafted = e.counters["serve.spec.drafted"];
+  const std::int64_t accepted = e.counters["serve.spec.accepted"];
+  if (drafted <= 0 || accepted * 100 < drafted * 70) {
+    std::cerr << e.name << ": draft acceptance " << accepted << "/" << drafted
+              << " (gate: >= 70%)\n";
+    e.aux_ok = false;
+  }
+  return e;
+}
+
 bool write_json(const std::string& path, const std::vector<Entry>& entries,
                 bool quick) {
   std::ofstream os(path);
@@ -767,6 +959,8 @@ int main(int argc, char** argv) {
     entries.push_back(bench_serve_burst_p99(/*quick=*/true));
     entries.push_back(bench_serve_decode_long(/*quick=*/true));
     entries.push_back(bench_serve_decode_long_int8(/*quick=*/true));
+    entries.push_back(bench_serve_prefix_shared(/*quick=*/true));
+    entries.push_back(bench_serve_speculative(/*quick=*/true));
   } else {
     entries.push_back(bench_gemm(8, 512, 1024, 1024, 3));
     entries.push_back(bench_gemm_int8(8, 512, 1024, 1024, 3));
@@ -780,6 +974,8 @@ int main(int argc, char** argv) {
     entries.push_back(bench_serve_burst_p99(/*quick=*/false));
     entries.push_back(bench_serve_decode_long(/*quick=*/false));
     entries.push_back(bench_serve_decode_long_int8(/*quick=*/false));
+    entries.push_back(bench_serve_prefix_shared(/*quick=*/false));
+    entries.push_back(bench_serve_speculative(/*quick=*/false));
   }
 
   bool all_identical = true;

@@ -415,6 +415,50 @@ gpusim::KernelCost decode_batched_cost(std::int64_t heads,
   return c;
 }
 
+gpusim::KernelCost decode_verify_cost(std::int64_t heads,
+                                      std::int64_t head_size,
+                                      std::span<const std::int64_t> valid_cols,
+                                      std::span<const std::int64_t> seq_rows,
+                                      const gpusim::DeviceSpec& dev) {
+  STOF_EXPECTS(heads > 0 && head_size > 0 && !seq_rows.empty());
+  const double d = static_cast<double>(head_size);
+  const double h = static_cast<double>(heads);
+  constexpr double kElem = 2.0;
+
+  gpusim::KernelCost c;
+  std::size_t row = 0;
+  std::int64_t instances = 0;
+  for (const auto rows : seq_rows) {
+    STOF_EXPECTS(rows >= 1);
+    std::int64_t max_valid = 0;
+    for (std::int64_t j = 0; j < rows; ++j) {
+      STOF_EXPECTS(row < valid_cols.size());
+      const std::int64_t valid_i = valid_cols[row++];
+      STOF_EXPECTS(valid_i >= 0);
+      const double valid = static_cast<double>(valid_i);
+      // Per-row math and q/output/column-list traffic: identical to the
+      // plain batched decode model.
+      c.cuda_flops += 0.5 * h * valid * (4.0 * d + 6.0);
+      c.gmem_read_bytes += h * d * kElem + valid * sizeof(std::int32_t);
+      c.gmem_write_bytes += h * d * kElem;
+      max_valid = std::max(max_valid, valid_i);
+    }
+    // KV pages stream from DRAM once per sequence (row maximum); the other
+    // rows of the same sequence re-read them out of L2/SMEM.
+    c.gmem_read_bytes +=
+        h * 2.0 * static_cast<double>(max_valid) * d * kElem;
+    instances += rows * heads;
+  }
+  STOF_EXPECTS(row == valid_cols.size(),
+               "seq_rows must partition valid_cols");
+  const auto occ = gpusim::occupancy(dev, 0, /*num_warps=*/4);
+  c.occupancy = occ.fraction;
+  c.blocks_per_sm = std::max(1, occ.blocks_per_sm);
+  c.grid_blocks = (instances + 3) / 4;
+  c.overlap = 0.85;  // pure streaming
+  return c;
+}
+
 gpusim::KernelCost decode_cost(const DecodeDims& dims,
                                std::int64_t valid_cols,
                                const gpusim::DeviceSpec& dev) {

@@ -117,4 +117,20 @@ gpusim::KernelCost decode_batched_cost(std::int64_t heads,
                                        std::span<const std::int64_t> valid_cols,
                                        const gpusim::DeviceSpec& dev);
 
+/// Simulated cost of one speculative *verification* launch: sequence s
+/// contributes `seq_rows[s]` consecutive query rows (the true token plus
+/// its drafts), with `valid_cols` holding the per-row attended-column
+/// counts flattened in the same order (sum(seq_rows) == valid_cols.size()).
+/// Math and q/output traffic are charged per row, exactly as
+/// decode_batched_cost; KV-page DRAM traffic is charged once per sequence
+/// at the row maximum — the verify rows attend nested prefixes of the same
+/// context, so rows past the first are L2/SMEM hits, which is the
+/// bandwidth saving that makes one k-row verification launch cheaper than
+/// k sequential decode launches.
+gpusim::KernelCost decode_verify_cost(std::int64_t heads,
+                                      std::int64_t head_size,
+                                      std::span<const std::int64_t> valid_cols,
+                                      std::span<const std::int64_t> seq_rows,
+                                      const gpusim::DeviceSpec& dev);
+
 }  // namespace stof::mha

@@ -34,11 +34,37 @@ void fill_token(std::uint64_t seed, std::int64_t pos, TokenChannel channel,
   }
 }
 
+namespace {
+
+/// Per-position draft coin: deterministic "did the draft model propose the
+/// true token at `pos`" — a pure function of (session seed, position), so
+/// acceptance patterns replay identically across scheduling modes.
+constexpr std::uint64_t kSpecCoinSalt = 0x5bec5bec5bec5becull;
+/// Embedding-seed perturbation for rejected draft tokens: guarantees their
+/// KV/query bits differ from the true stream without touching it.
+constexpr std::uint64_t kSpecDraftSalt = 0xd12a'fced'0badull;
+
+[[nodiscard]] bool spec_coin(const Request& r, std::int64_t pos,
+                             std::int64_t accept_pct) {
+  const std::uint64_t h = fnv1a64(&pos, sizeof(pos), r.seed ^ kSpecCoinSalt);
+  return static_cast<std::int64_t>(h % 100) < accept_pct;
+}
+
+/// The scheduler must reserve every KV slot a verify round appends (true
+/// token + k drafts), so a round can never fail an append mid-batch.
+[[nodiscard]] SchedulerConfig effective_scheduler(const EngineConfig& c) {
+  SchedulerConfig s = c.scheduler;
+  s.decode_appends = std::max(s.decode_appends, c.spec_draft_tokens + 1);
+  return s;
+}
+
+}  // namespace
+
 Engine::Engine(const EngineConfig& config)
     : config_(config),
       pool_(KvPoolConfig{config.kv_blocks, config.block_tokens, config.heads,
                          config.head_size}),
-      scheduler_(config.scheduler),
+      scheduler_(effective_scheduler(config)),
       stream_(config.device) {
   config_.validate();
   telemetry::gauge("serve.kv.total_blocks",
@@ -97,6 +123,32 @@ void Engine::fold_digest(Session& s, std::span<const half> bytes) {
   s.digest = fnv1a64(bytes.data(), bytes.size_bytes(), s.digest);
 }
 
+void Engine::capture_template_digest(Session& s, std::int64_t pos) {
+  const std::int64_t tl = s.request.template_len;
+  if (tl <= 0 || pos >= tl) return;
+  const std::int64_t bt = config_.block_tokens;
+  // Chain values are recorded where a page completes (or the template
+  // ends): exactly the points publish_prefix() stores alongside pages, so
+  // an adopter can start its digest mid-stream.
+  if ((pos + 1) % bt != 0 && pos + 1 != tl) return;
+  const auto pages = static_cast<std::size_t>((tl + bt - 1) / bt);
+  if (s.template_page_digest.size() != pages) {
+    s.template_page_digest.assign(pages, 0);
+    s.template_page_digest_ok.assign(pages, 0);
+  }
+  const auto q = static_cast<std::size_t>(pos / bt);
+  s.template_page_digest[q] = s.digest;
+  s.template_page_digest_ok[q] = 1;
+}
+
+void Engine::maybe_publish_prefix(Session& s) {
+  if (!scheduler_.config().prefix_sharing || s.request.template_len <= 0) {
+    return;
+  }
+  pool_.publish_prefix(s.request.id, s.request, s.template_page_digest,
+                       s.template_page_digest_ok);
+}
+
 double Engine::run_prefills(const std::vector<SessionId>& ids) {
   if (ids.empty()) return 0;
   telemetry::count("serve.requests.admitted",
@@ -133,7 +185,8 @@ double Engine::run_prefills(const std::vector<SessionId>& ids) {
       for (std::int64_t pos = 0; pos < len; ++pos) {
         for (int ch = 0; ch < 3; ++ch) {
           TensorH& dst = ch == 0 ? q : (ch == 1 ? k : v);
-          fill_token(s.request.seed, pos, static_cast<TokenChannel>(ch), tok);
+          fill_token(token_seed(s.request, pos), pos,
+                     static_cast<TokenChannel>(ch), tok);
           for (std::int64_t h = 0; h < heads; ++h) {
             std::memcpy(&dst.at(b * heads + h, pos, 0), &tok[static_cast<
                             std::size_t>(h * d)],
@@ -179,8 +232,10 @@ double Engine::run_prefills(const std::vector<SessionId>& ids) {
                                               d),
                      static_cast<std::size_t>(d)));
         }
+        capture_template_digest(s, pos);
       }
       s.prompt_digested_tokens = s.request.prompt_len;
+      maybe_publish_prefix(s);
       s.phase = SessionPhase::kDecoding;
       s.last_touch_step = step_count_;
       stats_.prefill_tokens += len;
@@ -237,7 +292,8 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
       for (std::int64_t pos = 0; pos < chunk.end; ++pos) {
         for (int ch = 1; ch < 3; ++ch) {
           TensorH& dst = ch == 1 ? k : v;
-          fill_token(s.request.seed, pos, static_cast<TokenChannel>(ch), tok);
+          fill_token(token_seed(s.request, pos), pos,
+                     static_cast<TokenChannel>(ch), tok);
           for (std::int64_t h = 0; h < heads; ++h) {
             std::memcpy(&dst.at(b * heads + h, pos, 0),
                         &tok[static_cast<std::size_t>(h * d)],
@@ -245,7 +301,7 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
           }
         }
         if (pos < q_lo) continue;
-        fill_token(s.request.seed, pos, TokenChannel::kQuery, tok);
+        fill_token(token_seed(s.request, pos), pos, TokenChannel::kQuery, tok);
         for (std::int64_t h = 0; h < heads; ++h) {
           std::memcpy(&q.at(b * heads + h, pos, 0),
                       &tok[static_cast<std::size_t>(h * d)],
@@ -267,7 +323,11 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
       Session& s = table_.at(chunk.id);
       STOF_CHECK(s.cached_tokens == chunk.begin,
                  "chunk must resume at the session's cached prefix");
-      if (chunk.begin == 0) telemetry::count("serve.requests.admitted");
+      // A session admitted with an adopted shared prefix starts chunking at
+      // the adoption boundary, not zero.
+      if (chunk.begin == s.adopted_tokens) {
+        telemetry::count("serve.requests.admitted");
+      }
       // Ingest the chunk's positions into the KV pool (the scheduler sized
       // the chunk to the blocks available this step).
       for (std::int64_t pos = chunk.begin; pos < chunk.end; ++pos) {
@@ -296,11 +356,13 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
                                               d),
                      static_cast<std::size_t>(d)));
         }
+        capture_template_digest(s, pos);
       }
       s.prompt_digested_tokens = std::max(s.prompt_digested_tokens, fold_end);
       if (s.cached_tokens == s.total_len()) {
         STOF_CHECK(s.prompt_digested_tokens == s.request.prompt_len,
                    "prefix completion must have digested the whole prompt");
+        maybe_publish_prefix(s);
         s.phase = SessionPhase::kDecoding;
       }
       s.last_touch_step = step_count_;
@@ -393,6 +455,159 @@ double Engine::run_decodes(const std::vector<SessionId>& ids,
   return us;
 }
 
+double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
+                                std::vector<SessionId>& first_token,
+                                std::vector<SessionId>& finished) {
+  if (ids.empty()) return 0;
+  const std::int64_t heads = config_.heads;
+  const std::int64_t d = config_.head_size;
+  const std::int64_t k = config_.spec_draft_tokens;
+
+  // One verify round per session: row 0 is the guaranteed true token, rows
+  // 1..rows-1 are draft proposals.  The accepted run is the leading stretch
+  // of drafts whose per-position coin says the draft matched the true
+  // stream; accepted rows carry the true token bits (the draft *was* the
+  // true token), rejected rows carry a salted embedding.
+  struct Round {
+    SessionId id = 0;
+    std::int64_t pos = 0;     ///< position of row 0 (the true token)
+    std::int64_t rows = 0;    ///< true token + drafts actually proposed
+    std::int64_t accept = 0;  ///< leading accepted draft run
+  };
+  std::vector<Round> rounds;
+  rounds.reserve(ids.size());
+
+  // Append every round's KV rows first: PagedSeq spans point into the
+  // pool's per-session block-pointer vectors, which must be quiescent by
+  // the time the batch descriptor is built.
+  for (const SessionId id : ids) {
+    Session& s = table_.at(id);
+    Round r{id, s.total_len(), 0, 0};
+    const std::int64_t budget = s.request.max_new_tokens - s.generated;
+    r.rows = std::min(k + 1, budget);
+    while (r.accept + 1 < r.rows &&
+           spec_coin(s.request, r.pos + r.accept + 1, config_.spec_accept_pct)) {
+      ++r.accept;
+    }
+    for (std::int64_t j = 0; j < r.rows; ++j) {
+      const std::uint64_t seed = j <= r.accept
+                                     ? s.request.seed
+                                     : (s.request.seed ^ kSpecDraftSalt);
+      auto slot = pool_.append_token(id);
+      STOF_CHECK(slot.has_value(),
+                 "scheduler must reserve verify-round decode blocks");
+      fill_token(seed, r.pos + j, TokenChannel::kKey,
+                 {slot->k, static_cast<std::size_t>(heads * d)});
+      fill_token(seed, r.pos + j, TokenChannel::kValue,
+                 {slot->v, static_cast<std::size_t>(heads * d)});
+    }
+    s.cached_tokens = r.pos + r.rows;
+    rounds.push_back(r);
+  }
+
+  std::int64_t total_rows = 0;
+  for (const auto& r : rounds) total_rows += r.rows;
+  TensorH q(Shape{total_rows * heads, 1, d});
+  std::vector<mha::PagedSeq> seqs(static_cast<std::size_t>(total_rows));
+  std::vector<std::int64_t> valid, seq_rows, draft_valid;
+  valid.reserve(static_cast<std::size_t>(total_rows));
+  seq_rows.reserve(rounds.size());
+  std::int64_t row = 0;
+  for (const auto& r : rounds) {
+    Session& s = table_.at(r.id);
+    if (packed_execution_enabled()) {
+      if (config_.kv_precision == core::PanelPrecision::kInt8) {
+        pool_.ensure_int8_panels(r.id);
+      } else {
+        pool_.ensure_float_panels(r.id);
+      }
+    }
+    for (std::int64_t j = 0; j < r.rows; ++j, ++row) {
+      const std::int64_t pos = r.pos + j;
+      const std::uint64_t seed = j <= r.accept
+                                     ? s.request.seed
+                                     : (s.request.seed ^ kSpecDraftSalt);
+      fill_token(seed, pos, TokenChannel::kQuery,
+                 q.data().subspan(static_cast<std::size_t>(row * heads * d),
+                                  static_cast<std::size_t>(heads * d)));
+      // Row j attends [0, pos + 1): later (rejected) draft slots live in
+      // the same pages but are never in its column list, so an accepted
+      // row's output is bit-identical to the sequential decode of pos.
+      const auto& cols = cols_for(s.request.mask_kind, pos);
+      mha::PagedSeq& seq = seqs[static_cast<std::size_t>(row)];
+      seq = mha::PagedSeq{pos + 1, config_.block_tokens, pool_.k_blocks(r.id),
+                          pool_.v_blocks(r.id), cols};
+      if (packed_execution_enabled()) {
+        if (config_.kv_precision == core::PanelPrecision::kInt8) {
+          seq.k8_blocks = pool_.k_int8_blocks(r.id);
+          seq.v8_blocks = pool_.v_int8_blocks(r.id);
+          seq.k8_scales = pool_.k_int8_scales(r.id);
+          seq.v8_scales = pool_.v_int8_scales(r.id);
+        } else {
+          seq.kf_blocks = pool_.k_float_blocks(r.id);
+          seq.vf_blocks = pool_.v_float_blocks(r.id);
+        }
+      }
+      valid.push_back(static_cast<std::int64_t>(cols.size()));
+      // The draft pass proposes row j's token from a sliding KV window.
+      if (j >= 1) {
+        draft_valid.push_back(std::min(pos, config_.spec_draft_window));
+      }
+    }
+    seq_rows.push_back(r.rows);
+  }
+
+  const TensorH out = mha::decode_attention_paged(heads, d, seqs, q);
+  double us = 0;
+  if (!draft_valid.empty()) {
+    us += stream_.launch(
+        "serve.spec.draft",
+        mha::decode_batched_cost(config_.spec_draft_heads, d, draft_valid,
+                                 config_.device));
+  }
+  us += stream_.launch(
+      "serve.decode",
+      mha::decode_verify_cost(heads, d, valid, seq_rows, config_.device));
+
+  std::int64_t committed = 0, drafted = 0, accepted = 0, rollbacks = 0;
+  row = 0;
+  for (const auto& r : rounds) {
+    Session& s = table_.at(r.id);
+    const std::int64_t commit = r.accept + 1;
+    for (std::int64_t j = 0; j < commit; ++j) {
+      const auto out_row = out.data().subspan(
+          static_cast<std::size_t>((row + j) * heads * d),
+          static_cast<std::size_t>(heads * d));
+      if (on_decode_output) on_decode_output(r.id, r.pos + j, out_row);
+      fold_digest(s, out_row);
+    }
+    row += r.rows;
+    if (commit < r.rows) pool_.truncate(r.id, r.pos + commit);
+    s.cached_tokens = r.pos + commit;
+    const bool had_none = s.generated == 0;
+    s.generated += commit;
+    s.last_touch_step = step_count_;
+    if (had_none) first_token.push_back(r.id);
+    if (s.done()) {
+      s.phase = SessionPhase::kFinished;
+      pool_.release(r.id);
+      finished.push_back(r.id);
+    }
+    committed += commit;
+    drafted += r.rows - 1;
+    accepted += r.accept;
+    rollbacks += r.rows - commit;
+  }
+  stats_.decode_tokens += committed;
+  telemetry::count("serve.decode.tokens", committed);
+  if (drafted > 0) {
+    telemetry::count("serve.spec.drafted", drafted);
+    telemetry::count("serve.spec.accepted", accepted);
+    telemetry::count("serve.spec.rollbacks", rollbacks);
+  }
+  return us;
+}
+
 bool Engine::step() {
   StepPlan plan = scheduler_.plan_step(table_, pool_, step_count_);
   if (plan.empty()) return false;
@@ -404,10 +619,28 @@ bool Engine::step() {
                      static_cast<std::int64_t>(plan.evicted.size()));
   }
 
-  double us = run_prefills(plan.prefills);
-  us += run_prefill_chunks(plan.chunks);
+  // A whole-prefill admission that adopted a shared prefix only computes
+  // the unshared suffix: route it through the chunked path as one
+  // [cached, total) window, whose kernel rows and digest folds resume
+  // exactly where the adoption left off.
+  std::vector<SessionId> fresh;
+  std::vector<PrefillChunk> windows;
+  for (const SessionId id : plan.prefills) {
+    const Session& s = table_.at(id);
+    if (s.cached_tokens > 0) {
+      windows.push_back(PrefillChunk{id, s.cached_tokens, s.total_len()});
+    } else {
+      fresh.push_back(id);
+    }
+  }
+  windows.insert(windows.end(), plan.chunks.begin(), plan.chunks.end());
+
+  double us = run_prefills(fresh);
+  us += run_prefill_chunks(windows);
   std::vector<SessionId> first_token, finished;
-  us += run_decodes(plan.decodes, first_token, finished);
+  us += config_.spec_draft_tokens > 0
+            ? run_decodes_spec(plan.decodes, first_token, finished)
+            : run_decodes(plan.decodes, first_token, finished);
   clock_us_ += us;
 
   for (const auto id : first_token) table_.at(id).first_token_us = clock_us_;

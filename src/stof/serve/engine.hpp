@@ -58,6 +58,21 @@ struct EngineConfig {
   /// per-step conversion traffic roughly halves.  Prefill always runs
   /// FP32 (its outputs feed the bit-exact digest contract directly).
   core::PanelPrecision kv_precision = core::PanelPrecision::kFloat32;
+  /// Draft-and-verify speculative decoding: > 0 proposes that many draft
+  /// tokens per decode round through a cheap draft pass (spec_draft_heads
+  /// heads over a spec_draft_window sliding KV window — cost model only),
+  /// then verifies true-token + draft rows in ONE batched paged-decode
+  /// launch.  The longest accepted draft prefix plus the guaranteed true
+  /// token commit; rejected KV slots roll back exactly (KvPool::truncate),
+  /// so per-session outputs and digests are byte-identical to plain
+  /// decoding.  0 disables (the legacy decode path, bit-for-bit).
+  std::int64_t spec_draft_tokens = 0;
+  std::int64_t spec_draft_heads = 1;
+  std::int64_t spec_draft_window = 64;
+  /// Simulated draft accuracy: percent of drafted positions whose proposal
+  /// matches the true token stream (seeded per-position coin, so replay is
+  /// deterministic and acceptance is measurable from telemetry).
+  std::int64_t spec_accept_pct = 80;
   SchedulerConfig scheduler;
   gpusim::DeviceSpec device = gpusim::a100();
 
@@ -69,6 +84,13 @@ struct EngineConfig {
                  "KV page size must equal the prefill kernel's BLOCK_N");
     STOF_EXPECTS(kv_blocks * block_tokens >= max_seq_len,
                  "pool must hold at least one full context");
+    STOF_EXPECTS(spec_draft_tokens >= 0);
+    if (spec_draft_tokens > 0) {
+      STOF_EXPECTS(spec_draft_heads >= 1 && spec_draft_heads <= heads,
+                   "draft pass must be no wider than the target model");
+      STOF_EXPECTS(spec_draft_window >= 1);
+      STOF_EXPECTS(spec_accept_pct >= 0 && spec_accept_pct <= 100);
+    }
     scheduler.validate(max_seq_len);
   }
 };
@@ -150,7 +172,20 @@ class Engine {
   double run_decodes(const std::vector<SessionId>& ids,
                      std::vector<SessionId>& first_token,
                      std::vector<SessionId>& finished);
+  /// Draft-and-verify decode round (spec_draft_tokens > 0): every selected
+  /// session appends its true token plus up to k draft slots and all rows
+  /// verify in one batched paged-decode launch; the longest accepted
+  /// prefix commits, the rest rolls back via KvPool::truncate.
+  double run_decodes_spec(const std::vector<SessionId>& ids,
+                          std::vector<SessionId>& first_token,
+                          std::vector<SessionId>& finished);
   void fold_digest(Session& s, std::span<const half> bytes);
+  /// Record the digest chain value after folding template position `pos`
+  /// (page boundaries and the template end) for later publish_prefix().
+  void capture_template_digest(Session& s, std::int64_t pos);
+  /// Insert the session's freshly prefilled template pages into the pool's
+  /// prefix tree (no-op when sharing is off or the prompt is untemplated).
+  void maybe_publish_prefix(Session& s);
 
   EngineConfig config_;
   SessionTable table_;

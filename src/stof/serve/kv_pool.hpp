@@ -10,6 +10,24 @@
 // decides whom to preempt.  Blocks are recycled via release(); the free
 // list is kept sorted so allocation order is a pure function of the
 // request sequence, never of pointer values.
+//
+// Prefix sharing (radix tree + copy-on-write): blocks carry reference
+// counts, and a PrefixIndex radix tree maps templated-prompt token-ID
+// chains (page-granularity nodes, keyed per mask kind) to resident pages.
+// On admission the scheduler matches a request's template prefix against
+// the tree and adopt_prefix() maps the shared page run into the session's
+// block list at refcount+1 — the session then prefills only its unshared
+// suffix, starting its output digest from the chain value the tree stored
+// alongside the pages.  The first mutating append to a shared page (a
+// partial tail page, or the donor's own decode append after publishing)
+// copies the page's valid rows into a private block first (CoW), so a
+// shared page's bytes are immutable for as long as anything references
+// it.  release()/truncate() are refcount-aware: a block is recycled (and
+// its generation bumped, invalidating float/INT8 panels) only when the
+// last owner drops it — shared pages therefore keep one PanelCacheRegistry
+// key across owners, and a prefix hit is also a panel-cache hit.  Pages
+// held only by the tree are reclaimed LRU-subtree-first when the free
+// list runs dry, so the prefix cache never displaces live sessions.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +38,7 @@
 #include <vector>
 
 #include "stof/core/check.hpp"
+#include "stof/core/checksum.hpp"
 #include "stof/core/half.hpp"
 #include "stof/core/panel_cache_registry.hpp"
 #include "stof/serve/request.hpp"
@@ -49,6 +68,80 @@ struct KvPoolConfig {
 struct TokenSlot {
   half* k = nullptr;
   half* v = nullptr;
+};
+
+/// Result of matching (or adopting) a request's template prefix against
+/// the pool's radix tree.
+struct PrefixMatch {
+  std::int64_t tokens = 0;      ///< matched template positions
+  std::int64_t full_pages = 0;  ///< matched pages holding block_tokens rows
+  bool partial = false;         ///< a partial (frozen) tail page matched too
+  /// FNV-1a output-digest chain value after folding positions [0, tokens)
+  /// — the digest a fresh session starts from when it adopts this prefix.
+  std::uint64_t digest_after = kFnv1aOffset;
+
+  [[nodiscard]] std::int64_t pages() const {
+    return full_pages + (partial ? 1 : 0);
+  }
+};
+
+/// Radix tree over templated-prompt token-ID chains at KV-page
+/// granularity.  Each node freezes one pool block: `valid_tokens` rows of
+/// template content (== block_tokens for interior nodes; partial nodes are
+/// always leaves), the page's token-key hash, and the output-digest chain
+/// value after the node's last position.  Roots branch on the request's
+/// mask kind — prompt *outputs* (hence digests) depend on the attention
+/// pattern, so chains never cross mask kinds.  The tree stores block ids
+/// only; the owning KvPool maintains the per-block refcounts (one ref per
+/// live node, plus one per session mapping the block).
+class PrefixIndex {
+ public:
+  struct Node {
+    std::int32_t block = -1;
+    std::int64_t valid_tokens = 0;
+    std::uint64_t page_key = 0;
+    std::uint64_t digest_after = kFnv1aOffset;
+    std::int64_t last_use = 0;   ///< LRU stamp (monotonic match clock)
+    std::int32_t parent = -1;    ///< -1 for root children
+    int mask_kind = 0;           ///< root key (redundant for non-roots)
+    std::vector<std::int32_t> children;  ///< node ids, insertion order
+  };
+
+  /// Token-key hash of positions [begin, end) of `r`'s stream: the chain
+  /// the tree matches on.  Pure function of (token seeds, positions).
+  static std::uint64_t page_key(const Request& r, std::int64_t begin,
+                                std::int64_t end);
+
+  /// Deepest chain of `r`'s template prefix present in the tree, capped at
+  /// `cap_tokens` positions.  Returns the matched node ids root-first.
+  [[nodiscard]] std::vector<std::int32_t> walk(const Request& r,
+                                               std::int64_t cap_tokens) const;
+
+  [[nodiscard]] const Node& node(std::int32_t id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t size() const { return live_nodes_; }
+
+ private:
+  friend class KvPool;
+
+  Node& node_mut(std::int32_t id) {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  /// Insert a node under `parent` (-1 = root level for `mask_kind`).
+  std::int32_t insert(std::int32_t parent, int mask_kind, Node node);
+  /// Remove the subtree rooted at `id`, invoking `on_drop(block)` for each
+  /// removed node's block (the pool decrements refcounts there).
+  template <typename Fn>
+  void remove_subtree(std::int32_t id, Fn&& on_drop);
+  /// Stamp `id` and its ancestors with `now` (ancestors never go older
+  /// than their descendants, so subtree eviction order stays coherent).
+  void touch_chain(std::int32_t id, std::int64_t now);
+
+  std::vector<Node> nodes_;          ///< slot arena; freed slots recycled
+  std::vector<std::int32_t> free_slots_;
+  std::map<int, std::vector<std::int32_t>> roots_;  ///< mask kind -> children
+  std::size_t live_nodes_ = 0;
 };
 
 /// Bounded paged KV-cache with per-session block lists.
@@ -82,6 +175,20 @@ class KvPool {
   }
   [[nodiscard]] std::int64_t peak_used_blocks() const { return peak_used_; }
 
+  /// Blocks held only by the prefix tree (refcount == 1, no session):
+  /// these are reclaimed LRU-first when allocation finds the free list
+  /// empty, so they count as allocatable headroom for the scheduler.
+  [[nodiscard]] std::int64_t reclaimable_blocks() const;
+  /// Free-list blocks plus tree-reclaimable ones — what the scheduler may
+  /// treat as obtainable without preempting a session.
+  [[nodiscard]] std::int64_t allocatable_blocks() const {
+    return free_blocks() + reclaimable_blocks();
+  }
+  /// Blocks the tree currently references (shared or not).
+  [[nodiscard]] std::int64_t prefix_blocks() const {
+    return static_cast<std::int64_t>(prefix_.size());
+  }
+
   /// Blocks needed to hold `tokens` positions.
   [[nodiscard]] std::int64_t blocks_for(std::int64_t tokens) const {
     return (tokens + config_.block_tokens - 1) / config_.block_tokens;
@@ -97,10 +204,75 @@ class KvPool {
     return tokens(id) % config_.block_tokens == 0;
   }
 
+  /// Blocks `id` holds whose refcount is 1 — the pages release() would
+  /// actually return to the free list.  The scheduler's preemption cost
+  /// model must use this, not blocks(): evicting a prefix-sharing session
+  /// frees only its private pages.
+  [[nodiscard]] std::int64_t private_blocks(SessionId id) const;
+
+  /// Blocks of `id` that survive appends as-is: all of them, minus one if
+  /// the tail page is shared *and* partial (the first append must CoW it
+  /// into a fresh block, consuming an allocation the tail page no longer
+  /// saves).
+  [[nodiscard]] std::int64_t usable_blocks(SessionId id) const;
+
+  /// Allocations appending `n` more tokens to `id` will consume (fresh
+  /// tail pages plus a possible CoW copy of a shared partial tail) — the
+  /// number the scheduler must see in free/allocatable blocks before
+  /// planning those appends.
+  [[nodiscard]] std::int64_t append_reserve_blocks(SessionId id,
+                                                   std::int64_t n) const {
+    return blocks_for(tokens(id) + n) - usable_blocks(id);
+  }
+
   /// Reserve the next position's K/V slot for `id`, allocating a block if
-  /// the session's tail block is full.  Returns std::nullopt when the pool
-  /// has no free block to give (session state unchanged).
+  /// the session's tail block is full.  A shared tail page is first copied
+  /// into a private block (copy-on-write) — shared pages are immutable.
+  /// Returns std::nullopt when the pool has no free or tree-reclaimable
+  /// block to give (session state unchanged).
   std::optional<TokenSlot> append_token(SessionId id);
+
+  // ---- Prefix sharing ------------------------------------------------
+
+  /// Deepest resident chain matching `r`'s template prefix (capped at
+  /// `cap_tokens`), without mutating anything.  tokens == 0 when the tree
+  /// has nothing (or sharing does not apply to `r`).
+  [[nodiscard]] PrefixMatch match_prefix(const Request& r,
+                                         std::int64_t cap_tokens) const;
+
+  /// Map the matched chain into `id`'s (empty) block list at refcount+1
+  /// and set its cached token count to the match length.  The session
+  /// prefills only [match.tokens, ...) afterwards, starting its digest
+  /// from match.digest_after.  Counts serve.prefix.{hits,shared_pages,
+  /// bytes_saved}.
+  PrefixMatch adopt_prefix(SessionId id, const Request& r,
+                           std::int64_t cap_tokens);
+
+  /// Insert `id`'s freshly prefilled template pages into the tree (pages
+  /// not already present, in chain order), bumping each published block's
+  /// refcount.  `page_digests[q]` / `page_digest_ok[q]` carry the digest
+  /// chain value after template page q's last position (captured by the
+  /// engine's prompt folding); publishing stops at the first page without
+  /// a captured digest, or where the resident chain ends on a partial
+  /// node (partial nodes are frozen leaves and never extended).
+  void publish_prefix(SessionId id, const Request& r,
+                      std::span<const std::uint64_t> page_digests,
+                      std::span<const std::uint8_t> page_digest_ok);
+
+  /// Drop `id`'s cached tokens beyond `new_tokens` — the speculative
+  /// decoder's exact rollback of rejected draft slots.  Trailing blocks
+  /// are unmapped (refcount-aware); a surviving tail page that lost rows
+  /// has its generation bumped and panels invalidated, so the registry can
+  /// never extend a sidecar over rows whose bytes changed.
+  void truncate(SessionId id, std::int64_t new_tokens);
+
+  /// Exhaustive internal audit: refcounts equal (sessions mapping the
+  /// block) + (tree nodes referencing it), the free list is exactly the
+  /// refcount-0 blocks with no duplicates, and session/tree token counts
+  /// are consistent.  Fuzz tests call this after every step.
+  [[nodiscard]] bool check_conservation() const;
+
+  [[nodiscard]] const PrefixIndex& prefix_index() const { return prefix_; }
 
   /// Base pointers of the session's blocks, oldest first — the views a
   /// mha::PagedSeq wants.  Valid until the next release() for this id.
@@ -169,7 +341,31 @@ class KvPool {
     std::vector<core::Int8PanelRef> k8_refs;
     std::vector<core::Int8PanelRef> v8_refs;
     std::int64_t converted_blocks_i8 = 0;
+    /// Force copy-on-write on the next partial-tail append even if the
+    /// tail's refcount has dropped back to 1.  Set when the session adopts
+    /// (or truncates onto) a shared partial page: the page's registry
+    /// entry may cover more rows than this session has written, so an
+    /// in-place append could be served stale panel rows.  CoW remaps to a
+    /// fresh block (fresh key/generation), which is always safe.
+    bool cow_pending = false;
   };
+
+  /// Pop a block from the free list, reclaiming the LRU tree-only subtree
+  /// when it is empty.  Returns -1 when nothing is obtainable.
+  [[nodiscard]] std::int32_t acquire_block();
+  /// Copy the valid rows of `id`'s shared partial tail page into a fresh
+  /// private block, remapping the session's tail.  Returns false when no
+  /// block is obtainable (session state unchanged).
+  bool cow_tail(SessionBlocks& sb);
+  /// Evict the least-recently-used tree subtree whose root block is held
+  /// only by the tree.  Returns true if at least one block was freed.
+  bool reclaim_lru_prefix();
+  /// Drop one reference to `block`; on zero, recycle it (free list +
+  /// panel invalidation + generation bump).
+  void unref_block(std::int32_t block);
+  /// Invalidate every sidecar panel entry of `block` and bump its
+  /// generation.
+  void invalidate_block_panels(std::int32_t block);
 
   [[nodiscard]] half* k_base(std::int32_t block) {
     return k_arena_.data() +
@@ -194,9 +390,17 @@ class KvPool {
   /// out of one arena, so arena identity alone can't key them).
   std::vector<std::uint64_t> k_keys_;
   std::vector<std::uint64_t> v_keys_;
-  /// Per-block generation, bumped on release; used as the registry version
-  /// so a recycled block never matches its previous tenant's panels.
+  /// Per-block generation, bumped when a block is recycled (or a surviving
+  /// tail page loses rows in truncate); used as the registry version so a
+  /// page can never serve stale floats.
   std::vector<std::uint64_t> block_gen_;
+  /// Per-block reference count: sessions mapping the block plus (0 or 1
+  /// for) the prefix-tree node freezing it.  0 == on the free list.
+  std::vector<std::int32_t> block_refs_;
+  PrefixIndex prefix_;
+  /// Monotonic LRU clock for prefix-tree touches (adopt/publish order,
+  /// never wall time, so replay stays deterministic).
+  std::int64_t prefix_clock_ = 0;
 };
 
 }  // namespace stof::serve

@@ -45,6 +45,17 @@ struct Request {
   /// are soft SLOs, never correctness gates.
   double deadline_us = 0;
 
+  /// Templated-prompt identity: the first `template_len` prompt positions
+  /// draw their token embedding from `template_seed` instead of the
+  /// session's own seed, so every request naming the same (template_seed,
+  /// template_len, mask_kind) carries a bit-identical prompt prefix — the
+  /// shared system-prompt / few-shot-template shape the prefix-sharing KV
+  /// cache exploits.  template_len == 0 (the default) is the legacy fully
+  /// private prompt.  template_len must leave at least one private suffix
+  /// token, so a prefix hit never produces an empty prefill.
+  std::uint64_t template_seed = 0;
+  std::int64_t template_len = 0;
+
   /// Final context length once every token has been generated.
   [[nodiscard]] std::int64_t target_len() const {
     return prompt_len + max_new_tokens;
@@ -60,8 +71,21 @@ struct Request {
     STOF_EXPECTS(tenant >= 0, "tenant id must be non-negative");
     STOF_EXPECTS(priority >= 0, "priority must be non-negative");
     STOF_EXPECTS(deadline_us >= 0);
+    STOF_EXPECTS(template_len >= 0 && template_len < prompt_len,
+                 "template must leave a private prompt suffix");
   }
 };
+
+/// Embedding seed of position `pos` of this request's token stream: the
+/// template seed inside the shared prefix, the session seed everywhere
+/// else (private prompt suffix and generated tokens).  Token embeddings
+/// are fill_token(token_seed(r, pos), pos, channel), so two requests with
+/// equal templates produce byte-identical KV for the shared positions —
+/// the invariant that makes prefix sharing exact rather than approximate.
+[[nodiscard]] inline std::uint64_t token_seed(const Request& r,
+                                              std::int64_t pos) {
+  return pos < r.template_len ? r.template_seed : r.seed;
+}
 
 /// Lifecycle of a session inside the engine.
 ///

@@ -40,12 +40,17 @@ void Scheduler::evict(SessionTable& table, KvPool& pool, StepPlan& plan,
                       SessionId victim) {
   Session& s = table.at(victim);
   telemetry::count("serve.kv.evictions");
-  telemetry::count("serve.kv.evicted_blocks", pool.blocks(victim));
+  // Cost model: only private (refcount == 1) pages actually return to the
+  // free list — shared prefix pages stay resident for their other owners,
+  // so crediting blocks() would over-value evicting a prefix-sharing
+  // session.
+  telemetry::count("serve.kv.evicted_blocks", pool.private_blocks(victim));
   telemetry::count("serve.sched.preemptions_by_priority.p" +
                    std::to_string(s.request.priority));
   pool.release(victim);
   s.phase = SessionPhase::kQueued;
   s.cached_tokens = 0;
+  s.adopted_tokens = 0;
   ++s.preemptions;
   waiting_.push_front(victim);
   plan.evicted.push_back(victim);
@@ -54,6 +59,37 @@ void Scheduler::evict(SessionTable& table, KvPool& pool, StepPlan& plan,
   // preemption runs after ongoing chunks were assigned); withdraw it.
   std::erase_if(plan.chunks,
                 [&](const PrefillChunk& c) { return c.id == victim; });
+}
+
+std::int64_t Scheduler::adopt_cap(const Session& s) const {
+  // A re-admitted session's digest already covers [0, prompt_digested):
+  // adopting past that mark would skip folding positions the digest still
+  // owes, so the cap is the digested count; a fresh session may adopt its
+  // whole template (the tree supplies the digest chain value instead).
+  return s.prompt_digested_tokens > 0 ? s.prompt_digested_tokens
+                                      : s.request.template_len;
+}
+
+PrefixMatch Scheduler::admission_match(const KvPool& pool,
+                                       const Session& s) const {
+  if (!config_.prefix_sharing || s.request.template_len <= 0) return {};
+  return pool.match_prefix(s.request, adopt_cap(s));
+}
+
+void Scheduler::admit_with_prefix(Session& s, KvPool& pool) const {
+  if (!config_.prefix_sharing || s.request.template_len <= 0) return;
+  const PrefixMatch m =
+      pool.adopt_prefix(s.request.id, s.request, adopt_cap(s));
+  if (m.tokens == 0) return;
+  s.cached_tokens = m.tokens;
+  s.adopted_tokens = m.tokens;
+  if (s.prompt_digested_tokens == 0) {
+    // Fresh session: outputs for the adopted positions are the template's
+    // (byte-identical across owners), so start the digest from the chain
+    // value the publisher stored with the pages.
+    s.digest = m.digest_after;
+    s.prompt_digested_tokens = m.tokens;
+  }
 }
 
 std::vector<SessionId> Scheduler::admission_order(
@@ -92,19 +128,22 @@ StepPlan Scheduler::plan_continuous(SessionTable& table, KvPool& pool,
                                 static_cast<std::size_t>(
                                     config_.max_decode_batch)));
 
-  // KV pressure: every selected decoder whose tail block is full needs one
-  // fresh block this step.  Preempt lowest-priority-idlest sessions until
-  // the pool can back them all; a victim re-queues at the *front* (it
-  // keeps its FIFO seniority) and re-prefills its full context on
-  // re-admission.
+  // KV pressure: reserve every allocation the selected decoders' appends
+  // will make this step (decode_appends slots each — fresh tail pages plus
+  // a possible CoW copy of a shared partial tail).  Tree-only pages count
+  // as obtainable (acquire reclaims them LRU-first), so the comparison is
+  // against allocatable, not free.  Preempt lowest-priority-idlest
+  // sessions until the pool can back them all; a victim re-queues at the
+  // *front* (it keeps its FIFO seniority) and re-prefills its full context
+  // on re-admission.
   const auto blocks_needed = [&] {
     std::int64_t n = 0;
     for (const auto id : selected) {
-      if (pool.append_needs_block(id)) ++n;
+      n += pool.append_reserve_blocks(id, config_.decode_appends);
     }
     return n;
   };
-  while (pool.free_blocks() < blocks_needed() && !decoding.empty()) {
+  while (pool.allocatable_blocks() < blocks_needed() && !decoding.empty()) {
     const SessionId victim = pick_victim(table, decoding);
     evict(table, pool, plan, victim);
     std::erase(decoding, victim);
@@ -116,20 +155,31 @@ StepPlan Scheduler::plan_continuous(SessionTable& table, KvPool& pool,
   // prefill count/token budgets and by whole-context KV reservations on
   // top of the blocks the decode set will consume.  Head-of-line blocking
   // is intentional — skipping ahead would reorder first-token latencies.
+  // A prefix match discounts both the reservation (the matched full pages
+  // are already resident) and the token budget (only the suffix is
+  // prefilled); matched pages that were tree-only stop being reclaimable
+  // once adopted, so the availability estimate subtracts the whole match —
+  // conservative, never over-admitting.
   std::int64_t reserved = blocks_needed();
   std::int64_t admitted_tokens = 0;
   while (!waiting_.empty() &&
          static_cast<std::int64_t>(plan.prefills.size()) <
              config_.max_prefills_per_step) {
     const SessionId id = waiting_.front();
-    const Session& s = table.at(id);
-    const std::int64_t need = pool.blocks_for(s.total_len());
-    if (admitted_tokens + s.total_len() > config_.prefill_token_budget) break;
-    if (need > pool.free_blocks() - reserved) break;
+    Session& s = table.at(id);
+    const PrefixMatch m = admission_match(pool, s);
+    const std::int64_t need = pool.blocks_for(s.total_len()) - m.full_pages;
+    const std::int64_t prefill_tokens = s.total_len() - m.tokens;
+    const std::int64_t avail =
+        pool.free_blocks() +
+        std::max<std::int64_t>(0, pool.reclaimable_blocks() - m.pages());
+    if (admitted_tokens + prefill_tokens > config_.prefill_token_budget) break;
+    if (need > avail - reserved) break;
     waiting_.pop_front();
+    admit_with_prefix(s, pool);
     plan.prefills.push_back(id);
     reserved += need;
-    admitted_tokens += s.total_len();
+    admitted_tokens += prefill_tokens;
   }
   plan.decodes = std::move(selected);
   return plan;
@@ -176,7 +226,7 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
   const auto decode_blocks_needed = [&] {
     std::int64_t n = 0;
     for (const auto id : selected) {
-      if (pool.append_needs_block(id)) ++n;
+      n += pool.append_reserve_blocks(id, config_.decode_appends);
     }
     return n;
   };
@@ -189,20 +239,23 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
   // the chunk (evict() erases it from the plan); the withdrawn tokens go
   // back into the step budget and the withdrawn blocks back into the
   // reservation count, so later grants can use the headroom the victim
-  // gave up.  Must read pool.blocks(victim) before evict() releases them.
+  // gave up.  Must read pool.usable_blocks(victim) before evict() releases
+  // them (usable, matching what the grant charged: a shared partial tail
+  // never counted as a block the chunk could reuse).
   const auto evict_refunded = [&](SessionId victim) {
     for (const auto& c : plan.chunks) {
       if (c.id == victim) {
         budget += c.tokens();
-        reserved_chunks -= pool.blocks_for(c.end) - pool.blocks(victim);
+        reserved_chunks -= pool.blocks_for(c.end) - pool.usable_blocks(victim);
         break;
       }
     }
     evict(table, pool, plan, victim);
   };
 
-  // KV pressure from the decode batch.
-  while (pool.free_blocks() < decode_blocks_needed()) {
+  // KV pressure from the decode batch (against allocatable: tree-only
+  // pages are reclaimed by allocation before anyone is preempted).
+  while (pool.allocatable_blocks() < decode_blocks_needed()) {
     const auto cands = residents();
     if (cands.empty()) break;
     const SessionId victim = pick_victim(table, cands);
@@ -228,9 +281,12 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
     if (want <= 0) return false;
     const auto granted_now = [&] {
       const std::int64_t avail =
-          pool.free_blocks() - decode_blocks_needed() - reserved_chunks;
+          pool.allocatable_blocks() - decode_blocks_needed() -
+          reserved_chunks;
+      // usable, not blocks: a shared partial tail is CoW'd by the first
+      // append, so it does not save an allocation.
       const std::int64_t cap =
-          (pool.blocks(id) + avail) * block_tokens - have;
+          (pool.usable_blocks(id) + avail) * block_tokens - have;
       return std::min(want, cap);
     };
     std::int64_t granted = granted_now();
@@ -252,7 +308,8 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
     if (granted <= 0) return false;
     plan.chunks.push_back(PrefillChunk{id, have, have + granted});
     budget -= granted;
-    reserved_chunks += pool.blocks_for(have + granted) - pool.blocks(id);
+    reserved_chunks +=
+        pool.blocks_for(have + granted) - pool.usable_blocks(id);
     return true;
   };
 
@@ -298,11 +355,16 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
       telemetry::count("serve.sched.deficit_deferrals");
       continue;
     }
+    const PrefixMatch m = admission_match(pool, s);
     const auto chunk_avail = [&] {
-      return pool.free_blocks() - decode_blocks_needed() - reserved_chunks;
+      // Adopting the match turns its tree-only pages non-reclaimable, so
+      // subtract the whole match from the headroom estimate (conservative).
+      return pool.allocatable_blocks() - m.pages() - decode_blocks_needed() -
+             reserved_chunks;
     };
     const std::int64_t first_need =
-        pool.blocks_for(std::min(budget, s.total_len()));
+        pool.blocks_for(std::min(m.tokens + budget, s.total_len())) -
+        m.full_pages;
     // A blocked high-priority arrival may preempt strictly-lower-priority
     // residents for its first chunk's blocks.
     while (first_need > chunk_avail()) {
@@ -322,6 +384,7 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
     std::erase(waiting_, id);
     s.phase = SessionPhase::kPrefilling;
     chunking_.push_back(id);
+    admit_with_prefix(s, pool);
     if (fair && !s.deficit_charged) {
       deficit_[s.request.tenant] -= s.request.target_len();
       s.deficit_charged = true;
@@ -353,6 +416,7 @@ StepPlan Scheduler::plan_chunked(SessionTable& table, KvPool& pool,
         std::erase(waiting_, id);
         s.phase = SessionPhase::kPrefilling;
         chunking_.push_back(id);
+        admit_with_prefix(s, pool);
         if (fair) {
           telemetry::count("serve.sched.forced_admissions");
           if (!s.deficit_charged) {
@@ -390,10 +454,15 @@ StepPlan Scheduler::plan_serial(SessionTable& table, KvPool& pool) {
   }
   if (!waiting_.empty()) {
     const SessionId id = waiting_.front();
-    STOF_CHECK(pool.blocks_for(table.at(id).total_len()) <=
-                   pool.free_blocks(),
+    Session& s = table.at(id);
+    const PrefixMatch m = admission_match(pool, s);
+    const std::int64_t avail =
+        pool.free_blocks() +
+        std::max<std::int64_t>(0, pool.reclaimable_blocks() - m.pages());
+    STOF_CHECK(pool.blocks_for(s.total_len()) - m.full_pages <= avail,
                "pool too small for a single context");
     waiting_.pop_front();
+    admit_with_prefix(s, pool);
     plan.prefills.push_back(id);
   }
   return plan;

@@ -66,10 +66,20 @@ struct SchedulerConfig {
   std::int64_t fairness_quantum_tokens = 0;
   /// Relative tenant weights for the fairness accountant (default 1).
   std::map<std::int32_t, std::int64_t> tenant_weights;
+  /// Prefix sharing: admitted sessions with a templated prompt adopt the
+  /// pool's resident prefix pages and prefill only their unshared suffix.
+  /// Requests with template_len == 0 are unaffected either way, so the
+  /// default changes nothing for legacy traces.
+  bool prefix_sharing = true;
+  /// KV slots each selected decoder appends per step (1 = plain decoding;
+  /// the speculative engine reserves draft_tokens + 1 so a verify round's
+  /// appends can never fail mid-batch).
+  std::int64_t decode_appends = 1;
 
   void validate(std::int64_t max_seq_len) const {
     STOF_EXPECTS(max_prefills_per_step >= 1 && max_decode_batch >= 1);
     STOF_EXPECTS(chunk_tokens >= 0 && fairness_quantum_tokens >= 0);
+    STOF_EXPECTS(decode_appends >= 1, "decoders append at least one slot");
     if (chunk_tokens == 0) {
       STOF_EXPECTS(prefill_token_budget >= max_seq_len,
                    "prefill budget must admit the longest context");
@@ -142,9 +152,24 @@ class Scheduler {
                                const std::vector<SessionId>& candidates);
 
   /// Release `victim`'s KV and re-queue it at the front of the wait queue
-  /// (it keeps its seniority); records eviction telemetry.
+  /// (it keeps its seniority); records eviction telemetry.  The eviction
+  /// cost model counts only the victim's private (refcount == 1) pages —
+  /// shared prefix pages survive the release.
   void evict(SessionTable& table, KvPool& pool, StepPlan& plan,
              SessionId victim);
+
+  /// Longest tree prefix `s` may adopt: its whole template for a fresh
+  /// session, but never past prompt_digested_tokens for a re-admitted one
+  /// (adopting beyond would skip output positions its digest still owes).
+  [[nodiscard]] std::int64_t adopt_cap(const Session& s) const;
+  /// Dry-run prefix match for admission accounting (empty when sharing is
+  /// off or the request is untemplated).
+  [[nodiscard]] PrefixMatch admission_match(const KvPool& pool,
+                                            const Session& s) const;
+  /// Adopt `s`'s prefix at admission time: map the shared pages, set
+  /// cached/adopted token counts, and (for fresh sessions) start the
+  /// output digest from the tree's chain value.
+  void admit_with_prefix(Session& s, KvPool& pool) const;
 
   /// The wait queue in priority order: priority descending, then earliest
   /// deadline (0 = none = last within its class), then queue position.

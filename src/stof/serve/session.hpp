@@ -32,6 +32,18 @@ struct Session {
   /// rows are recomputed bit-identically but never re-folded.
   std::int64_t prompt_digested_tokens = 0;
 
+  /// Tokens mapped from the prefix tree at (re-)admission: the session's
+  /// prefill starts here instead of 0.  Reset to 0 on eviction (the KV is
+  /// released; the next admission re-matches the tree from scratch).
+  std::int64_t adopted_tokens = 0;
+  /// Output-digest chain values captured after each template page's last
+  /// position, indexed by page (ceil(template_len / block_tokens) entries);
+  /// `_ok[q]` marks pages whose value was actually captured this lifetime.
+  /// publish_prefix() stores these in the tree so adopters can start their
+  /// digest mid-stream.  Kept across preemption — recompute re-captures.
+  std::vector<std::uint64_t> template_page_digest{};
+  std::vector<std::uint8_t> template_page_digest_ok{};
+
   std::int64_t preemptions = 0;
   std::int64_t last_touch_step = -1;  ///< last step this session computed
   /// Target length already charged to the tenant's fairness deficit.

@@ -12,9 +12,15 @@
 //   * Bounded starvation — every trace drains within a generous step
 //     bound and every session finishes.
 //   * Digest equality — per-session output digests are bit-identical
-//     across serial / continuous / chunked scheduling, FP32 and INT8 KV.
+//     across serial / continuous / chunked scheduling, FP32 and INT8 KV,
+//     prefix sharing on and off, and speculative decoding on and off.
 //   * Deterministic replay — the same seed reproduces a byte-identical
 //     telemetry dump.
+//
+// Shared-prefix traces overlay hot templates (radix-tree hits, partial-
+// page adoption, CoW, refcounted release) on the same adversarial
+// arrival shape; pool().check_conservation() audits block refcounts and
+// the free list after every step.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -64,6 +70,24 @@ std::vector<Request> fuzz_trace(std::uint64_t seed, std::int64_t n_requests) {
   return trace;
 }
 
+/// fuzz_trace with hot prompt templates overlaid: ~3/4 of the requests
+/// share one of three templates (template_len 8..31, so chains cover a
+/// partial page and often a full one), the rest stay fully private.
+std::vector<Request> prefix_fuzz_trace(std::uint64_t seed,
+                                       std::int64_t n_requests) {
+  auto trace = fuzz_trace(seed, n_requests);
+  Rng rng(seed ^ 0xfeedbeefULL);
+  for (auto& r : trace) {
+    if (rng.next_double() < 0.25) continue;
+    r.template_seed = seed * 77 + 1 + rng.next_u64() % 3;
+    r.template_len = 8 + static_cast<std::int64_t>(rng.next_u64() % 24);
+    // The template must leave a private suffix, and the grown prompt must
+    // still fit the context window (max_new_tokens <= 12 here).
+    r.prompt_len = std::max(r.prompt_len, r.template_len + 1);
+  }
+  return trace;
+}
+
 EngineConfig fuzz_config(SchedulerMode mode, std::int64_t chunk_tokens,
                          std::int64_t kv_blocks) {
   EngineConfig cfg;
@@ -86,13 +110,18 @@ EngineConfig fuzz_config(SchedulerMode mode, std::int64_t chunk_tokens,
 }
 
 /// Replay `trace` open-loop, asserting the per-step KV and liveness
-/// invariants.  Returns the per-session digests.
+/// invariants.  Returns the per-session digests.  `shared` relaxes the
+/// used == sum-of-session-blocks identity (shared pages are mapped by
+/// several owners and the radix tree holds pages no session maps); the
+/// pool's refcount audit is the conservation invariant in both regimes.
 std::map<SessionId, std::uint64_t> replay_checked(
-    Engine& engine, const std::vector<Request>& trace) {
+    Engine& engine, const std::vector<Request>& trace, bool shared = false) {
   std::vector<SessionId> submitted;
   engine.on_step = [&](const StepEvent& ev) {
-    // KV conservation: every used block is owned by exactly one session
-    // that is still resident; retired sessions hold nothing.
+    // KV conservation: block refcounts equal their owners (sessions plus
+    // tree nodes), the free list is exactly the unreferenced blocks, and
+    // retired sessions hold nothing.
+    EXPECT_TRUE(engine.pool().check_conservation()) << "KV refcount audit";
     std::int64_t held = 0;
     for (const auto id : submitted) {
       const auto blocks = engine.pool().blocks(id);
@@ -102,7 +131,9 @@ std::map<SessionId, std::uint64_t> replay_checked(
         EXPECT_EQ(blocks, 0) << "retired session " << id << " leaks KV";
       }
     }
-    EXPECT_EQ(held, engine.pool().used_blocks()) << "KV pool leak";
+    if (!shared) {
+      EXPECT_EQ(held, engine.pool().used_blocks()) << "KV pool leak";
+    }
     EXPECT_LE(ev.kv_used_blocks, engine.pool().total_blocks());
     // A non-empty plan must do real work: evictions alone make no forward
     // progress and would spin the engine forever.
@@ -188,6 +219,104 @@ TEST(SchedulerFuzz, TightPoolForcesPreemptionWithoutDivergence) {
   const auto tight_digests = replay_checked(tight, trace);
   EXPECT_EQ(serial_digests, tight_digests);
   EXPECT_GT(tight.stats().preemptions, 0) << "pool was not tight enough";
+}
+
+TEST(SchedulerFuzz, SharedPrefixDigestsMatchAcrossModesAndSharing) {
+  // Sharing-off serial is the ground truth: adopted pages and mid-stream
+  // digest seeding must reproduce exactly what a from-scratch prefill of
+  // every prompt computes, across both batched modes.
+  for (const std::uint64_t seed : {13ull, 29ull}) {
+    const auto trace = prefix_fuzz_trace(seed, 24);
+    EngineConfig off_cfg = fuzz_config(SchedulerMode::kSerial, 0, 8);
+    off_cfg.scheduler.prefix_sharing = false;
+    Engine serial_off(off_cfg);
+    Engine continuous(fuzz_config(SchedulerMode::kContinuous, 0, 8));
+    Engine chunked(fuzz_config(SchedulerMode::kContinuous, 24, 8));
+    const auto base = replay_checked(serial_off, trace);
+
+    telemetry::ScopedTelemetry scoped(true);
+    telemetry::global_registry().reset();
+    EXPECT_EQ(base, replay_checked(continuous, trace, /*shared=*/true))
+        << "seed " << seed;
+    EXPECT_GT(telemetry::global_registry().counter("serve.prefix.hits"), 0)
+        << "trace never exercised adoption, seed " << seed;
+    EXPECT_EQ(base, replay_checked(chunked, trace, /*shared=*/true))
+        << "seed " << seed;
+    telemetry::global_registry().reset();
+  }
+}
+
+TEST(SchedulerFuzz, SharedPrefixSurvivesTightPoolEviction) {
+  // One-max-context pool: admission must reclaim tree-only pages and evict
+  // residents (freeing only their private pages) without diverging.
+  const auto trace = prefix_fuzz_trace(101, 20);
+  EngineConfig off_cfg = fuzz_config(SchedulerMode::kSerial, 0, 4);
+  off_cfg.scheduler.prefix_sharing = false;
+  Engine serial_off(off_cfg);
+  Engine tight(fuzz_config(SchedulerMode::kContinuous, 16, 4));
+  const auto base = replay_checked(serial_off, trace);
+  EXPECT_EQ(base, replay_checked(tight, trace, /*shared=*/true));
+}
+
+TEST(SchedulerFuzz, SharedPrefixInt8KvDigestsMatch) {
+  const auto trace = prefix_fuzz_trace(43, 20);
+  EngineConfig off_cfg = fuzz_config(SchedulerMode::kSerial, 0, 8);
+  off_cfg.scheduler.prefix_sharing = false;
+  off_cfg.kv_precision = core::PanelPrecision::kInt8;
+  EngineConfig on_cfg = fuzz_config(SchedulerMode::kContinuous, 24, 8);
+  on_cfg.kv_precision = core::PanelPrecision::kInt8;
+  Engine serial_off(off_cfg);
+  Engine chunked_on(on_cfg);
+  EXPECT_EQ(replay_checked(serial_off, trace),
+            replay_checked(chunked_on, trace, /*shared=*/true));
+}
+
+TEST(SchedulerFuzz, SpeculativeDecodeMatchesSequentialDecode) {
+  // Draft-and-verify must commit exactly the sequential decode's tokens:
+  // rejected rows roll back, accepted rows fold in order.
+  const auto trace = fuzz_trace(47, 16);
+  Engine plain(fuzz_config(SchedulerMode::kSerial, 0, 8));
+  EngineConfig spec_cfg = fuzz_config(SchedulerMode::kContinuous, 0, 8);
+  spec_cfg.spec_draft_tokens = 3;
+  spec_cfg.spec_accept_pct = 75;
+  EngineConfig spec_chunked_cfg = fuzz_config(SchedulerMode::kContinuous, 24, 8);
+  spec_chunked_cfg.spec_draft_tokens = 3;
+  spec_chunked_cfg.spec_accept_pct = 75;
+  Engine spec(spec_cfg);
+  Engine spec_chunked(spec_chunked_cfg);
+  const auto base = replay_checked(plain, trace);
+
+  telemetry::ScopedTelemetry scoped(true);
+  telemetry::global_registry().reset();
+  EXPECT_EQ(base, replay_checked(spec, trace));
+  const auto drafted =
+      telemetry::global_registry().counter("serve.spec.drafted");
+  const auto accepted =
+      telemetry::global_registry().counter("serve.spec.accepted");
+  const auto rollbacks =
+      telemetry::global_registry().counter("serve.spec.rollbacks");
+  EXPECT_GT(drafted, 0);
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rollbacks, 0) << "acceptance 75% must reject sometimes";
+  EXPECT_EQ(base, replay_checked(spec_chunked, trace));
+  telemetry::global_registry().reset();
+}
+
+TEST(SchedulerFuzz, SpeculativeSharedPrefixInt8Matches) {
+  // The full stack at once: INT8 KV sidecars, prefix adoption with CoW,
+  // and speculative rollback in one engine vs the plain serial baseline.
+  const auto trace = prefix_fuzz_trace(59, 20);
+  EngineConfig off_cfg = fuzz_config(SchedulerMode::kSerial, 0, 8);
+  off_cfg.scheduler.prefix_sharing = false;
+  off_cfg.kv_precision = core::PanelPrecision::kInt8;
+  EngineConfig full_cfg = fuzz_config(SchedulerMode::kContinuous, 24, 8);
+  full_cfg.kv_precision = core::PanelPrecision::kInt8;
+  full_cfg.spec_draft_tokens = 3;
+  full_cfg.spec_accept_pct = 80;
+  Engine serial_off(off_cfg);
+  Engine full(full_cfg);
+  EXPECT_EQ(replay_checked(serial_off, trace),
+            replay_checked(full, trace, /*shared=*/true));
 }
 
 TEST(SchedulerFuzz, SameSeedReplaysByteIdenticalTelemetry) {
