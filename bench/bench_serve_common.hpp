@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "stof/cluster/cluster.hpp"
 #include "stof/serve/engine.hpp"
 
 namespace stof::serve::bench {
@@ -325,6 +326,46 @@ inline RunResult run_trace(
 /// True when both runs produced byte-identical per-session outputs.
 inline bool digests_match(const RunResult& a, const RunResult& b) {
   return a.digests == b.digests;
+}
+
+/// One tensor-parallel cluster replay, reduced for the scaling bench.
+struct ClusterRunResult {
+  int devices = 1;
+  double sim_us = 0;
+  double tokens_per_s = 0;   ///< generated tokens per simulated second
+  double collective_us = 0;  ///< per-device collective time charged
+  EngineStats stats;         ///< shard 0 (lock-step: identical across shards)
+  std::map<SessionId, std::uint64_t> digests;  ///< cluster digests
+};
+
+/// Replay `trace` open-loop through an N-device tensor-parallel cluster.
+/// Same arrival handling as run_trace(), so single-engine and cluster
+/// replays of one trace are directly comparable.
+inline ClusterRunResult run_cluster_trace(
+    const stof::cluster::ClusterConfig& ccfg,
+    const std::vector<Request>& trace) {
+  stof::cluster::Cluster cluster(ccfg);
+  std::size_t next = 0;
+  while (next < trace.size() || !cluster.idle()) {
+    while (next < trace.size() &&
+           trace[next].arrival_us <= cluster.sim_time_us()) {
+      cluster.submit(trace[next++]);
+    }
+    if (cluster.idle()) {
+      cluster.advance_to(trace[next].arrival_us);
+      continue;
+    }
+    cluster.step();
+  }
+  ClusterRunResult r;
+  r.devices = cluster.devices();
+  r.sim_us = cluster.sim_time_us();
+  r.collective_us = cluster.collective_us();
+  r.stats = cluster.stats();
+  r.digests = cluster.digests();
+  r.tokens_per_s =
+      static_cast<double>(r.stats.decode_tokens) / (r.sim_us * 1e-6);
+  return r;
 }
 
 }  // namespace stof::serve::bench

@@ -796,6 +796,127 @@ Entry bench_serve_speculative(bool quick) {
   return e;
 }
 
+// Tensor-parallel cluster scaling: one decode-heavy trace replayed through
+// stof::cluster at N = 1/2/4/8 devices plus a plain single-engine reference.
+// Gates: cluster digests byte-identical to the reference at EVERY width, and
+// >= 3x aggregate tokens/s at N=8 vs N=1 despite the per-step all-reduce tax
+// priced by the alpha-beta model.  scalar_ms/packed_ms are the N=1 and N=8
+// simulated makespans, so the headline speedup column IS the scaling factor.
+Entry bench_serve_cluster_scaling(bool quick) {
+  namespace sb = stof::serve::bench;
+  // The trace is built to be decode-dominated, because that is where tensor
+  // parallelism earns its keep here and where the entry's gate is honest:
+  //   - deep decode batch: the N=8 shard's per-step kernel time is
+  //     ~batch/8 DRAM microseconds and must dominate the per-step fixed
+  //     costs that do NOT shard (kernel launch overhead plus the
+  //     2(N-1)·alpha latency terms of two all-reduces);
+  //   - dense causal attention: sharded per-row KV traffic is proportional
+  //     to attended context, so sparse masks (~40 attended columns) would
+  //     leave the full-width activation all-reduce dominating every step —
+  //     a real TP pathology, but the cluster tests already cover every
+  //     sparse mask's bit-identity; this entry measures scaling;
+  //   - Zipf-shared template prompts: prefix sharing prefills each template
+  //     once and adopters skip those rows, so the prefill phase (whose
+  //     activation all-reduces are pure tax — its compute shards to ~1/N
+  //     but its collective bytes do not shrink) nearly vanishes, while
+  //     decode still attends the full adopted context.
+  sb::PrefixTraceConfig tc;
+  tc.sessions = quick ? 112 : 176;
+  tc.seed = 20260809;
+  tc.templates = 2;
+  tc.zipf_s = 1.1;
+  tc.template_len = 192;
+  tc.min_suffix = 8;
+  tc.max_suffix = 24;
+  tc.min_gen = 32;
+  tc.max_gen = 48;
+  tc.mean_interarrival_us = 2.0;
+  auto trace = sb::make_prefix_trace(tc);
+  for (auto& r : trace) r.mask_kind = stof::masks::PatternKind::kCausal;
+
+  // Wide attention (32 heads) so an 8-way shard still owns 4 heads of
+  // DRAM-bound decode work; the pool holds the whole trace so scaling, not
+  // paging pressure, is what the entry measures.
+  stof::serve::EngineConfig cfg;
+  cfg.heads = 32;
+  cfg.head_size = 64;
+  cfg.max_seq_len = 272;
+  cfg.kv_blocks = 17 * tc.sessions;
+  cfg.block_tokens = 16;
+  cfg.prefill_params = stof::mha::BlockwiseParams{16, 16};
+  cfg.scheduler.mode = stof::serve::SchedulerMode::kContinuous;
+  cfg.scheduler.max_prefills_per_step = 16;
+  cfg.scheduler.prefill_token_budget = 4096;
+  cfg.scheduler.max_decode_batch = 256;
+
+  const auto reference = sb::run_trace(cfg, trace);
+
+  const int widths[] = {1, 2, 4, 8};
+  std::map<int, sb::ClusterRunResult> runs;
+  bool identical = true;
+  for (const int n : widths) {
+    stof::cluster::ClusterConfig ccfg;
+    ccfg.devices = n;
+    ccfg.engine = cfg;
+    ccfg.link = stof::cluster::nvlink_like();
+    ccfg.model_layers = 1;
+    runs[n] = sb::run_cluster_trace(ccfg, trace);
+    if (runs[n].digests != reference.digests) {
+      std::cerr << "serve_cluster_scaling: N=" << n
+                << " cluster digests diverged from the single-engine "
+                   "reference\n";
+      identical = false;
+    }
+  }
+
+  Entry e;
+  e.name = "serve_cluster_scaling";
+  e.shape = std::to_string(tc.sessions) +
+            " sessions, heads 32, head_size 64, 2 Zipf templates x 192 "
+            "shared tokens, causal, nvlink-like link, simulated ms "
+            "(N=1 vs N=8 tensor-parallel)";
+  e.scalar_ms = runs[1].sim_us / 1000.0;
+  e.packed_ms = runs[8].sim_us / 1000.0;
+  e.bit_identical = identical;
+  {
+    // Instrumented N=8 replay for the cluster.* counters (telemetry changes
+    // neither simulated time nor outputs).
+    stof::telemetry::ScopedTelemetry on(true);
+    stof::telemetry::global_registry().reset();
+    stof::cluster::ClusterConfig ccfg;
+    ccfg.devices = 8;
+    ccfg.engine = cfg;
+    ccfg.model_layers = 1;
+    const auto instrumented = sb::run_cluster_trace(ccfg, trace);
+    e.counters = stof::telemetry::global_registry().counters();
+    e.counters["cluster.collective.us"] =
+        std::llround(instrumented.collective_us);
+    for (const int n : widths) {
+      const std::string suffix = "_n" + std::to_string(n);
+      e.counters["cluster.derived.tokens_per_s" + suffix] =
+          std::llround(runs[n].tokens_per_s);
+      // Scaling factor and parallel efficiency vs N=1, in percent.
+      e.counters["cluster.derived.scaling_pct" + suffix] =
+          std::llround(runs[1].sim_us / runs[n].sim_us * 100.0);
+      e.counters["cluster.derived.efficiency_pct" + suffix] =
+          std::llround(runs[1].sim_us / runs[n].sim_us / n * 100.0);
+    }
+  }
+  const double scaling = runs[1].sim_us / runs[8].sim_us;
+  if (scaling < 3.0) {
+    std::cerr << "serve_cluster_scaling: N=8 scaled only " << scaling
+              << "x over N=1 (gate: >= 3x)\n";
+    e.aux_ok = false;
+  }
+  if (!(runs[8].collective_us > 0) ||
+      e.counters["cluster.collective.us"] <= 0) {
+    std::cerr << "serve_cluster_scaling: no collective time was charged at "
+                 "N=8\n";
+    e.aux_ok = false;
+  }
+  return e;
+}
+
 bool write_json(const std::string& path, const std::vector<Entry>& entries,
                 bool quick) {
   std::ofstream os(path);
@@ -961,6 +1082,7 @@ int main(int argc, char** argv) {
     entries.push_back(bench_serve_decode_long_int8(/*quick=*/true));
     entries.push_back(bench_serve_prefix_shared(/*quick=*/true));
     entries.push_back(bench_serve_speculative(/*quick=*/true));
+    entries.push_back(bench_serve_cluster_scaling(/*quick=*/true));
   } else {
     entries.push_back(bench_gemm(8, 512, 1024, 1024, 3));
     entries.push_back(bench_gemm_int8(8, 512, 1024, 1024, 3));
@@ -976,6 +1098,7 @@ int main(int argc, char** argv) {
     entries.push_back(bench_serve_decode_long_int8(/*quick=*/false));
     entries.push_back(bench_serve_prefix_shared(/*quick=*/false));
     entries.push_back(bench_serve_speculative(/*quick=*/false));
+    entries.push_back(bench_serve_cluster_scaling(/*quick=*/false));
   }
 
   bool all_identical = true;

@@ -1,0 +1,49 @@
+// Tensor-parallel sharding helpers.
+//
+// The cluster shards two kinds of compute:
+//   * attention, head-parallel — each shard owns a contiguous head range
+//     (head_range below) and its matching KV-pool slice, so paged decode,
+//     prefix sharing, and the panel-cache sidecars shard for free.  The
+//     layer-boundary gather concatenates head outputs: no arithmetic
+//     crosses shards, so shard bytes are identical to the corresponding
+//     head slice of a single-device run.
+//   * the FFN path, Megatron-style — the up-projection splits weight
+//     COLUMNS (each shard computes a slice of the hidden activation, the
+//     gather concatenates: exact) and the down-projection splits weight
+//     ROWS (each shard computes a partial sum over its slice of the
+//     contraction dimension, the all-reduce adds the partials).  The
+//     reduction here is a FIXED-ORDER FP32 fold over shards 0..N-1 with a
+//     single final round to half: deterministic for every device count,
+//     and bitwise exact whenever the per-shard partials are FP32-exact
+//     (integer-valued operands — see cluster_test).
+#pragma once
+
+#include <cstdint>
+
+#include "stof/core/tensor.hpp"
+
+namespace stof::cluster {
+
+/// Contiguous balanced range [begin, begin + count) owned by shard
+/// `device` of `devices` over `total` items; the first total % devices
+/// shards get one extra item and the ranges tile [0, total) exactly.
+struct HeadRange {
+  std::int64_t begin = 0;
+  std::int64_t count = 0;
+  [[nodiscard]] std::int64_t end() const { return begin + count; }
+};
+
+HeadRange head_range(std::int64_t total, int devices, int device);
+
+/// Column-parallel sharded matmul: shard i computes y_i = x · w[:, cols_i]
+/// and the gather concatenates output columns.  Bit-identical to
+/// ops::matmul2d(x, w) for every device count.
+TensorH column_parallel_matmul(const TensorH& x, const TensorH& w,
+                               int devices);
+
+/// Row-parallel sharded matmul: shard i computes the partial
+/// y_i = x[:, rows_i] · w[rows_i, :] and the all-reduce folds the partials
+/// in fixed shard order with FP32 accumulation, rounding to half once.
+TensorH row_parallel_matmul(const TensorH& x, const TensorH& w, int devices);
+
+}  // namespace stof::cluster

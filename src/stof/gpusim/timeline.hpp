@@ -40,6 +40,22 @@ class Stream {
     return records_.back().time_us;
   }
 
+  /// Record a fixed-duration event whose time was computed by an external
+  /// model (e.g. the cluster collective α–β model) instead of the kernel
+  /// cost estimator.  `wire_bytes` is the event's data movement, kept in
+  /// the record's gmem accounting so per-kernel telemetry and Chrome
+  /// traces report collective traffic alongside kernel traffic.
+  double launch_timed(std::string name, double time_us, double wire_bytes) {
+    STOF_EXPECTS(time_us >= 0 && wire_bytes >= 0);
+    KernelCost cost;
+    cost.gmem_read_bytes = wire_bytes;
+    KernelRecord rec{std::move(name), cost, time_us};
+    if (telemetry::enabled()) record_telemetry(rec);
+    total_us_ += rec.time_us;
+    records_.push_back(std::move(rec));
+    return records_.back().time_us;
+  }
+
   [[nodiscard]] double total_us() const { return total_us_; }
   [[nodiscard]] std::size_t launch_count() const {
     std::size_t n = 0;

@@ -119,8 +119,37 @@ const std::vector<std::int32_t>& Engine::cols_for(masks::PatternKind kind,
   return *entry;
 }
 
+void Engine::fill_token_local(std::uint64_t seed, std::int64_t pos,
+                              TokenChannel channel, std::span<half> dst) {
+  if (config_.total_heads == 0) {
+    fill_token(seed, pos, channel, dst);
+    return;
+  }
+  // Sharded: the token function is defined over the FULL model row (the
+  // Rng stream is sequential across channels of all heads), so generate
+  // model_heads() * head_size halfs and slice out this shard's head range
+  // — shard bytes match heads [head_offset, ...) of a single-device run.
+  STOF_EXPECTS(dst.size() ==
+               static_cast<std::size_t>(config_.heads * config_.head_size));
+  const auto full = static_cast<std::size_t>(config_.model_heads() *
+                                             config_.head_size);
+  if (token_stage_.size() != full) token_stage_.resize(full);
+  fill_token(seed, pos, channel, token_stage_);
+  std::memcpy(dst.data(),
+              token_stage_.data() +
+                  static_cast<std::size_t>(config_.head_offset *
+                                           config_.head_size),
+              dst.size() * sizeof(half));
+}
+
 void Engine::fold_digest(Session& s, std::span<const half> bytes) {
   s.digest = fnv1a64(bytes.data(), bytes.size_bytes(), s.digest);
+}
+
+void Engine::fold_output_row(Session& s, std::int64_t pos,
+                             std::span<const half> row) {
+  fold_digest(s, row);
+  if (on_output_row) on_output_row(s.request.id, pos, row);
 }
 
 void Engine::capture_template_digest(Session& s, std::int64_t pos) {
@@ -149,7 +178,8 @@ void Engine::maybe_publish_prefix(Session& s) {
                        s.template_page_digest_ok);
 }
 
-double Engine::run_prefills(const std::vector<SessionId>& ids) {
+double Engine::run_prefills(const std::vector<SessionId>& ids,
+                            StepOutcome& outcome) {
   if (ids.empty()) return 0;
   telemetry::count("serve.requests.admitted",
                    static_cast<std::int64_t>(ids.size()));
@@ -170,6 +200,7 @@ double Engine::run_prefills(const std::vector<SessionId>& ids) {
   const std::int64_t d = config_.head_size;
   const std::int64_t seq = config_.max_seq_len;
   std::vector<half> tok(static_cast<std::size_t>(heads * d));
+  row_stage_.resize(static_cast<std::size_t>(heads * d));
   double us = 0;
 
   for (const auto& [kind, group] : groups) {
@@ -185,8 +216,8 @@ double Engine::run_prefills(const std::vector<SessionId>& ids) {
       for (std::int64_t pos = 0; pos < len; ++pos) {
         for (int ch = 0; ch < 3; ++ch) {
           TensorH& dst = ch == 0 ? q : (ch == 1 ? k : v);
-          fill_token(token_seed(s.request, pos), pos,
-                     static_cast<TokenChannel>(ch), tok);
+          fill_token_local(token_seed(s.request, pos), pos,
+                           static_cast<TokenChannel>(ch), tok);
           for (std::int64_t h = 0; h < heads; ++h) {
             std::memcpy(&dst.at(b * heads + h, pos, 0), &tok[static_cast<
                             std::size_t>(h * d)],
@@ -226,12 +257,15 @@ double Engine::run_prefills(const std::vector<SessionId>& ids) {
       for (std::int64_t pos = s.prompt_digested_tokens;
            pos < s.request.prompt_len; ++pos) {
         for (std::int64_t h = 0; h < heads; ++h) {
-          fold_digest(
-              s, out.data().subspan(
-                     static_cast<std::size_t>(((b * heads + h) * seq + pos) *
-                                              d),
-                     static_cast<std::size_t>(d)));
+          std::memcpy(&row_stage_[static_cast<std::size_t>(h * d)],
+                      out.data()
+                          .subspan(static_cast<std::size_t>(
+                                       ((b * heads + h) * seq + pos) * d),
+                                   static_cast<std::size_t>(d))
+                          .data(),
+                      static_cast<std::size_t>(d) * sizeof(half));
         }
+        fold_output_row(s, pos, row_stage_);
         capture_template_digest(s, pos);
       }
       s.prompt_digested_tokens = s.request.prompt_len;
@@ -239,13 +273,15 @@ double Engine::run_prefills(const std::vector<SessionId>& ids) {
       s.phase = SessionPhase::kDecoding;
       s.last_touch_step = step_count_;
       stats_.prefill_tokens += len;
+      outcome.prefill_tokens += len;
       telemetry::count("serve.prefill.tokens", len);
     }
   }
   return us;
 }
 
-double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
+double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks,
+                                  StepOutcome& outcome) {
   if (chunks.empty()) return 0;
   // One ragged varlen launch per mask kind, preserving plan order.  Each
   // chunk is an element of length `end` with query window [begin, end):
@@ -271,6 +307,7 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
   const std::int64_t seq = config_.max_seq_len;
   const std::int64_t bm = config_.prefill_params.block_m;
   std::vector<half> tok(static_cast<std::size_t>(heads * d));
+  row_stage_.resize(static_cast<std::size_t>(heads * d));
   double us = 0;
 
   for (const auto& [kind, group] : groups) {
@@ -292,8 +329,8 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
       for (std::int64_t pos = 0; pos < chunk.end; ++pos) {
         for (int ch = 1; ch < 3; ++ch) {
           TensorH& dst = ch == 1 ? k : v;
-          fill_token(token_seed(s.request, pos), pos,
-                     static_cast<TokenChannel>(ch), tok);
+          fill_token_local(token_seed(s.request, pos), pos,
+                           static_cast<TokenChannel>(ch), tok);
           for (std::int64_t h = 0; h < heads; ++h) {
             std::memcpy(&dst.at(b * heads + h, pos, 0),
                         &tok[static_cast<std::size_t>(h * d)],
@@ -301,7 +338,8 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
           }
         }
         if (pos < q_lo) continue;
-        fill_token(token_seed(s.request, pos), pos, TokenChannel::kQuery, tok);
+        fill_token_local(token_seed(s.request, pos), pos,
+                         TokenChannel::kQuery, tok);
         for (std::int64_t h = 0; h < heads; ++h) {
           std::memcpy(&q.at(b * heads + h, pos, 0),
                       &tok[static_cast<std::size_t>(h * d)],
@@ -350,12 +388,15 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
       for (std::int64_t pos = std::max(chunk.begin, s.prompt_digested_tokens);
            pos < fold_end; ++pos) {
         for (std::int64_t h = 0; h < heads; ++h) {
-          fold_digest(
-              s, out.data().subspan(
-                     static_cast<std::size_t>(((b * heads + h) * seq + pos) *
-                                              d),
-                     static_cast<std::size_t>(d)));
+          std::memcpy(&row_stage_[static_cast<std::size_t>(h * d)],
+                      out.data()
+                          .subspan(static_cast<std::size_t>(
+                                       ((b * heads + h) * seq + pos) * d),
+                                   static_cast<std::size_t>(d))
+                          .data(),
+                      static_cast<std::size_t>(d) * sizeof(half));
         }
+        fold_output_row(s, pos, row_stage_);
         capture_template_digest(s, pos);
       }
       s.prompt_digested_tokens = std::max(s.prompt_digested_tokens, fold_end);
@@ -367,6 +408,7 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
       }
       s.last_touch_step = step_count_;
       stats_.prefill_tokens += chunk.tokens();
+      outcome.prefill_tokens += chunk.tokens();
       ++stats_.prefill_chunks;
       telemetry::count("serve.prefill.tokens", chunk.tokens());
       telemetry::count("serve.sched.chunks_emitted");
@@ -376,9 +418,22 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks) {
   return us;
 }
 
+void Engine::commit_decoded(SessionId id, std::int64_t committed,
+                            StepOutcome& outcome) {
+  Session& s = table_.at(id);
+  const bool had_none = s.generated == 0;
+  s.generated += committed;
+  s.last_touch_step = step_count_;
+  if (had_none && committed > 0) outcome.first_token.push_back(id);
+  if (s.done()) {
+    s.phase = SessionPhase::kFinished;
+    pool_.release(id);
+    outcome.finished.push_back(id);
+  }
+}
+
 double Engine::run_decodes(const std::vector<SessionId>& ids,
-                           std::vector<SessionId>& first_token,
-                           std::vector<SessionId>& finished) {
+                           StepOutcome& outcome) {
   if (ids.empty()) return 0;
   const std::int64_t heads = config_.heads;
   const std::int64_t d = config_.head_size;
@@ -394,14 +449,14 @@ double Engine::run_decodes(const std::vector<SessionId>& ids,
     const std::int64_t pos = s.total_len();
     auto slot = pool_.append_token(id);
     STOF_CHECK(slot.has_value(), "scheduler must reserve decode blocks");
-    fill_token(s.request.seed, pos, TokenChannel::kKey,
-               {slot->k, static_cast<std::size_t>(heads * d)});
-    fill_token(s.request.seed, pos, TokenChannel::kValue,
-               {slot->v, static_cast<std::size_t>(heads * d)});
+    fill_token_local(s.request.seed, pos, TokenChannel::kKey,
+                     {slot->k, static_cast<std::size_t>(heads * d)});
+    fill_token_local(s.request.seed, pos, TokenChannel::kValue,
+                     {slot->v, static_cast<std::size_t>(heads * d)});
     s.cached_tokens = pos + 1;
-    fill_token(s.request.seed, pos, TokenChannel::kQuery,
-               q.data().subspan(static_cast<std::size_t>(i * heads * d),
-                                static_cast<std::size_t>(heads * d)));
+    fill_token_local(s.request.seed, pos, TokenChannel::kQuery,
+                     q.data().subspan(static_cast<std::size_t>(i * heads * d),
+                                      static_cast<std::size_t>(heads * d)));
     const auto& cols = cols_for(s.request.mask_kind, pos);
     mha::PagedSeq& seq = seqs[static_cast<std::size_t>(i)];
     seq = mha::PagedSeq{pos + 1, config_.block_tokens, pool_.k_blocks(id),
@@ -436,28 +491,22 @@ double Engine::run_decodes(const std::vector<SessionId>& ids,
   for (std::int64_t i = 0; i < n; ++i) {
     const SessionId id = ids[static_cast<std::size_t>(i)];
     Session& s = table_.at(id);
+    const std::int64_t pos = s.total_len();
     const auto out_row =
         out.data().subspan(static_cast<std::size_t>(i * heads * d),
                            static_cast<std::size_t>(heads * d));
-    if (on_decode_output) on_decode_output(id, s.total_len(), out_row);
-    fold_digest(s, out_row);
-    ++s.generated;
-    s.last_touch_step = step_count_;
-    if (s.generated == 1) first_token.push_back(id);
-    if (s.done()) {
-      s.phase = SessionPhase::kFinished;
-      pool_.release(id);
-      finished.push_back(id);
-    }
+    if (on_decode_output) on_decode_output(id, pos, out_row);
+    fold_output_row(s, pos, out_row);
+    commit_decoded(id, 1, outcome);
   }
   stats_.decode_tokens += n;
+  outcome.decode_rows += n;
   telemetry::count("serve.decode.tokens", n);
   return us;
 }
 
 double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
-                                std::vector<SessionId>& first_token,
-                                std::vector<SessionId>& finished) {
+                                StepOutcome& outcome) {
   if (ids.empty()) return 0;
   const std::int64_t heads = config_.heads;
   const std::int64_t d = config_.head_size;
@@ -496,10 +545,10 @@ double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
       auto slot = pool_.append_token(id);
       STOF_CHECK(slot.has_value(),
                  "scheduler must reserve verify-round decode blocks");
-      fill_token(seed, r.pos + j, TokenChannel::kKey,
-                 {slot->k, static_cast<std::size_t>(heads * d)});
-      fill_token(seed, r.pos + j, TokenChannel::kValue,
-                 {slot->v, static_cast<std::size_t>(heads * d)});
+      fill_token_local(seed, r.pos + j, TokenChannel::kKey,
+                       {slot->k, static_cast<std::size_t>(heads * d)});
+      fill_token_local(seed, r.pos + j, TokenChannel::kValue,
+                       {slot->v, static_cast<std::size_t>(heads * d)});
     }
     s.cached_tokens = r.pos + r.rows;
     rounds.push_back(r);
@@ -527,9 +576,10 @@ double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
       const std::uint64_t seed = j <= r.accept
                                      ? s.request.seed
                                      : (s.request.seed ^ kSpecDraftSalt);
-      fill_token(seed, pos, TokenChannel::kQuery,
-                 q.data().subspan(static_cast<std::size_t>(row * heads * d),
-                                  static_cast<std::size_t>(heads * d)));
+      fill_token_local(seed, pos, TokenChannel::kQuery,
+                       q.data().subspan(
+                           static_cast<std::size_t>(row * heads * d),
+                           static_cast<std::size_t>(heads * d)));
       // Row j attends [0, pos + 1): later (rejected) draft slots live in
       // the same pages but are never in its column list, so an accepted
       // row's output is bit-identical to the sequential decode of pos.
@@ -579,26 +629,19 @@ double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
           static_cast<std::size_t>((row + j) * heads * d),
           static_cast<std::size_t>(heads * d));
       if (on_decode_output) on_decode_output(r.id, r.pos + j, out_row);
-      fold_digest(s, out_row);
+      fold_output_row(s, r.pos + j, out_row);
     }
     row += r.rows;
     if (commit < r.rows) pool_.truncate(r.id, r.pos + commit);
     s.cached_tokens = r.pos + commit;
-    const bool had_none = s.generated == 0;
-    s.generated += commit;
-    s.last_touch_step = step_count_;
-    if (had_none) first_token.push_back(r.id);
-    if (s.done()) {
-      s.phase = SessionPhase::kFinished;
-      pool_.release(r.id);
-      finished.push_back(r.id);
-    }
+    commit_decoded(r.id, commit, outcome);
     committed += commit;
     drafted += r.rows - 1;
     accepted += r.accept;
     rollbacks += r.rows - commit;
   }
   stats_.decode_tokens += committed;
+  outcome.decode_rows += total_rows;
   telemetry::count("serve.decode.tokens", committed);
   if (drafted > 0) {
     telemetry::count("serve.spec.drafted", drafted);
@@ -608,10 +651,12 @@ double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
   return us;
 }
 
-bool Engine::step() {
+std::optional<StepOutcome> Engine::execute_step() {
   StepPlan plan = scheduler_.plan_step(table_, pool_, step_count_);
-  if (plan.empty()) return false;
-  const double start = clock_us_;
+  if (plan.empty()) return std::nullopt;
+
+  StepOutcome outcome;
+  outcome.start_us = clock_us_;
 
   stats_.preemptions += static_cast<std::int64_t>(plan.evicted.size());
   if (!plan.evicted.empty()) {
@@ -635,16 +680,28 @@ bool Engine::step() {
   }
   windows.insert(windows.end(), plan.chunks.begin(), plan.chunks.end());
 
-  double us = run_prefills(fresh);
-  us += run_prefill_chunks(windows);
-  std::vector<SessionId> first_token, finished;
+  double us = run_prefills(fresh, outcome);
+  us += run_prefill_chunks(windows, outcome);
   us += config_.spec_draft_tokens > 0
-            ? run_decodes_spec(plan.decodes, first_token, finished)
-            : run_decodes(plan.decodes, first_token, finished);
-  clock_us_ += us;
+            ? run_decodes_spec(plan.decodes, outcome)
+            : run_decodes(plan.decodes, outcome);
+  outcome.us = us;
+  outcome.evicted = std::move(plan.evicted);
+  outcome.prefills = std::move(plan.prefills);
+  outcome.chunks = std::move(plan.chunks);
+  outcome.decodes = std::move(plan.decodes);
+  return outcome;
+}
 
-  for (const auto id : first_token) table_.at(id).first_token_us = clock_us_;
-  for (const auto id : finished) {
+void Engine::finalize_step(const StepOutcome& outcome, double step_us) {
+  STOF_EXPECTS(step_us >= outcome.us,
+               "a step cannot finish before its own kernels do");
+  clock_us_ += step_us;
+
+  for (const auto id : outcome.first_token) {
+    table_.at(id).first_token_us = clock_us_;
+  }
+  for (const auto id : outcome.finished) {
     Session& s = table_.at(id);
     s.finish_us = clock_us_;
     ++stats_.finished;
@@ -653,21 +710,21 @@ bool Engine::step() {
       telemetry::count("serve.sched.deadline_misses");
     }
   }
-  if (!finished.empty()) {
+  if (!outcome.finished.empty()) {
     telemetry::count("serve.requests.finished",
-                     static_cast<std::int64_t>(finished.size()));
+                     static_cast<std::int64_t>(outcome.finished.size()));
   }
 
   ++step_count_;
   ++stats_.steps;
   telemetry::count("serve.steps");
   telemetry::observe("serve.batch.decode_size",
-                     static_cast<double>(plan.decodes.size()));
+                     static_cast<double>(outcome.decodes.size()));
   telemetry::observe("serve.batch.prefill_size",
-                     static_cast<double>(plan.prefills.size()));
-  if (!plan.chunks.empty()) {
+                     static_cast<double>(outcome.prefills.size()));
+  if (!outcome.chunks.empty()) {
     std::int64_t chunk_tokens = 0;
-    for (const auto& c : plan.chunks) chunk_tokens += c.tokens();
+    for (const auto& c : outcome.chunks) chunk_tokens += c.tokens();
     telemetry::observe("serve.batch.chunk_tokens",
                        static_cast<double>(chunk_tokens));
   }
@@ -677,15 +734,21 @@ bool Engine::step() {
   if (on_step) {
     StepEvent ev;
     ev.step = step_count_ - 1;
-    ev.start_us = start;
-    ev.duration_us = us;
-    ev.evicted = std::move(plan.evicted);
-    ev.prefills = std::move(plan.prefills);
-    ev.chunks = std::move(plan.chunks);
-    ev.decodes = std::move(plan.decodes);
+    ev.start_us = outcome.start_us;
+    ev.duration_us = step_us;
+    ev.evicted = outcome.evicted;
+    ev.prefills = outcome.prefills;
+    ev.chunks = outcome.chunks;
+    ev.decodes = outcome.decodes;
     ev.kv_used_blocks = pool_.used_blocks();
     on_step(ev);
   }
+}
+
+bool Engine::step() {
+  std::optional<StepOutcome> outcome = execute_step();
+  if (!outcome) return false;
+  finalize_step(*outcome, outcome->us);
   return true;
 }
 

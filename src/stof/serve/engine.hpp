@@ -47,6 +47,19 @@ void fill_token(std::uint64_t seed, std::int64_t pos, TokenChannel channel,
 struct EngineConfig {
   std::int64_t heads = 4;
   std::int64_t head_size = 64;
+  /// Tensor-parallel head shard (stof::cluster).  When `total_heads > 0`
+  /// this engine owns the contiguous head range [head_offset,
+  /// head_offset + heads) of a `total_heads`-head model: its KV pool,
+  /// kernels, and costs all operate on the local heads only, while token
+  /// embeddings are sliced out of the full-width token row so shard h of
+  /// the cluster computes bit-identical bytes to heads [head_offset, ...)
+  /// of a single-device run.  total_heads == 0 (default) is unsharded.
+  std::int64_t head_offset = 0;
+  std::int64_t total_heads = 0;
+  /// Full-model head count: total_heads when sharded, heads otherwise.
+  [[nodiscard]] std::int64_t model_heads() const {
+    return total_heads > 0 ? total_heads : heads;
+  }
   std::int64_t max_seq_len = 256;
   std::int64_t kv_blocks = 96;     ///< KV pool capacity in blocks
   std::int64_t block_tokens = 16;  ///< KV page size, must equal BLOCK_N
@@ -78,6 +91,14 @@ struct EngineConfig {
 
   void validate() const {
     STOF_EXPECTS(heads > 0 && head_size > 0 && max_seq_len > 0);
+    STOF_EXPECTS(total_heads >= 0 && head_offset >= 0);
+    if (total_heads > 0) {
+      STOF_EXPECTS(head_offset + heads <= total_heads,
+                   "head shard must fit inside the model's head range");
+    } else {
+      STOF_EXPECTS(head_offset == 0,
+                   "head_offset requires total_heads (a sharded engine)");
+    }
     // The paged-decode/blockwise bit-identity contract streams KV pages as
     // kernel key blocks; unequal sizes would reorder the softmax updates.
     STOF_EXPECTS(block_tokens == prefill_params.block_n,
@@ -107,6 +128,27 @@ struct StepEvent {
   std::int64_t kv_used_blocks = 0;
 };
 
+/// Everything one executed (but not yet finalized) step produced: the
+/// plan that ran, the device's simulated kernel time, and the session
+/// transitions that must be stamped once the step's *cluster-wide*
+/// duration is known.  Engine::step() finalizes immediately with the
+/// device time; cluster::Cluster executes every shard first, prices the
+/// step's collectives, and finalizes all shards with the common
+/// max(device times) + collective time — reusing this one accounting path
+/// instead of copy-pasting a fourth per-step time/stats variant.
+struct StepOutcome {
+  double start_us = 0;  ///< sim clock when the step began
+  double us = 0;        ///< this device's simulated kernel time
+  std::vector<SessionId> evicted;
+  std::vector<SessionId> prefills;
+  std::vector<PrefillChunk> chunks;
+  std::vector<SessionId> decodes;
+  std::vector<SessionId> first_token;  ///< produced their first token
+  std::vector<SessionId> finished;     ///< completed this step
+  std::int64_t prefill_tokens = 0;  ///< prompt positions ingested
+  std::int64_t decode_rows = 0;     ///< decode query rows (incl. drafts)
+};
+
 struct EngineStats {
   std::int64_t steps = 0;
   std::int64_t submitted = 0;
@@ -132,6 +174,18 @@ class Engine {
   /// advances the clock to the next arrival and submits it.
   bool step();
 
+  /// First half of step(): run the scheduler's plan through the kernels
+  /// and report what happened WITHOUT advancing the clock or stamping
+  /// session/engine statistics.  std::nullopt when there is no work.
+  /// The caller must pass the outcome to finalize_step() exactly once.
+  [[nodiscard]] std::optional<StepOutcome> execute_step();
+
+  /// Second half of step(): advance the clock by `step_us` (the cluster-
+  /// wide step duration — for a lone engine just `outcome.us`), stamp
+  /// first-token / finish / deadline statistics, and emit step telemetry
+  /// and the on_step event.
+  void finalize_step(const StepOutcome& outcome, double step_us);
+
   /// Run steps until no work remains.
   void run_until_drained() {
     while (step()) {
@@ -150,6 +204,10 @@ class Engine {
   [[nodiscard]] const SessionTable& sessions() const { return table_; }
   [[nodiscard]] const KvPool& pool() const { return pool_; }
   [[nodiscard]] const gpusim::Stream& stream() const { return stream_; }
+  /// Mutable stream access for the cluster runtime, which charges
+  /// collective time onto each shard's timeline between execute_step()
+  /// and finalize_step().
+  [[nodiscard]] gpusim::Stream& stream_mut() { return stream_; }
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
   /// Invoked after every executed step (not for empty plans).
@@ -162,24 +220,51 @@ class Engine {
   std::function<void(SessionId, std::int64_t, std::span<const half>)>
       on_decode_output;
 
+  /// Invoked for EVERY attention-output row (prefill and decode alike) at
+  /// the exact point it is folded into the session digest, in fold order:
+  /// (session, position, heads * head_size halfs).  The cluster runtime
+  /// installs this on each shard to gather the per-shard head slices and
+  /// re-fold them in fixed shard order, reproducing the single-device
+  /// digest bit-for-bit.  Only locally folded rows fire: prefix-adopted
+  /// positions are never recomputed, so they fire on no shard.
+  std::function<void(SessionId, std::int64_t, std::span<const half>)>
+      on_output_row;
+
  private:
   [[nodiscard]] const masks::Mask& mask_for(masks::PatternKind kind);
   [[nodiscard]] const std::vector<std::int32_t>& cols_for(
       masks::PatternKind kind, std::int64_t row);
 
-  double run_prefills(const std::vector<SessionId>& ids);
-  double run_prefill_chunks(const std::vector<PrefillChunk>& chunks);
+  /// Shard-aware token embedding: fills `dst` (heads * head_size halfs,
+  /// the LOCAL head range) by generating the full model_heads() row of the
+  /// token function and slicing out [head_offset, head_offset + heads).
+  /// Unsharded engines take the full row directly; either way shard h's
+  /// bytes equal heads [head_offset, ...) of a single-device run.
+  void fill_token_local(std::uint64_t seed, std::int64_t pos,
+                        TokenChannel channel, std::span<half> dst);
+  double run_prefills(const std::vector<SessionId>& ids,
+                      StepOutcome& outcome);
+  double run_prefill_chunks(const std::vector<PrefillChunk>& chunks,
+                            StepOutcome& outcome);
   double run_decodes(const std::vector<SessionId>& ids,
-                     std::vector<SessionId>& first_token,
-                     std::vector<SessionId>& finished);
+                     StepOutcome& outcome);
   /// Draft-and-verify decode round (spec_draft_tokens > 0): every selected
   /// session appends its true token plus up to k draft slots and all rows
   /// verify in one batched paged-decode launch; the longest accepted
   /// prefix commits, the rest rolls back via KvPool::truncate.
   double run_decodes_spec(const std::vector<SessionId>& ids,
-                          std::vector<SessionId>& first_token,
-                          std::vector<SessionId>& finished);
+                          StepOutcome& outcome);
+  /// Shared post-decode bookkeeping for the plain and speculative paths:
+  /// count the committed tokens, stamp last_touch, and record first-token
+  /// / completion transitions into `outcome` (times are stamped later by
+  /// finalize_step, once the step's full duration is known).
+  void commit_decoded(SessionId id, std::int64_t committed,
+                      StepOutcome& outcome);
   void fold_digest(Session& s, std::span<const half> bytes);
+  /// Fold one attention-output row (position `pos`, local heads wide) and
+  /// fire the on_output_row shard hook.
+  void fold_output_row(Session& s, std::int64_t pos,
+                       std::span<const half> row);
   /// Record the digest chain value after folding template position `pos`
   /// (page boundaries and the template end) for later publish_prefix().
   void capture_template_digest(Session& s, std::int64_t pos);
@@ -196,6 +281,10 @@ class Engine {
   std::int64_t step_count_ = 0;
   EngineStats stats_;
   std::map<masks::PatternKind, masks::Mask> mask_cache_;
+  /// Scratch rows for fill_token_local (full-width token row) and for
+  /// assembling contiguous per-position prefill output rows to fold.
+  std::vector<half> token_stage_;
+  std::vector<half> row_stage_;
   /// cols_cache_[kind][row]: attendable context positions for a token
   /// decoded at `row` (empty-but-computed rows flagged separately).
   std::map<masks::PatternKind,

@@ -1,0 +1,313 @@
+// Cluster tests: tensor-parallel shard-and-reduce bit-identity against the
+// single-device engine (all four serving mask kinds, uneven shards,
+// preemption pressure, prefix sharing, speculative decoding), sharded GEMM
+// helpers, and a scheduler-fuzz replay through a 2-device cluster with
+// per-device KV conservation audits.
+#include <gtest/gtest.h>
+
+#include "stof/cluster/cluster.hpp"
+#include "stof/cluster/sharding.hpp"
+#include "stof/core/rng.hpp"
+#include "stof/ops/gemm.hpp"
+
+namespace stof::cluster {
+namespace {
+
+using serve::Engine;
+using serve::EngineConfig;
+using serve::Request;
+using serve::SchedulerMode;
+using serve::Session;
+using serve::SessionId;
+using serve::SessionPhase;
+
+// ---- sharding helpers -----------------------------------------------------
+
+TEST(Sharding, HeadRangeTilesTotalExactly) {
+  for (const std::int64_t total : {1, 2, 5, 6, 8, 32}) {
+    for (int devices = 1; devices <= total; ++devices) {
+      std::int64_t covered = 0;
+      for (int d = 0; d < devices; ++d) {
+        const HeadRange hr = head_range(total, devices, d);
+        EXPECT_EQ(hr.begin, covered) << "ranges must be contiguous";
+        EXPECT_GE(hr.count, 1);
+        covered = hr.end();
+      }
+      EXPECT_EQ(covered, total);
+    }
+  }
+  // Uneven split: the remainder lands on the leading shards.
+  EXPECT_EQ(head_range(6, 4, 0).count, 2);
+  EXPECT_EQ(head_range(6, 4, 1).count, 2);
+  EXPECT_EQ(head_range(6, 4, 2).count, 1);
+  EXPECT_EQ(head_range(6, 4, 3).count, 1);
+}
+
+TEST(Sharding, ColumnParallelMatmulBitIdentical) {
+  Rng rng(41);
+  TensorH x(Shape{5, 12}), w(Shape{12, 10});
+  x.fill_random(rng);
+  w.fill_random(rng);
+  TensorH ref(Shape{5, 10});
+  ops::matmul2d(x, w, ref);
+  for (const int devices : {1, 2, 3, 4}) {
+    const TensorH y = column_parallel_matmul(x, w, devices);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_EQ(y.data()[static_cast<std::size_t>(i)].bits(),
+                ref.data()[static_cast<std::size_t>(i)].bits())
+          << "devices=" << devices << " elem=" << i;
+    }
+  }
+}
+
+TEST(Sharding, RowParallelMatmulExactOnIntegerInputs) {
+  // Integer-valued operands make every per-shard partial FP32-exact, so
+  // the fixed-order shard reduction reproduces the unsharded matmul bit
+  // for bit at every device count.
+  Rng rng(43);
+  TensorH x(Shape{4, 12}), w(Shape{12, 6});
+  for (auto& v : x.data()) {
+    v = half(static_cast<float>(static_cast<int>(rng.next_u64() % 9) - 4));
+  }
+  for (auto& v : w.data()) {
+    v = half(static_cast<float>(static_cast<int>(rng.next_u64() % 9) - 4));
+  }
+  TensorH ref(Shape{4, 6});
+  ops::matmul2d(x, w, ref);
+  for (const int devices : {1, 2, 3, 4}) {
+    const TensorH y = row_parallel_matmul(x, w, devices);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_EQ(y.data()[static_cast<std::size_t>(i)].bits(),
+                ref.data()[static_cast<std::size_t>(i)].bits())
+          << "devices=" << devices << " elem=" << i;
+    }
+  }
+}
+
+TEST(Sharding, RowParallelMatmulDeterministicAndClose) {
+  Rng rng(47);
+  TensorH x(Shape{6, 16}), w(Shape{16, 8});
+  x.fill_random(rng);
+  w.fill_random(rng);
+  TensorH ref(Shape{6, 8});
+  ops::matmul2d(x, w, ref);
+  for (const int devices : {2, 3, 4}) {
+    const TensorH a = row_parallel_matmul(x, w, devices);
+    const TensorH b = row_parallel_matmul(x, w, devices);
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      ASSERT_EQ(a.data()[static_cast<std::size_t>(i)].bits(),
+                b.data()[static_cast<std::size_t>(i)].bits());
+    }
+    // Partial sums round through half per shard output only at the very
+    // end, so the drift vs the unsharded matmul stays within a few ulps.
+    EXPECT_LT(max_abs_diff(a, ref), 2e-2) << "devices=" << devices;
+  }
+}
+
+// ---- cluster replay harness ----------------------------------------------
+
+constexpr std::int64_t kMaxSeq = 64;
+
+EngineConfig base_config(std::int64_t heads, std::int64_t kv_blocks) {
+  EngineConfig cfg;
+  cfg.heads = heads;
+  cfg.head_size = 16;
+  cfg.max_seq_len = kMaxSeq;
+  cfg.kv_blocks = kv_blocks;
+  cfg.block_tokens = 16;
+  cfg.prefill_params = mha::BlockwiseParams{16, 16};
+  cfg.scheduler.mode = SchedulerMode::kContinuous;
+  cfg.scheduler.max_prefills_per_step = 4;
+  cfg.scheduler.prefill_token_budget = 128;
+  cfg.scheduler.max_decode_batch = 16;
+  return cfg;
+}
+
+std::vector<Request> mixed_trace(std::uint64_t seed, std::int64_t n_requests) {
+  Rng rng(seed);
+  const masks::PatternKind kinds[] = {
+      masks::PatternKind::kCausal, masks::PatternKind::kSlidingWindow,
+      masks::PatternKind::kStrided, masks::PatternKind::kBigBird};
+  std::vector<Request> trace;
+  double clock = 0;
+  for (std::int64_t i = 0; i < n_requests; ++i) {
+    if (rng.next_double() > 0.3) clock += 2.0 + 25.0 * rng.next_double();
+    Request r;
+    r.id = i;
+    r.prompt_len = 4 + static_cast<std::int64_t>(rng.next_u64() % 28);
+    r.max_new_tokens = 2 + static_cast<std::int64_t>(rng.next_u64() % 8);
+    r.seed = seed * 1000 + static_cast<std::uint64_t>(i);
+    r.mask_kind = kinds[i % 4];
+    r.arrival_us = clock;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+/// Open-loop trace replay; works for Engine and Cluster alike (both expose
+/// submit/step/idle/sim_time_us/advance_to).
+template <typename Sys>
+void replay(Sys& sys, const std::vector<Request>& trace) {
+  std::size_t next = 0;
+  std::int64_t steps = 0;
+  while (next < trace.size() || !sys.idle()) {
+    while (next < trace.size() &&
+           trace[next].arrival_us <= sys.sim_time_us()) {
+      sys.submit(trace[next++]);
+    }
+    if (sys.idle()) {
+      ASSERT_LT(next, trace.size());
+      sys.advance_to(trace[next].arrival_us);
+      continue;
+    }
+    ASSERT_TRUE(sys.step());
+    ASSERT_LT(++steps, 100000) << "replay failed to drain";
+  }
+}
+
+std::map<SessionId, std::uint64_t> engine_digests(
+    Engine& engine, const std::vector<Request>& trace) {
+  replay(engine, trace);
+  std::map<SessionId, std::uint64_t> digests;
+  for (const auto& r : trace) {
+    const Session& s = engine.session(r.id);
+    EXPECT_EQ(s.phase, SessionPhase::kFinished) << "session " << r.id;
+    digests[r.id] = s.digest;
+  }
+  return digests;
+}
+
+void expect_cluster_matches_engine(const EngineConfig& cfg,
+                                   const std::vector<Request>& trace,
+                                   const std::vector<int>& device_counts) {
+  Engine reference(cfg);
+  const auto ref = engine_digests(reference, trace);
+  ASSERT_EQ(ref.size(), trace.size());
+  for (const int n : device_counts) {
+    ClusterConfig ccfg;
+    ccfg.devices = n;
+    ccfg.engine = cfg;
+    Cluster cluster(ccfg);
+    replay(cluster, trace);
+    EXPECT_EQ(cluster.digests(), ref)
+        << n << "-way tensor-parallel digests diverged from single-device";
+    if (n > 1) {
+      EXPECT_GT(cluster.collective_us(), 0.0)
+          << "multi-device steps must charge collective time";
+    }
+  }
+}
+
+// ---- bit-identity across tensor-parallel widths ---------------------------
+
+TEST(Cluster, DigestsMatchSingleDeviceAtEveryTPWidth) {
+  expect_cluster_matches_engine(base_config(8, 48), mixed_trace(101, 14),
+                                {1, 2, 4, 8});
+}
+
+TEST(Cluster, UnevenHeadShardsStayBitIdentical) {
+  // 6 heads over 4 devices: shards own 2/2/1/1 heads; the fixed-order
+  // gather still reassembles the full-width rows exactly.
+  expect_cluster_matches_engine(base_config(6, 48), mixed_trace(211, 10),
+                                {2, 4});
+}
+
+TEST(Cluster, PreemptionPressureStaysBitIdentical) {
+  // A tight pool forces evictions and re-prefills; every shard's pool has
+  // identical BLOCK accounting, so preemption decisions stay lock-step and
+  // recovery reproduces the same bytes.
+  expect_cluster_matches_engine(base_config(8, 8), mixed_trace(307, 12),
+                                {2, 4});
+}
+
+TEST(Cluster, ChunkedPrefillWithPrefixSharingStaysBitIdentical) {
+  EngineConfig cfg = base_config(8, 48);
+  cfg.scheduler.chunk_tokens = 24;
+  cfg.scheduler.prefix_sharing = true;
+  auto trace = mixed_trace(409, 14);
+  Rng rng(409 ^ 0xfeedULL);
+  for (auto& r : trace) {
+    if (rng.next_double() < 0.3) continue;
+    r.template_seed = 77001 + rng.next_u64() % 3;
+    r.template_len = 8 + static_cast<std::int64_t>(rng.next_u64() % 24);
+    r.prompt_len = std::max(r.prompt_len, r.template_len + 1);
+  }
+  expect_cluster_matches_engine(cfg, trace, {2, 4});
+}
+
+TEST(Cluster, SpeculativeDecodingStaysBitIdentical) {
+  EngineConfig cfg = base_config(8, 48);
+  cfg.spec_draft_tokens = 2;
+  cfg.spec_accept_pct = 70;
+  expect_cluster_matches_engine(cfg, mixed_trace(503, 12), {2, 4});
+}
+
+// ---- runtime invariants ---------------------------------------------------
+
+TEST(Cluster, ShardClocksAgreeAndCollectivesAppearOnEveryTimeline) {
+  ClusterConfig ccfg;
+  ccfg.devices = 4;
+  ccfg.engine = base_config(8, 48);
+  ccfg.model_layers = 2;
+  Cluster cluster(ccfg);
+  replay(cluster, mixed_trace(601, 8));
+  const double t0 = cluster.engine(0).sim_time_us();
+  EXPECT_GT(t0, 0.0);
+  for (int d = 0; d < cluster.devices(); ++d) {
+    EXPECT_EQ(cluster.engine(d).sim_time_us(), t0)
+        << "lock-step shards must agree on the clock";
+    double collective = 0;
+    for (const auto& rec : cluster.engine(d).stream().records()) {
+      if (rec.name == "cluster.allreduce") collective += rec.time_us;
+    }
+    EXPECT_GT(collective, 0.0) << "device " << d;
+  }
+  // stats() mirror each other across shards.
+  for (int d = 1; d < cluster.devices(); ++d) {
+    EXPECT_EQ(cluster.engine(d).stats().steps, cluster.stats().steps);
+    EXPECT_EQ(cluster.engine(d).stats().finished, cluster.stats().finished);
+    EXPECT_EQ(cluster.engine(d).stats().preemptions,
+              cluster.stats().preemptions);
+  }
+}
+
+TEST(Cluster, SchedulerFuzzReplayWithPerDeviceConservation) {
+  for (const std::uint64_t seed : {31ull, 59ull}) {
+    const auto trace = mixed_trace(seed, 16);
+    EngineConfig cfg = base_config(8, 10);  // tight: preemption fires
+    cfg.scheduler.chunk_tokens = 24;
+
+    Engine reference(cfg);
+    const auto ref = engine_digests(reference, trace);
+
+    ClusterConfig ccfg;
+    ccfg.devices = 2;
+    ccfg.engine = cfg;
+    Cluster cluster(ccfg);
+
+    std::size_t next = 0;
+    std::int64_t steps = 0;
+    while (next < trace.size() || !cluster.idle()) {
+      while (next < trace.size() &&
+             trace[next].arrival_us <= cluster.sim_time_us()) {
+        cluster.submit(trace[next++]);
+      }
+      if (cluster.idle()) {
+        ASSERT_LT(next, trace.size());
+        cluster.advance_to(trace[next].arrival_us);
+        continue;
+      }
+      ASSERT_TRUE(cluster.step());
+      for (int d = 0; d < cluster.devices(); ++d) {
+        ASSERT_TRUE(cluster.engine(d).pool().check_conservation())
+            << "device " << d << " KV refcount audit, step " << steps;
+      }
+      ASSERT_LT(++steps, 100000) << "replay failed to drain";
+    }
+    EXPECT_EQ(cluster.digests(), ref) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace stof::cluster
