@@ -45,6 +45,14 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
           OutputRow{id, pos, {row.begin(), row.end()}});
     };
   }
+  if (config_.engine.model.enabled()) {
+    // Sharded engines run the model cost-only (no weights) and publish RAW
+    // shard rows; the cluster owns the full-width layer head so its digests
+    // match an unsharded engine's transformed digests byte for byte.
+    model_head_ = std::make_unique<serve::ModelRuntime>(
+        config_.engine.model, config_.engine.heads, config_.engine.head_size,
+        config_.engine.device, /*with_weights=*/true);
+  }
   telemetry::gauge("cluster.devices", static_cast<double>(config_.devices));
 }
 
@@ -81,6 +89,35 @@ void Cluster::drain_output_rows() {
                  "shards must fold the same output rows each step");
     }
   }
+  // Assemble the step's full-width rows first: shard d holds heads
+  // [head_range(d).begin, ...), so device-order concatenation is the
+  // (head, dim) row a single-device engine folds for each position.
+  const std::int64_t width = config_.engine.heads * config_.engine.head_size;
+  std::vector<half> full(ref.size() * static_cast<std::size_t>(width));
+  for (std::size_t j = 0; j < ref.size(); ++j) {
+    std::size_t off = j * static_cast<std::size_t>(width);
+    for (auto& dev_rows : pending_rows_) {
+      const OutputRow& row = dev_rows[j];
+      if (config_.check_lockstep) {
+        STOF_CHECK(row.id == ref[j].id && row.pos == ref[j].pos,
+                   "shard output-row streams diverged");
+      }
+      std::copy(row.bytes.begin(), row.bytes.end(), full.begin() + off);
+      off += row.bytes.size();
+    }
+    STOF_CHECK(off == (j + 1) * static_cast<std::size_t>(width),
+               "shard rows must tile the model width exactly");
+  }
+  // With a model configured, apply the layer head to the assembled
+  // full-width rows before folding.  The head is per-row pure, so one
+  // batched call matches an unsharded engine's per-step transforms bit
+  // for bit regardless of how that engine batched them.
+  if (model_head_ != nullptr && !ref.empty()) {
+    TensorH t(Shape{static_cast<std::int64_t>(ref.size()), width});
+    std::copy(full.begin(), full.end(), t.data().begin());
+    model_head_->transform_rows(t);
+    std::copy(t.data().begin(), t.data().end(), full.begin());
+  }
   for (std::size_t j = 0; j < ref.size(); ++j) {
     const serve::SessionId id = ref[j].id;
     const std::int64_t pos = ref[j].pos;
@@ -107,18 +144,9 @@ void Cluster::drain_output_rows() {
       }
       it = digests_.emplace(id, init).first;
     }
-    // Fold shard rows in fixed device order: shard d holds heads
-    // [head_range(d).begin, ...), so the concatenation is the full-width
-    // (head, dim) row a single-device engine folds for this position.
-    for (auto& dev_rows : pending_rows_) {
-      const OutputRow& row = dev_rows[j];
-      if (config_.check_lockstep) {
-        STOF_CHECK(row.id == id && row.pos == pos,
-                   "shard output-row streams diverged");
-      }
-      it->second = fnv1a64(row.bytes.data(),
-                           row.bytes.size() * sizeof(half), it->second);
-    }
+    it->second = fnv1a64(
+        full.data() + j * static_cast<std::size_t>(width),
+        static_cast<std::size_t>(width) * sizeof(half), it->second);
     // Record the chain value at template page boundaries — the points a
     // later session can adopt up to.
     const serve::Request& r = engines_[0]->session(id).request;
@@ -173,7 +201,13 @@ bool Cluster::step() {
         sizeof(half);
     const CollectiveCost cost = collective_cost(
         CollectiveOp::kAllReduce, config_.link, config_.devices, payload);
-    const std::int64_t calls = 2 * config_.model_layers;
+    // With a real ModelSpec the collective count comes from it (T5 adds a
+    // third all-reduce per layer for cross-attention out-proj); otherwise
+    // fall back to the analytic model_layers knob.
+    const serve::ModelSpec& ms = config_.engine.model;
+    const std::int64_t calls =
+        ms.enabled() ? ms.collectives_per_layer() * ms.layers
+                     : 2 * config_.model_layers;
     for (std::int64_t c = 0; c < calls; ++c) {
       for (auto& e : engines_) {
         charge_collective(e->stream_mut(), cost);

@@ -48,6 +48,8 @@ struct ClusterConfig {
   LinkSpec link = nvlink_like();
   /// Transformer layers the collective model charges per step (each layer
   /// contributes two all-reduces: attention out-proj + FFN down-proj).
+  /// Ignored when `engine.model` is enabled — the ModelSpec then supplies
+  /// both the layer count and the per-layer collective count.
   std::int64_t model_layers = 1;
   /// Assert every step that all shards executed identical plans and
   /// produced aligned output-row streams (cheap; on by default).
@@ -118,6 +120,11 @@ class Cluster {
 
   ClusterConfig config_;
   std::vector<std::unique_ptr<serve::Engine>> engines_;
+  /// Full-width numeric model head (engine.model enabled only): shards
+  /// fold raw local rows, so the cluster applies the layer head to the
+  /// assembled full-width row before folding — reproducing an unsharded
+  /// engine's transformed digest bit for bit at every device count.
+  std::unique_ptr<serve::ModelRuntime> model_head_;
   std::vector<std::vector<OutputRow>> pending_rows_;  ///< per device
   std::map<serve::SessionId, std::uint64_t> digests_;
   /// Digest chain value after folding the first `key`'s tokens of a shared

@@ -155,6 +155,17 @@ Graph build_decoder_graph(const LayerConfig& cfg, int layers) {
   return g;
 }
 
+Graph build_cross_decoder_graph(const LayerConfig& cfg, int layers) {
+  STOF_EXPECTS(layers > 0);
+  Graph g = start_graph(cfg);
+  std::int64_t cur = 0;
+  for (int i = 0; i < layers; ++i) {
+    cur = append_cross_decoder_layer(g, cfg, cur);
+  }
+  g.validate();
+  return g;
+}
+
 Graph build_encdec_graph(const LayerConfig& cfg, int enc_layers,
                          int dec_layers) {
   STOF_EXPECTS(enc_layers > 0 && dec_layers > 0);

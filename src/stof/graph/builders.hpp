@@ -54,5 +54,8 @@ Graph build_decoder_graph(const LayerConfig& cfg, int layers);
 /// T5-style: `enc_layers` encoders followed by `dec_layers` cross-decoders.
 Graph build_encdec_graph(const LayerConfig& cfg, int enc_layers,
                          int dec_layers);
+/// Decoder-side-only T5 stack (cross-attention layers over one input) —
+/// the shape the serving runtime executes, where the encoder ran offline.
+Graph build_cross_decoder_graph(const LayerConfig& cfg, int layers);
 
 }  // namespace stof::graph

@@ -4,14 +4,18 @@
 // per-segment template parameters — is small and human-auditable, so plans
 // are persisted as a line-oriented text format:
 //
-//   STOFPLAN v1
+//   STOFPLAN v2
 //   ops <n> eager <0|1>
 //   scheme <hex>
 //   seg <i> gemm <bm> <bn> <bk> <warps> <stages> ew <bs> <ipt> norm <bs> <rpb>
 //   ...
+//   check <16-hex fnv1a64 over every preceding byte>
 //
-// Together with masks/serialize.hpp this closes the tune-offline /
-// deploy-later loop: tune once per (model, mask, device), ship the plan.
+// The trailing `check` line is verified before any content is parsed, so a
+// truncated or bit-flipped plan file errors on load instead of silently
+// deserializing into a different plan.  Together with masks/serialize.hpp
+// and models/tune_db.hpp this closes the tune-offline / deploy-later loop:
+// tune once per (model, shape bucket, device), ship the plan.
 #pragma once
 
 #include <istream>

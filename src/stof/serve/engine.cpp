@@ -67,6 +67,19 @@ Engine::Engine(const EngineConfig& config)
       scheduler_(effective_scheduler(config)),
       stream_(config.device) {
   config_.validate();
+  if (config_.model.enabled()) {
+    // A tensor-parallel shard charges the shard-width slice of every layer
+    // GEMM but never folds transformed rows (the cluster owns the
+    // full-width model head), so it skips the numeric weights.
+    model_ = std::make_unique<ModelRuntime>(
+        config_.model, config_.heads, config_.head_size, config_.device,
+        /*with_weights=*/config_.total_heads == 0);
+    // "Model load": tune (or warm-load from the tuning DB) the canonical
+    // decode and prefill shape buckets up front; any other bucket a step
+    // hits tunes lazily on first use.
+    model_->prewarm(scheduler_.config().max_decode_batch);
+    model_->prewarm(scheduler_.config().prefill_token_budget);
+  }
   telemetry::gauge("serve.kv.total_blocks",
                    static_cast<double>(config_.kv_blocks));
 }
@@ -147,9 +160,19 @@ void Engine::fold_digest(Session& s, std::span<const half> bytes) {
 }
 
 void Engine::fold_output_row(Session& s, std::int64_t pos,
-                             std::span<const half> row) {
-  fold_digest(s, row);
-  if (on_output_row) on_output_row(s.request.id, pos, row);
+                             std::span<const half> digest_row,
+                             std::span<const half> raw_row) {
+  fold_digest(s, digest_row);
+  if (on_output_row) on_output_row(s.request.id, pos, raw_row);
+}
+
+TensorH Engine::transform_for_digest(std::span<const half> rows,
+                                     std::int64_t count) {
+  if (!model_digest_active() || count == 0) return {};
+  TensorH t(Shape{count, config_.heads * config_.head_size});
+  std::memcpy(t.data().data(), rows.data(), t.data().size_bytes());
+  model_->transform_rows(t);
+  return t;
 }
 
 void Engine::capture_template_digest(Session& s, std::int64_t pos) {
@@ -200,7 +223,6 @@ double Engine::run_prefills(const std::vector<SessionId>& ids,
   const std::int64_t d = config_.head_size;
   const std::int64_t seq = config_.max_seq_len;
   std::vector<half> tok(static_cast<std::size_t>(heads * d));
-  row_stage_.resize(static_cast<std::size_t>(heads * d));
   double us = 0;
 
   for (const auto& [kind, group] : groups) {
@@ -253,20 +275,40 @@ double Engine::run_prefills(const std::vector<SessionId>& ids,
       s.cached_tokens = len;
       // Prompt outputs are digested exactly once, in position order; a
       // resumed session's re-prefill recomputes the same bits but must not
-      // re-fold the positions already in the digest.
-      for (std::int64_t pos = s.prompt_digested_tokens;
-           pos < s.request.prompt_len; ++pos) {
-        for (std::int64_t h = 0; h < heads; ++h) {
-          std::memcpy(&row_stage_[static_cast<std::size_t>(h * d)],
-                      out.data()
-                          .subspan(static_cast<std::size_t>(
-                                       ((b * heads + h) * seq + pos) * d),
-                                   static_cast<std::size_t>(d))
-                          .data(),
-                      static_cast<std::size_t>(d) * sizeof(half));
+      // re-fold the positions already in the digest.  The undigested rows
+      // gather into one contiguous batch so the model head (when active)
+      // transforms them in a single pass; the raw attention rows still
+      // feed the shard hook.
+      const std::int64_t hd = heads * d;
+      const std::int64_t fold_begin = s.prompt_digested_tokens;
+      const std::int64_t fold_n = s.request.prompt_len - fold_begin;
+      if (fold_n > 0) {
+        std::vector<half> raw(static_cast<std::size_t>(fold_n * hd));
+        for (std::int64_t j = 0; j < fold_n; ++j) {
+          const std::int64_t pos = fold_begin + j;
+          for (std::int64_t h = 0; h < heads; ++h) {
+            std::memcpy(&raw[static_cast<std::size_t>(j * hd + h * d)],
+                        out.data()
+                            .subspan(static_cast<std::size_t>(
+                                         ((b * heads + h) * seq + pos) * d),
+                                     static_cast<std::size_t>(d))
+                            .data(),
+                        static_cast<std::size_t>(d) * sizeof(half));
+          }
         }
-        fold_output_row(s, pos, row_stage_);
-        capture_template_digest(s, pos);
+        const TensorH folded = transform_for_digest(raw, fold_n);
+        for (std::int64_t j = 0; j < fold_n; ++j) {
+          const std::int64_t pos = fold_begin + j;
+          const std::span<const half> raw_row{
+              raw.data() + j * hd, static_cast<std::size_t>(hd)};
+          const std::span<const half> dig_row =
+              folded.data().empty()
+                  ? raw_row
+                  : folded.data().subspan(static_cast<std::size_t>(j * hd),
+                                          static_cast<std::size_t>(hd));
+          fold_output_row(s, pos, dig_row, raw_row);
+          capture_template_digest(s, pos);
+        }
       }
       s.prompt_digested_tokens = s.request.prompt_len;
       maybe_publish_prefix(s);
@@ -307,7 +349,6 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks,
   const std::int64_t seq = config_.max_seq_len;
   const std::int64_t bm = config_.prefill_params.block_m;
   std::vector<half> tok(static_cast<std::size_t>(heads * d));
-  row_stage_.resize(static_cast<std::size_t>(heads * d));
   double us = 0;
 
   for (const auto& [kind, group] : groups) {
@@ -382,22 +423,42 @@ double Engine::run_prefill_chunks(const std::vector<PrefillChunk>& chunks,
       // Fold the chunk's prompt rows exactly once, in position order.  A
       // re-prefilled chunk (preempt mid-prefill, or a preempted decoder
       // rebuilding context past its prompt) recomputes rows already
-      // folded; they are skipped, never re-folded.
+      // folded; they are skipped, never re-folded.  As in run_prefills,
+      // the rows batch up for one model-head pass; per-row purity of the
+      // head keeps chunked digests byte-identical to whole prefills.
+      const std::int64_t hd = heads * d;
       const std::int64_t fold_end =
           std::min(chunk.end, s.request.prompt_len);
-      for (std::int64_t pos = std::max(chunk.begin, s.prompt_digested_tokens);
-           pos < fold_end; ++pos) {
-        for (std::int64_t h = 0; h < heads; ++h) {
-          std::memcpy(&row_stage_[static_cast<std::size_t>(h * d)],
-                      out.data()
-                          .subspan(static_cast<std::size_t>(
-                                       ((b * heads + h) * seq + pos) * d),
-                                   static_cast<std::size_t>(d))
-                          .data(),
-                      static_cast<std::size_t>(d) * sizeof(half));
+      const std::int64_t fold_begin =
+          std::max(chunk.begin, s.prompt_digested_tokens);
+      const std::int64_t fold_n = fold_end - fold_begin;
+      if (fold_n > 0) {
+        std::vector<half> raw(static_cast<std::size_t>(fold_n * hd));
+        for (std::int64_t j = 0; j < fold_n; ++j) {
+          const std::int64_t pos = fold_begin + j;
+          for (std::int64_t h = 0; h < heads; ++h) {
+            std::memcpy(&raw[static_cast<std::size_t>(j * hd + h * d)],
+                        out.data()
+                            .subspan(static_cast<std::size_t>(
+                                         ((b * heads + h) * seq + pos) * d),
+                                     static_cast<std::size_t>(d))
+                            .data(),
+                        static_cast<std::size_t>(d) * sizeof(half));
+          }
         }
-        fold_output_row(s, pos, row_stage_);
-        capture_template_digest(s, pos);
+        const TensorH folded = transform_for_digest(raw, fold_n);
+        for (std::int64_t j = 0; j < fold_n; ++j) {
+          const std::int64_t pos = fold_begin + j;
+          const std::span<const half> raw_row{
+              raw.data() + j * hd, static_cast<std::size_t>(hd)};
+          const std::span<const half> dig_row =
+              folded.data().empty()
+                  ? raw_row
+                  : folded.data().subspan(static_cast<std::size_t>(j * hd),
+                                          static_cast<std::size_t>(hd));
+          fold_output_row(s, pos, dig_row, raw_row);
+          capture_template_digest(s, pos);
+        }
       }
       s.prompt_digested_tokens = std::max(s.prompt_digested_tokens, fold_end);
       if (s.cached_tokens == s.total_len()) {
@@ -488,15 +549,24 @@ double Engine::run_decodes(const std::vector<SessionId>& ids,
       "serve.decode",
       mha::decode_batched_cost(heads, d, valid, config_.device));
 
+  // One model-head pass over the whole decode batch (out is n contiguous
+  // heads*d rows); the hooks still see the raw attention rows.
+  const std::int64_t hd = heads * d;
+  const TensorH folded = transform_for_digest(out.data(), n);
   for (std::int64_t i = 0; i < n; ++i) {
     const SessionId id = ids[static_cast<std::size_t>(i)];
     Session& s = table_.at(id);
     const std::int64_t pos = s.total_len();
     const auto out_row =
-        out.data().subspan(static_cast<std::size_t>(i * heads * d),
-                           static_cast<std::size_t>(heads * d));
+        out.data().subspan(static_cast<std::size_t>(i * hd),
+                           static_cast<std::size_t>(hd));
+    const auto dig_row =
+        folded.data().empty()
+            ? out_row
+            : folded.data().subspan(static_cast<std::size_t>(i * hd),
+                                    static_cast<std::size_t>(hd));
     if (on_decode_output) on_decode_output(id, pos, out_row);
-    fold_output_row(s, pos, out_row);
+    fold_output_row(s, pos, dig_row, out_row);
     commit_decoded(id, 1, outcome);
   }
   stats_.decode_tokens += n;
@@ -619,6 +689,35 @@ double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
       "serve.decode",
       mha::decode_verify_cost(heads, d, valid, seq_rows, config_.device));
 
+  // Gather every committed row into one model-head batch (rejected rows
+  // roll back and never fold); fold_slot maps a global verify row to its
+  // slot in the transformed batch.  Committed rows are bit-identical to
+  // plain decode rows, and the head is per-row pure, so speculative
+  // digests stay byte-identical to non-speculative runs.
+  const std::int64_t hd = heads * d;
+  TensorH folded;
+  std::vector<std::int64_t> fold_slot;
+  if (model_digest_active()) {
+    fold_slot.assign(static_cast<std::size_t>(total_rows), -1);
+    std::int64_t r0 = 0;
+    std::int64_t nfold = 0;
+    for (const auto& r : rounds) {
+      for (std::int64_t j = 0; j <= r.accept; ++j) {
+        fold_slot[static_cast<std::size_t>(r0 + j)] = nfold++;
+      }
+      r0 += r.rows;
+    }
+    std::vector<half> raw(static_cast<std::size_t>(nfold * hd));
+    for (std::int64_t g = 0; g < total_rows; ++g) {
+      const std::int64_t slot = fold_slot[static_cast<std::size_t>(g)];
+      if (slot < 0) continue;
+      std::memcpy(&raw[static_cast<std::size_t>(slot * hd)],
+                  out.data().data() + g * hd,
+                  static_cast<std::size_t>(hd) * sizeof(half));
+    }
+    folded = transform_for_digest(raw, nfold);
+  }
+
   std::int64_t committed = 0, drafted = 0, accepted = 0, rollbacks = 0;
   row = 0;
   for (const auto& r : rounds) {
@@ -626,10 +725,17 @@ double Engine::run_decodes_spec(const std::vector<SessionId>& ids,
     const std::int64_t commit = r.accept + 1;
     for (std::int64_t j = 0; j < commit; ++j) {
       const auto out_row = out.data().subspan(
-          static_cast<std::size_t>((row + j) * heads * d),
-          static_cast<std::size_t>(heads * d));
+          static_cast<std::size_t>((row + j) * hd),
+          static_cast<std::size_t>(hd));
+      const auto dig_row =
+          folded.data().empty()
+              ? out_row
+              : folded.data().subspan(
+                    static_cast<std::size_t>(
+                        fold_slot[static_cast<std::size_t>(row + j)] * hd),
+                    static_cast<std::size_t>(hd));
       if (on_decode_output) on_decode_output(r.id, r.pos + j, out_row);
-      fold_output_row(s, r.pos + j, out_row);
+      fold_output_row(s, r.pos + j, dig_row, out_row);
     }
     row += r.rows;
     if (commit < r.rows) pool_.truncate(r.id, r.pos + commit);
@@ -685,6 +791,14 @@ std::optional<StepOutcome> Engine::execute_step() {
   us += config_.spec_draft_tokens > 0
             ? run_decodes_spec(plan.decodes, outcome)
             : run_decodes(plan.decodes, outcome);
+  // Model execution: the step's activation rows (prefill tokens + decode
+  // rows, one packed batch in a real server) run the per-layer non-MHA
+  // pipeline — charged tuned-fused or launch-per-op onto this stream.
+  // The attention kernels above already charged the MHA segments.
+  if (model_) {
+    const std::int64_t rows = outcome.prefill_tokens + outcome.decode_rows;
+    if (rows > 0) us += model_->charge_step(stream_, rows);
+  }
   outcome.us = us;
   outcome.evicted = std::move(plan.evicted);
   outcome.prefills = std::move(plan.prefills);

@@ -25,6 +25,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "stof/gpusim/device.hpp"
 #include "stof/gpusim/timeline.hpp"
 #include "stof/mha/blockwise_kernel.hpp"
+#include "stof/serve/model_runtime.hpp"
 #include "stof/serve/scheduler.hpp"
 
 namespace stof::serve {
@@ -86,6 +88,15 @@ struct EngineConfig {
   /// matches the true token stream (seeded per-position coin, so replay is
   /// deterministic and acceptance is measurable from telemetry).
   std::int64_t spec_accept_pct = 80;
+  /// End-to-end model execution.  When enabled, every step's activation
+  /// rows additionally run the full per-layer pipeline (out-proj,
+  /// LayerNorm, FFN GEMM + activation around the real attention kernels):
+  /// the layer costs are charged per fused segment (or per detached op,
+  /// model.fused == false) on the gpusim timeline, and session digests
+  /// fold the layer head's transform of each attention-output row instead
+  /// of the raw row.  kNone (default) preserves attention-only serving
+  /// bit for bit.
+  ModelSpec model;
   SchedulerConfig scheduler;
   gpusim::DeviceSpec device = gpusim::a100();
 
@@ -112,6 +123,7 @@ struct EngineConfig {
       STOF_EXPECTS(spec_draft_window >= 1);
       STOF_EXPECTS(spec_accept_pct >= 0 && spec_accept_pct <= 100);
     }
+    model.validate();
     scheduler.validate(max_seq_len);
   }
 };
@@ -209,6 +221,9 @@ class Engine {
   /// and finalize_step().
   [[nodiscard]] gpusim::Stream& stream_mut() { return stream_; }
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  /// The model runtime (tuned plans, layer head); nullptr when the config
+  /// has no model.
+  [[nodiscard]] ModelRuntime* model_runtime() { return model_.get(); }
 
   /// Invoked after every executed step (not for empty plans).
   std::function<void(const StepEvent&)> on_step;
@@ -261,10 +276,25 @@ class Engine {
   void commit_decoded(SessionId id, std::int64_t committed,
                       StepOutcome& outcome);
   void fold_digest(Session& s, std::span<const half> bytes);
-  /// Fold one attention-output row (position `pos`, local heads wide) and
-  /// fire the on_output_row shard hook.
+  /// Fold one attention-output row (position `pos`, local heads wide):
+  /// `digest_row` enters the session digest, `raw_row` (the untransformed
+  /// attention output) fires the on_output_row shard hook — the cluster
+  /// gathers raw shard slices and applies the model head at full width.
   void fold_output_row(Session& s, std::int64_t pos,
-                       std::span<const half> row);
+                       std::span<const half> digest_row,
+                       std::span<const half> raw_row);
+  /// True when session digests fold model-head-transformed rows: a model
+  /// is configured and this engine sees full-width rows (unsharded).  A
+  /// tensor-parallel shard folds raw local rows; the cluster owns the
+  /// full-width transform.
+  [[nodiscard]] bool model_digest_active() const {
+    return model_ != nullptr && config_.total_heads == 0;
+  }
+  /// Copy of `rows` (n x heads*head_size) with the layer head applied, for
+  /// digest folding; returns an empty tensor when model_digest_active()
+  /// is false (callers then fold the raw rows).
+  [[nodiscard]] TensorH transform_for_digest(std::span<const half> rows,
+                                             std::int64_t count);
   /// Record the digest chain value after folding template position `pos`
   /// (page boundaries and the template end) for later publish_prefix().
   void capture_template_digest(Session& s, std::int64_t pos);
@@ -277,14 +307,14 @@ class Engine {
   KvPool pool_;
   Scheduler scheduler_;
   gpusim::Stream stream_;
+  /// Present iff config_.model.enabled(): tuned plans + layer head.
+  std::unique_ptr<ModelRuntime> model_;
   double clock_us_ = 0;
   std::int64_t step_count_ = 0;
   EngineStats stats_;
   std::map<masks::PatternKind, masks::Mask> mask_cache_;
-  /// Scratch rows for fill_token_local (full-width token row) and for
-  /// assembling contiguous per-position prefill output rows to fold.
+  /// Scratch row for fill_token_local (full-width token row).
   std::vector<half> token_stage_;
-  std::vector<half> row_stage_;
   /// cols_cache_[kind][row]: attendable context positions for a token
   /// decoded at `row` (empty-but-computed rows flagged separately).
   std::map<masks::PatternKind,

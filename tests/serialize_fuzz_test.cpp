@@ -8,6 +8,8 @@
 // payload is detected even when the mutated bytes still parse.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -17,6 +19,7 @@
 #include "stof/masks/serialize.hpp"
 #include "stof/models/config.hpp"
 #include "stof/models/plan_io.hpp"
+#include "stof/models/tune_db.hpp"
 
 namespace stof {
 namespace {
@@ -163,6 +166,74 @@ TEST(PlanFuzz, MissingOrForgedChecksumErrors) {
     std::stringstream ss(forged);
     EXPECT_THROW(models::load_plan(ss), Error);
   }
+}
+
+// ---- TuneDb files ----------------------------------------------------------
+//
+// TuneDb sits on top of the STOFPLAN loader but must *absorb* its errors:
+// a damaged database file is a retune, never an exception.
+
+TEST(TuneDbFuzz, MutatedDbFilesAreMissesNeverThrows) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "stof_tunedb_tests" / "fuzz";
+  fs::remove_all(dir);
+  models::TuneDb db(dir.string());
+
+  const auto g = models::bert_small().build_graph(1, 128);
+  const models::TuneKey key{models::graph_fingerprint(g), 128,
+                            models::device_fingerprint(gpusim::a100())};
+  db.store(key, tuned_like_plan());
+  const std::string path = db.path_for(key);
+  std::string pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto expect_ops = static_cast<std::int64_t>(g.size());
+  ASSERT_TRUE(db.load(key, expect_ops).has_value());
+
+  Rng rng(31337);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string mutated = pristine;
+    switch (trial % 3) {
+      case 0:  // truncate
+        mutated.resize(rng.next_u64() % pristine.size());
+        break;
+      case 1: {  // single bit flip
+        const auto pos =
+            static_cast<std::size_t>(rng.next_u64() % mutated.size());
+        mutated[pos] =
+            static_cast<char>(mutated[pos] ^ (1 << (rng.next_u64() % 8)));
+        break;
+      }
+      default:  // random garbage of random length
+        mutated.assign(rng.next_u64() % 200, '\0');
+        for (auto& ch : mutated) {
+          ch = static_cast<char>(rng.next_u64() & 0xff);
+        }
+        break;
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    std::optional<models::ExecutionPlan> got;
+    EXPECT_NO_THROW(got = db.load(key, expect_ops)) << "trial " << trial;
+    if (got.has_value()) {
+      // A mutation that still loads must be benign (e.g. a flip inside
+      // trailing whitespace): the plan must serialize back to the original.
+      EXPECT_EQ(saved_plan_text(*got), saved_plan_text(tuned_like_plan()))
+          << "trial " << trial << " silently loaded a different plan";
+    }
+  }
+
+  // Restore and confirm the database recovers without retuning.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << pristine;
+  }
+  EXPECT_TRUE(db.load(key, expect_ops).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,246 @@
+// Model-execution serving tests: with a ModelSpec configured the engine
+// runs every step's rows through the fused transformer-layer stack, and
+// the central contract extends — per-session digests are byte-identical
+// across fused vs launch-per-op timelines, serial vs continuous
+// scheduling, chunked prefill, preemption/recompute, speculative decoding,
+// and tensor-parallel cluster execution, while the fused timeline is
+// strictly faster.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "stof/cluster/cluster.hpp"
+#include "stof/serve/engine.hpp"
+#include "stof/telemetry/telemetry.hpp"
+
+namespace stof::serve {
+namespace {
+
+EngineConfig model_config(ModelKind kind, SchedulerMode mode,
+                          std::int64_t kv_blocks, bool fused) {
+  EngineConfig cfg;
+  cfg.heads = 2;
+  cfg.head_size = 16;
+  cfg.max_seq_len = 64;
+  cfg.kv_blocks = kv_blocks;
+  cfg.block_tokens = 16;
+  cfg.prefill_params = mha::BlockwiseParams{16, 16};
+  cfg.scheduler.mode = mode;
+  cfg.scheduler.max_prefills_per_step = 4;
+  cfg.scheduler.prefill_token_budget = 128;
+  cfg.scheduler.max_decode_batch = 16;
+  cfg.model.kind = kind;
+  cfg.model.layers = 2;
+  cfg.model.fused = fused;
+  return cfg;
+}
+
+std::vector<Request> mixed_trace() {
+  return {
+      {0, 12, 6, 101, masks::PatternKind::kCausal, 0.0},
+      {1, 20, 8, 102, masks::PatternKind::kSlidingWindow, 0.0},
+      {2, 7, 5, 103, masks::PatternKind::kStrided, 10.0},
+      {3, 30, 10, 104, masks::PatternKind::kCausal, 10.0},
+      {4, 16, 4, 105, masks::PatternKind::kBigBird, 25.0},
+      {5, 9, 7, 106, masks::PatternKind::kSlidingWindow, 40.0},
+  };
+}
+
+template <typename Sys>
+void replay(Sys& sys, const std::vector<Request>& trace) {
+  std::size_t next = 0;
+  while (next < trace.size() || !sys.idle()) {
+    while (next < trace.size() &&
+           trace[next].arrival_us <= sys.sim_time_us()) {
+      sys.submit(trace[next++]);
+    }
+    if (sys.idle()) {
+      ASSERT_LT(next, trace.size());
+      sys.advance_to(trace[next].arrival_us);
+      continue;
+    }
+    sys.step();
+  }
+}
+
+void expect_digests_equal(Engine& a, Engine& b,
+                          const std::vector<Request>& trace,
+                          const char* what) {
+  for (const auto& r : trace) {
+    const Session& sa = a.session(r.id);
+    const Session& sb = b.session(r.id);
+    EXPECT_EQ(sa.phase, SessionPhase::kFinished) << what << " session " << r.id;
+    EXPECT_EQ(sb.phase, SessionPhase::kFinished) << what << " session " << r.id;
+    EXPECT_EQ(sa.digest, sb.digest) << what << " session " << r.id;
+  }
+}
+
+TEST(ServeModel, FusedAndUnfusedDigestsMatchAndFusedIsFaster) {
+  const auto trace = mixed_trace();  // covers all four serving mask kinds
+  for (const ModelKind kind : {ModelKind::kBertEncoder, ModelKind::kGptDecoder,
+                               ModelKind::kT5CrossDecoder}) {
+    Engine fused(
+        model_config(kind, SchedulerMode::kContinuous, 16, /*fused=*/true));
+    Engine unfused(
+        model_config(kind, SchedulerMode::kContinuous, 16, /*fused=*/false));
+    replay(fused, trace);
+    replay(unfused, trace);
+    expect_digests_equal(fused, unfused, trace, to_string(kind).c_str());
+    // Same steps, same rows, same attention launches — only the layer
+    // execution differs, so fused must win outright in simulated time.
+    EXPECT_LT(fused.sim_time_us(), unfused.sim_time_us()) << to_string(kind);
+  }
+}
+
+TEST(ServeModel, SerialAndContinuousDigestsMatchWithModelEnabled) {
+  const auto trace = mixed_trace();
+  Engine serial(model_config(ModelKind::kGptDecoder, SchedulerMode::kSerial,
+                             16, true));
+  Engine continuous(model_config(ModelKind::kGptDecoder,
+                                 SchedulerMode::kContinuous, 16, true));
+  replay(serial, trace);
+  replay(continuous, trace);
+  expect_digests_equal(serial, continuous, trace, "serial-vs-continuous");
+  EXPECT_LT(continuous.sim_time_us(), serial.sim_time_us());
+}
+
+TEST(ServeModel, LayerHeadActuallyChangesDigests) {
+  // Guard against the transform silently no-opping: model-on digests must
+  // differ from attention-only digests on the same trace.
+  const auto trace = mixed_trace();
+  EngineConfig bare = model_config(ModelKind::kGptDecoder,
+                                   SchedulerMode::kContinuous, 16, true);
+  bare.model.kind = ModelKind::kNone;
+  Engine plain(bare);
+  Engine modeled(model_config(ModelKind::kGptDecoder,
+                              SchedulerMode::kContinuous, 16, true));
+  replay(plain, trace);
+  replay(modeled, trace);
+  bool any_diff = false;
+  for (const auto& r : trace) {
+    any_diff |= plain.session(r.id).digest != modeled.session(r.id).digest;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ServeModel, ChunkedPrefillStaysByteIdentical) {
+  const auto trace = mixed_trace();
+  EngineConfig whole = model_config(ModelKind::kGptDecoder,
+                                    SchedulerMode::kContinuous, 16, true);
+  EngineConfig chunked = whole;
+  chunked.scheduler.chunk_tokens = 8;  // splits every prompt
+  Engine a(whole), b(chunked);
+  replay(a, trace);
+  replay(b, trace);
+  expect_digests_equal(a, b, trace, "chunked-prefill");
+}
+
+TEST(ServeModel, PreemptionRecomputeStaysByteIdentical) {
+  // Tight pool forces eviction + full-context re-prefill mid-generation;
+  // the layer head is a pure function of the attention outputs, so the
+  // recomputed rows transform to the same bytes.
+  const auto trace = mixed_trace();
+  Engine roomy(
+      model_config(ModelKind::kBertEncoder, SchedulerMode::kSerial, 16, true));
+  Engine tight(model_config(ModelKind::kBertEncoder,
+                            SchedulerMode::kContinuous, 4, true));
+  replay(roomy, trace);
+  replay(tight, trace);
+  EXPECT_GT(tight.stats().preemptions, 0)
+      << "trace must actually trigger preemption for this test to bite";
+  expect_digests_equal(roomy, tight, trace, "preemption");
+}
+
+TEST(ServeModel, SpeculativeDecodingStaysByteIdentical) {
+  const auto trace = mixed_trace();
+  EngineConfig plain = model_config(ModelKind::kGptDecoder,
+                                    SchedulerMode::kContinuous, 16, true);
+  EngineConfig spec = plain;
+  spec.spec_draft_tokens = 2;
+  spec.spec_accept_pct = 70;
+  Engine a(plain), b(spec);
+  replay(a, trace);
+  replay(b, trace);
+  expect_digests_equal(a, b, trace, "speculative");
+}
+
+TEST(ServeModel, ClusterDigestsMatchSingleDeviceFusedEngine) {
+  const auto trace = mixed_trace();
+  EngineConfig cfg = model_config(ModelKind::kGptDecoder,
+                                  SchedulerMode::kContinuous, 24, true);
+  cfg.heads = 4;  // shardable over 2 devices
+  Engine reference(cfg);
+  replay(reference, trace);
+
+  cluster::ClusterConfig ccfg;
+  ccfg.devices = 2;
+  ccfg.engine = cfg;
+  cluster::Cluster cl(ccfg);
+  replay(cl, trace);
+  for (const auto& r : trace) {
+    const auto it = cl.digests().find(r.id);
+    ASSERT_NE(it, cl.digests().end()) << "session " << r.id;
+    EXPECT_EQ(it->second, reference.session(r.id).digest)
+        << "session " << r.id;
+  }
+  EXPECT_GT(cl.collective_us(), 0.0);
+}
+
+TEST(ServeModel, T5ClusterChargesThreeCollectivesPerLayer) {
+  const auto trace = mixed_trace();
+  EngineConfig cfg = model_config(ModelKind::kT5CrossDecoder,
+                                  SchedulerMode::kContinuous, 24, true);
+  cfg.heads = 4;
+  cluster::ClusterConfig c2 = {};
+  c2.devices = 2;
+  c2.engine = cfg;
+  cluster::Cluster t5(c2);
+  replay(t5, trace);
+
+  c2.engine.model.kind = ModelKind::kGptDecoder;
+  cluster::Cluster gpt(c2);
+  replay(gpt, trace);
+  // Same link, same rows, same layer count: T5's third per-layer
+  // all-reduce (cross-attention out-proj) must show up as 1.5x the
+  // collective time of the 2-collective GPT stack.
+  EXPECT_NEAR(t5.collective_us(), 1.5 * gpt.collective_us(),
+              1e-6 * t5.collective_us());
+}
+
+TEST(ServeModel, EngineWarmLoadHitsTuningDb) {
+  namespace fs = std::filesystem;
+  telemetry::ScopedTelemetry scope(true);
+  const fs::path dir =
+      fs::temp_directory_path() / "stof_tunedb_tests" / "engine_warm";
+  fs::remove_all(dir);
+
+  EngineConfig cfg = model_config(ModelKind::kGptDecoder,
+                                  SchedulerMode::kContinuous, 16, true);
+  cfg.model.tune_db_dir = dir.string();
+
+  telemetry::global_registry().reset();
+  Engine cold(cfg);  // prewarms decode + prefill buckets -> tunes + stores
+  const auto& reg = telemetry::global_registry();
+  EXPECT_EQ(reg.counter("tunedb.hits"), 0);
+  EXPECT_GT(reg.counter("tunedb.misses"), 0);
+  EXPECT_GT(reg.counter("serve.model.tunes"), 0);
+  EXPECT_GT(reg.counter("tunedb.store_writes"), 0);
+
+  telemetry::global_registry().reset();
+  Engine warm(cfg);  // same graph/device/buckets -> pure DB hits
+  EXPECT_GT(reg.counter("tunedb.hits"), 0);
+  EXPECT_EQ(reg.counter("tunedb.misses"), 0);
+  EXPECT_EQ(reg.counter("serve.model.tunes"), 0);
+
+  // Warm-loaded plans drive the same timeline: replay both engines and
+  // compare clocks and digests exactly.
+  const auto trace = mixed_trace();
+  telemetry::set_enabled(false);
+  replay(cold, trace);
+  replay(warm, trace);
+  expect_digests_equal(cold, warm, trace, "cold-vs-warm");
+  EXPECT_EQ(cold.sim_time_us(), warm.sim_time_us());
+}
+
+}  // namespace
+}  // namespace stof::serve
